@@ -1,0 +1,113 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section at reduced training budgets (-fast). Each bench runs its
+// experiment once per iteration and reports wall-clock; use cmd/fossbench
+// for full-budget runs and readable reports.
+package foss_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/foss-db/foss/internal/experiments"
+)
+
+// benchOpts keeps every experiment small enough for testing.B cycles.
+func benchOpts() experiments.Opts {
+	return experiments.Opts{Scale: 0.2, Seed: 1, Fast: true}
+}
+
+// BenchmarkTableI_JOB regenerates the JOB column of Table I (all six
+// optimizers, WRL/GMRL train+test, workload runtime).
+func BenchmarkTableI_JOB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(io.Discard, []string{"job"}, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_TPCDS regenerates the TPC-DS column of Table I.
+func BenchmarkTableI_TPCDS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(io.Discard, []string{"tpcds"}, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_Stack regenerates the Stack column of Table I.
+func BenchmarkTableI_Stack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(io.Discard, []string{"stack"}, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4_Speedup derives Fig. 4's relative-speedup bars from a JOB
+// Table I run.
+func BenchmarkFig4_Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableI(io.Discard, []string{"job"}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Fig4(io.Discard, rows)
+	}
+}
+
+// BenchmarkFig5_TrainingCurves regenerates the JOB training curves of Fig 5.
+func BenchmarkFig5_TrainingCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(io.Discard, "job", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6_OptTime regenerates the optimization-time box plots of Fig 6.
+func BenchmarkFig6_OptTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(io.Discard, "job", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7_StepsDist regenerates the maxsteps step-distribution of Fig 7.
+func BenchmarkFig7_StepsDist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(io.Discard, "job", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8_KnownBest regenerates the ranked-savings curves of Fig 8.
+func BenchmarkFig8_KnownBest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(io.Discard, "job", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_Ablations regenerates the design-choice Table II.
+func BenchmarkTableII_Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(io.Discard, "job", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9_AblationCurves regenerates the GMRL ablation curves of Fig 9
+// (restricted to the two cheapest configs to keep bench cycles bounded).
+func BenchmarkFig9_AblationCurves(b *testing.B) {
+	cfgs := []experiments.AblationName{experiments.Maxsteps2, experiments.OffPenalty}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(io.Discard, "job", benchOpts(), cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

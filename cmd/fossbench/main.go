@@ -1,0 +1,90 @@
+// Command fossbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fossbench [-scale 0.5] [-seed 1] [-fast] [-workload job] <experiment>
+//
+// where <experiment> is one of: table1, fig4, fig5, fig6, fig7, fig8,
+// table2, fig9, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/foss-db/foss/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.5, "data scale factor")
+		seed  = flag.Int64("seed", 1, "random seed")
+		fast  = flag.Bool("fast", false, "reduced training budgets")
+		wl    = flag.String("workload", "job", "workload for single-workload experiments")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: fossbench [flags] table1|fig4|fig5|fig6|fig7|fig8|table2|fig9|all")
+		os.Exit(2)
+	}
+	opts := experiments.Opts{Scale: *scale, Seed: *seed, Fast: *fast}
+	out := os.Stdout
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			_, err := experiments.TableI(out, nil, opts)
+			return err
+		case "fig4":
+			rows, err := experiments.TableI(out, nil, opts)
+			if err != nil {
+				return err
+			}
+			experiments.Fig4(out, rows)
+			return nil
+		case "fig5":
+			_, err := experiments.Fig5(out, *wl, opts)
+			return err
+		case "fig6":
+			_, err := experiments.Fig6(out, *wl, opts)
+			return err
+		case "fig7":
+			_, err := experiments.Fig7(out, *wl, opts)
+			return err
+		case "fig8":
+			_, err := experiments.Fig8(out, *wl, opts)
+			return err
+		case "table2":
+			_, err := experiments.TableII(out, *wl, opts)
+			return err
+		case "fig9":
+			_, err := experiments.Fig9(out, *wl, opts, nil)
+			return err
+		case "all":
+			rows, err := experiments.TableI(out, nil, opts)
+			if err != nil {
+				return err
+			}
+			experiments.Fig4(out, rows)
+			for _, f := range []func() error{
+				func() error { _, err := experiments.Fig5(out, *wl, opts); return err },
+				func() error { _, err := experiments.Fig6(out, *wl, opts); return err },
+				func() error { _, err := experiments.Fig7(out, *wl, opts); return err },
+				func() error { _, err := experiments.Fig8(out, *wl, opts); return err },
+				func() error { _, err := experiments.TableII(out, *wl, opts); return err },
+				func() error { _, err := experiments.Fig9(out, *wl, opts, nil); return err },
+			} {
+				if err := f(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "fossbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command fossd trains FOSS on one workload and evaluates it against the
+// expert optimizer on the train/test splits.
+//
+// Usage:
+//
+//	fossd -workload job -scale 0.5 -iters 6 -sim 120 -real 30 -validate 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/foss-db/foss/internal/core"
+	"github.com/foss-db/foss/internal/learner"
+	"github.com/foss-db/foss/internal/metrics"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "job", "workload: job | tpcds | stack")
+		scale    = flag.Float64("scale", 0.5, "data scale factor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		iters    = flag.Int("iters", 6, "training iterations")
+		simEp    = flag.Int("sim", 120, "simulated episodes per iteration")
+		realEp   = flag.Int("real", 30, "real episodes per iteration")
+		validate = flag.Int("validate", 30, "promising plans validated per iteration")
+		agents   = flag.Int("agents", 1, "number of agents")
+		maxSteps = flag.Int("maxsteps", 3, "episode length")
+		verbose  = flag.Bool("v", false, "per-query output")
+		diag     = flag.Bool("diag", false, "print candidate sequences with true latencies")
+		rollouts = flag.Int("rollouts", 4, "inference rollouts per agent")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	w, err := workload.Load(*wl, workload.Options{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload %s: %d tables, %d rows, %d train / %d test queries\n",
+		w.Name, len(w.DB.Tables), w.DB.TotalRows(), len(w.Train), len(w.Test))
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.MaxSteps = *maxSteps
+	cfg.Agents = *agents
+	cfg.Learner.Iterations = *iters
+	cfg.Learner.RealPerIter = *realEp
+	cfg.Learner.SimPerIter = *simEp
+	cfg.Learner.ValidatePerIter = *validate
+	cfg.Learner.InferenceRollouts = *rollouts
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "new:", err)
+		os.Exit(1)
+	}
+
+	err = sys.Train(func(st learner.IterStats) {
+		fmt.Printf("iter %d: buffer=%d aamLoss=%.3f aamAcc=%.2f ppoKL=%.4f validated=%d elapsed=%s\n",
+			st.Iter, st.BufferSize, st.AAMLoss, st.AAMAccuracy, st.PPO.ApproxKL, st.Validated,
+			time.Since(start).Truncate(time.Second))
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+
+	eval := func(name string, qs []*query.Query) {
+		var fossRes, pgRes []metrics.QueryResult
+		wins, losses, changed := 0, 0, 0
+		for _, q := range qs {
+			fcp, ot, err := sys.Optimize(q)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "optimize %s: %v\n", q.ID, err)
+				continue
+			}
+			ecp, eot, err := sys.ExpertPlan(q)
+			if err != nil {
+				continue
+			}
+			fl, el := sys.Execute(fcp), sys.Execute(ecp)
+			fossRes = append(fossRes, metrics.QueryResult{QueryID: q.ID, LatencyMs: fl, OptTimeMs: ot.Seconds() * 1000})
+			pgRes = append(pgRes, metrics.QueryResult{QueryID: q.ID, LatencyMs: el, OptTimeMs: eot.Seconds() * 1000})
+			if fl < el*0.99 {
+				wins++
+			} else if fl > el*1.01 {
+				losses++
+			}
+			if fl != el {
+				changed++
+			}
+			if *verbose {
+				fmt.Printf("  %-10s expert=%9.3fms foss=%9.3fms speedup=%5.2fx\n", q.ID, el, fl, el/fl)
+			}
+		}
+		fmt.Printf("%s: WRL=%.3f GMRL=%.3f wins=%d losses=%d changed=%d/%d\n",
+			name, metrics.WRL(fossRes, pgRes), metrics.GMRL(fossRes, pgRes), wins, losses, changed, len(qs))
+	}
+	eval("train", w.Train)
+	eval("test ", w.Test)
+	if *diag {
+		fmt.Println("--- test candidate diagnosis ---")
+		diagnose(sys, w.Test)
+	}
+	fmt.Printf("training time: %s\n", sys.TrainingTime().Truncate(time.Millisecond))
+}

@@ -1,0 +1,28 @@
+// Ablation runs a miniature maxsteps sweep (the paper's §VI-C1 analysis):
+// larger maxsteps widen the search space per episode but make both the
+// agent's exploration and the AAM's selection harder.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/foss-db/foss/internal/experiments"
+)
+
+func main() {
+	opts := experiments.Opts{Scale: 0.25, Seed: 1, Fast: true}
+	fmt.Println("mini maxsteps sweep on JOB (fast budgets):")
+	for _, ab := range []experiments.AblationName{
+		experiments.Maxsteps2, experiments.Maxsteps3,
+		experiments.Maxsteps4, experiments.Maxsteps5,
+	} {
+		row, _, err := experiments.RunAblation(os.Stdout, "job", ab, opts, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s trainTime=%6.1fs optTime=%7.2fms GMRL=%.3f\n",
+			row.Config, row.TrainTimeSec, row.OptTimeMs, row.GMRL)
+	}
+}

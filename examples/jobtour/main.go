@@ -1,0 +1,80 @@
+// Jobtour trains FOSS end-to-end on the JOB-like workload and walks through
+// the evaluation: WRL/GMRL on both splits and the queries where the
+// doctor's edits mattered most.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/foss-db/foss"
+	"github.com/foss-db/foss/internal/learner"
+	"github.com/foss-db/foss/internal/metrics"
+	"github.com/foss-db/foss/internal/query"
+)
+
+func main() {
+	w, err := foss.LoadWorkload("job", foss.WorkloadOptions{Seed: 1, Scale: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := foss.DefaultConfig()
+	cfg.Learner.Iterations = 6
+	cfg.Learner.SimPerIter = 150
+	cfg.Learner.RealPerIter = 30
+	cfg.Learner.ValidatePerIter = 30
+	sys, err := foss.New(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training FOSS on JOB...")
+	if err := sys.Train(func(st learner.IterStats) {
+		fmt.Printf("  iter %d: buffer=%d aamAcc=%.2f validated=%d\n",
+			st.Iter, st.BufferSize, st.AAMAccuracy, st.Validated)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	type qwin struct {
+		id      string
+		speedup float64
+	}
+	var wins []qwin
+	for _, split := range []struct {
+		name string
+		qs   []*query.Query
+	}{
+		{"train", w.Train}, {"test", w.Test},
+	} {
+		var fossRes, pgRes []metrics.QueryResult
+		for _, q := range split.qs {
+			fcp, ot, err := sys.Optimize(q)
+			if err != nil {
+				continue
+			}
+			ecp, eot, err := sys.ExpertPlan(q)
+			if err != nil {
+				continue
+			}
+			fl, el := sys.Execute(fcp), sys.Execute(ecp)
+			fossRes = append(fossRes, metrics.QueryResult{QueryID: q.ID, LatencyMs: fl, OptTimeMs: ot.Seconds() * 1000})
+			pgRes = append(pgRes, metrics.QueryResult{QueryID: q.ID, LatencyMs: el, OptTimeMs: eot.Seconds() * 1000})
+			if el/fl > 1.05 {
+				wins = append(wins, qwin{q.ID, el / fl})
+			}
+		}
+		fmt.Printf("%s: WRL=%.3f GMRL=%.3f over %d queries\n",
+			split.name, metrics.WRL(fossRes, pgRes), metrics.GMRL(fossRes, pgRes), len(split.qs))
+	}
+
+	sort.Slice(wins, func(i, j int) bool { return wins[i].speedup > wins[j].speedup })
+	fmt.Println("\ntop doctored queries:")
+	for i, wq := range wins {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-8s %.2fx\n", wq.id, wq.speedup)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: load a benchmark, train FOSS briefly, and doctor one query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/foss-db/foss"
+)
+
+func main() {
+	// Generate the JOB-like benchmark at quarter scale (fast to build).
+	w, err := foss.LoadWorkload("job", foss.WorkloadOptions{Seed: 1, Scale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %s: %d rows, %d train / %d test queries\n",
+		w.Name, w.DB.TotalRows(), len(w.Train), len(w.Test))
+
+	cfg := foss.DefaultConfig()
+	cfg.Learner.Iterations = 3
+	cfg.Learner.SimPerIter = 60
+	cfg.Learner.RealPerIter = 15
+	cfg.Learner.ValidatePerIter = 15
+	sys, err := foss.New(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training FOSS (3 short iterations)...")
+	if err := sys.Train(nil); err != nil {
+		log.Fatal(err)
+	}
+
+	q := w.Train[0]
+	fmt.Printf("\nquery %s:\n  %s\n", q.ID, q.SQL())
+
+	expert, _, err := sys.ExpertPlan(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doctored, optTime, err := sys.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexpert plan (simulated %.1f ms):\n%s", sys.Execute(expert), expert)
+	fmt.Printf("\nFOSS plan (simulated %.1f ms, optimized in %v):\n%s",
+		sys.Execute(doctored), optTime.Truncate(1e6), doctored)
+}

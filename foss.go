@@ -1,0 +1,59 @@
+// Package foss is a from-scratch Go reproduction of "FOSS: A Self-Learned
+// Doctor for Query Optimizer" (ICDE 2024). FOSS starts from the plan a
+// traditional cost-based optimizer produced and repairs it with a short
+// sequence of fine-grained edits — swapping two tables in the left-deep join
+// order or overriding a join's physical method — selected by a PPO-trained
+// agent. An asymmetric advantage model compares candidate plans pairwise,
+// acting both as the plan selector at inference time and as the reward
+// indicator of a simulated environment that lets the agent bootstrap on
+// cheap experience.
+//
+// The package bundles everything the paper depends on, implemented in pure
+// Go: a column-store engine with a deterministic latency model, a
+// Selinger-style optimizer with hint steering, histogram statistics with
+// realistic estimation error, a tensor autograd library with
+// masked-attention transformers, PPO, three synthetic benchmarks (JOB,
+// TPC-DS, Stack), and the four learned-optimizer baselines the paper
+// compares against (Bao, Balsa, Loger, HybridQO).
+//
+// Quick start:
+//
+//	w, _ := foss.LoadWorkload("job", foss.WorkloadOptions{Seed: 1, Scale: 0.5})
+//	sys, _ := foss.New(w, foss.DefaultConfig())
+//	_ = sys.Train(nil)
+//	plan, optTime, _ := sys.Optimize(w.Test[0])
+//	latency := sys.Execute(plan)
+package foss
+
+import (
+	"github.com/foss-db/foss/internal/core"
+	"github.com/foss-db/foss/internal/workload"
+)
+
+// Config re-exports the FOSS system configuration.
+type Config = core.Config
+
+// System re-exports the assembled FOSS system.
+type System = core.System
+
+// Workload re-exports a loaded benchmark.
+type Workload = workload.Workload
+
+// WorkloadOptions re-exports workload generation options.
+type WorkloadOptions = workload.Options
+
+// DefaultConfig returns the paper-mirroring configuration at repository
+// scale.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New assembles a FOSS system over a loaded workload.
+func New(w *Workload, cfg Config) (*System, error) { return core.New(w, cfg) }
+
+// LoadWorkload generates one of the three benchmarks: "job", "tpcds",
+// "stack".
+func LoadWorkload(name string, opts WorkloadOptions) (*Workload, error) {
+	return workload.Load(name, opts)
+}
+
+// WorkloadNames lists the available benchmarks.
+func WorkloadNames() []string { return workload.Names() }

@@ -1,0 +1,244 @@
+package aam
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/foss-db/foss/internal/nn"
+	"github.com/foss-db/foss/internal/planenc"
+)
+
+// NumScores is K, the number of advantage classes.
+const NumScores = 3
+
+// Partition is the ordered point set {d1, d2} splitting (−∞, 1] into the
+// K=3 score intervals, per §IV-B of the paper: score 0 = "not better than 5%
+// saving", 1 = "5–50% saving", 2 = ">50% saving".
+var Partition = [2]float64{0.05, 0.50}
+
+// AdvInit is the initial advantage function: how much better plan r is than
+// plan l, expressed as the fractional time saving 1 − lat(r)/lat(l). Its
+// range is exactly the paper's (−∞, 1].
+func AdvInit(latL, latR float64) float64 {
+	if latL <= 0 {
+		latL = 1e-9
+	}
+	return 1 - latR/latL
+}
+
+// ScoreOf discretizes an initial advantage into a class {0,1,2}.
+func ScoreOf(advInit float64) int {
+	switch {
+	case advInit > Partition[1]:
+		return 2
+	case advInit > Partition[0]:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Midpoint is the paper's D̂: a representative advantage magnitude for each
+// score class (interval midpoints, D̂(0)=0).
+func Midpoint(score int) float64 {
+	switch score {
+	case 1:
+		return (Partition[0] + Partition[1]) / 2
+	case 2:
+		return (Partition[1] + 1) / 2
+	}
+	return 0
+}
+
+// Model is the asymmetric advantage model θadv: a shared state network plus
+// a position-aware pairwise output layer
+// FC2(FC1(ϕ(l)⊕pos_left) − FC1(ϕ(r)⊕pos_right)) → K logits.
+// The position vectors make the model asymmetric by construction: swapping
+// the inputs does not negate the output.
+type Model struct {
+	State *StateNet
+	PosL  *nn.Tensor
+	PosR  *nn.Tensor
+	FC1   *nn.Linear
+	FC2   *nn.Linear
+
+	hidden int
+}
+
+// NewModel creates an advantage model over the given state network sizes.
+func NewModel(rng *rand.Rand, cfg StateNetConfig, numTables, numCols int) *Model {
+	h := cfg.StateDim
+	m := &Model{
+		State:  NewStateNet(rng, cfg, numTables, numCols),
+		PosL:   nn.Zeros(1, cfg.StateDim).Param(),
+		PosR:   nn.Zeros(1, cfg.StateDim).Param(),
+		FC1:    nn.NewLinear(rng, cfg.StateDim, h),
+		FC2:    nn.NewLinear(rng, h, NumScores),
+		hidden: h,
+	}
+	for i := range m.PosL.Data {
+		m.PosL.Data[i] = rng.NormFloat64() * 0.05
+		m.PosR.Data[i] = rng.NormFloat64() * 0.05
+	}
+	return m
+}
+
+// Params implements nn.Module.
+func (m *Model) Params() []*nn.Tensor {
+	ps := m.State.Params()
+	ps = append(ps, m.PosL, m.PosR)
+	ps = append(ps, m.FC1.Params()...)
+	ps = append(ps, m.FC2.Params()...)
+	return ps
+}
+
+// Logits computes the K advantage logits for the pair (l, r) at the given
+// step statuses.
+func (m *Model) Logits(encL, encR *planenc.Encoded, stepL, stepR float64) *nn.Tensor {
+	svL := m.State.Forward(encL, stepL)
+	svR := m.State.Forward(encR, stepR)
+	hl := nn.ReLU(m.FC1.Forward(nn.Add(svL, m.PosL)))
+	hr := nn.ReLU(m.FC1.Forward(nn.Add(svR, m.PosR)))
+	return m.FC2.Forward(nn.Sub(hl, hr))
+}
+
+// Score returns the predicted advantage class of r over l.
+func (m *Model) Score(encL, encR *planenc.Encoded, stepL, stepR float64) int {
+	logits := m.Logits(encL, encR, stepL, stepR).Detach()
+	best, bi := math.Inf(-1), 0
+	for i, v := range logits.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Sample is one supervised training pair for the AAM.
+type Sample struct {
+	EncL, EncR   *planenc.Encoded
+	StepL, StepR float64
+	Label        int // true advantage class ScoreOf(AdvInit(latL, latR))
+}
+
+// LossConfig parameterizes the asymmetric loss of §IV-C.
+type LossConfig struct {
+	GammaPos float64 // decay for the true-label term (γ+)
+	GammaNeg float64 // decay for the other terms (γ−), γ+ < γ−
+	Epsilon  float64 // label smoothing ε
+}
+
+// DefaultLossConfig mirrors the paper's choices (K=3, ε=0.1) with the
+// standard asymmetric-loss decay pair.
+func DefaultLossConfig() LossConfig {
+	return LossConfig{GammaPos: 1, GammaNeg: 4, Epsilon: 0.1}
+}
+
+// PairLoss computes the asymmetric focal loss with label smoothing for one
+// sample as a scalar graph node. The focal decay factors (1−p̂)^γ are
+// treated as constants (detached), the standard focal-loss implementation
+// choice.
+func (m *Model) PairLoss(s Sample, cfg LossConfig) *nn.Tensor {
+	logits := m.Logits(s.EncL, s.EncR, s.StepL, s.StepR)
+	logp := nn.LogSoftmax(logits)
+	// probabilities (detached) for the focal factors
+	p := make([]float64, NumScores)
+	for j := 0; j < NumScores; j++ {
+		p[j] = math.Exp(logp.Data[j])
+	}
+	w := make([]float64, NumScores)
+	for j := 0; j < NumScores; j++ {
+		var smoothed, phat, gamma float64
+		if j == s.Label {
+			smoothed = 1 - cfg.Epsilon
+			phat = p[j]
+			gamma = cfg.GammaPos
+		} else {
+			smoothed = cfg.Epsilon / float64(NumScores-1)
+			phat = 1 - p[j]
+			gamma = cfg.GammaNeg
+		}
+		w[j] = smoothed * math.Pow(1-clamp01(phat), gamma)
+	}
+	weights := nn.NewTensor(w, 1, NumScores)
+	return nn.Neg(nn.Sum(nn.Mul(logp, weights)))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// TrainConfig parameterizes supervised AAM training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Loss      LossConfig
+	Seed      int64
+}
+
+// DefaultTrainConfig returns settings that converge quickly at repo scale.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 3, BatchSize: 16, LR: 1e-3, Loss: DefaultLossConfig(), Seed: 1}
+}
+
+// Train fits the model to the samples and returns the mean loss per epoch.
+func (m *Model) Train(samples []Sample, cfg TrainConfig) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	opt := nn.NewAdam(m.Params(), cfg.LR)
+	opt.ClipNorm = 5
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var epochLosses []float64
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		total := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			opt.ZeroGrad()
+			var batch *nn.Tensor
+			for _, i := range idx[start:end] {
+				l := m.PairLoss(samples[i], cfg.Loss)
+				if batch == nil {
+					batch = l
+				} else {
+					batch = nn.Add(batch, l)
+				}
+			}
+			loss := nn.Scale(batch, 1/float64(end-start))
+			loss.Backward()
+			opt.Step()
+			total += loss.Item() * float64(end-start)
+		}
+		epochLosses = append(epochLosses, total/float64(len(idx)))
+	}
+	return epochLosses
+}
+
+// Accuracy returns the fraction of samples whose predicted class matches.
+func (m *Model) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, s := range samples {
+		if m.Score(s.EncL, s.EncR, s.StepL, s.StepR) == s.Label {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(samples))
+}

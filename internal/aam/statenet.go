@@ -1,0 +1,112 @@
+// Package aam implements the paper's asymmetric advantage model and the
+// transformer-based state network that both the AAM and the planner's agent
+// use to represent plan states.
+package aam
+
+import (
+	"math/rand"
+
+	"github.com/foss-db/foss/internal/nn"
+	"github.com/foss-db/foss/internal/planenc"
+)
+
+// StateNetConfig sizes the state network.
+type StateNetConfig struct {
+	DModel   int // transformer width
+	Heads    int
+	Layers   int
+	FFDim    int
+	StateDim int // width of the final state representation vector
+}
+
+// DefaultStateNetConfig returns the sizes used throughout the repository.
+func DefaultStateNetConfig() StateNetConfig {
+	return StateNetConfig{DModel: 64, Heads: 4, Layers: 2, FFDim: 128, StateDim: 64}
+}
+
+// StateNet is ϕ: it embeds the four node features plus height and structure
+// type, runs reachability-masked multi-head attention, mean-pools the node
+// representations, concatenates the step status, and projects to statevec.
+type StateNet struct {
+	Cfg StateNetConfig
+
+	OpEmb     *nn.Embedding
+	TableEmb  *nn.Embedding
+	ColEmb    *nn.Embedding
+	RowEmb    *nn.Embedding
+	HeightEmb *nn.Embedding
+	StructEmb *nn.Embedding
+
+	InProj *nn.Linear
+	Blocks []*nn.TransformerLayer
+	OutLN  *nn.LayerNorm
+	Out    *nn.Linear // [DModel+1 (step)] -> StateDim
+}
+
+// Feature embedding widths. The four node features are concatenated into a
+// node vector of width 4*featDim + 2*posDim before projection.
+const (
+	featDim = 16
+	posDim  = 8
+)
+
+// NewStateNet creates a state network for a schema with the given vocabulary
+// sizes (numTables, numCols from the planenc.Encoder).
+func NewStateNet(rng *rand.Rand, cfg StateNetConfig, numTables, numCols int) *StateNet {
+	inWidth := 4*featDim + 2*posDim
+	s := &StateNet{
+		Cfg:       cfg,
+		OpEmb:     nn.NewEmbedding(rng, planenc.NumOps, featDim),
+		TableEmb:  nn.NewEmbedding(rng, numTables+1, featDim),
+		ColEmb:    nn.NewEmbedding(rng, numCols+1, featDim),
+		RowEmb:    nn.NewEmbedding(rng, planenc.RowBuckets, featDim),
+		HeightEmb: nn.NewEmbedding(rng, planenc.MaxHeight, posDim),
+		StructEmb: nn.NewEmbedding(rng, planenc.NumStructs, posDim),
+		InProj:    nn.NewLinear(rng, inWidth, cfg.DModel),
+		OutLN:     nn.NewLayerNorm(cfg.DModel),
+		Out:       nn.NewLinear(rng, cfg.DModel+1, cfg.StateDim),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		s.Blocks = append(s.Blocks, nn.NewTransformerLayer(rng, cfg.DModel, cfg.Heads, cfg.FFDim))
+	}
+	return s
+}
+
+// Forward produces the state representation vector [1, StateDim] for an
+// encoded plan at step status t/maxsteps.
+func (s *StateNet) Forward(enc *planenc.Encoded, step float64) *nn.Tensor {
+	node := nn.Concat(
+		s.OpEmb.Forward(enc.Ops),
+		s.TableEmb.Forward(enc.Tables),
+		s.ColEmb.Forward(enc.Columns),
+		s.RowEmb.Forward(enc.RowBkt),
+		s.HeightEmb.Forward(enc.Heights),
+		s.StructEmb.Forward(enc.Structs),
+	)
+	x := s.InProj.Forward(node)
+	for _, b := range s.Blocks {
+		x = b.Forward(x, enc.Mask)
+	}
+	x = s.OutLN.Forward(x)
+	pooled := nn.RowsMean(x, nil)                   // [1, DModel]
+	withStep := nn.Concat(pooled, stepTensor(step)) // [1, DModel+1]
+	return nn.Tanh(s.Out.Forward(withStep))         // [1, StateDim]
+}
+
+func stepTensor(step float64) *nn.Tensor {
+	return nn.NewTensor([]float64{step}, 1, 1)
+}
+
+// Params implements nn.Module.
+func (s *StateNet) Params() []*nn.Tensor {
+	var ps []*nn.Tensor
+	for _, m := range []nn.Module{s.OpEmb, s.TableEmb, s.ColEmb, s.RowEmb, s.HeightEmb, s.StructEmb, s.InProj} {
+		ps = append(ps, m.Params()...)
+	}
+	for _, b := range s.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, s.OutLN.Params()...)
+	ps = append(ps, s.Out.Params()...)
+	return ps
+}

@@ -1,0 +1,163 @@
+// Package core assembles the FOSS system: the planner (DRL agent over plan
+// edits), the asymmetric advantage model, the simulated learner, and the
+// traditional optimizer + executor substrate, behind a small Train/Optimize
+// API. The root package foss re-exports this for library users.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/foss-db/foss/internal/aam"
+	"github.com/foss-db/foss/internal/engine/exec"
+	"github.com/foss-db/foss/internal/learner"
+	"github.com/foss-db/foss/internal/optimizer"
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/planenc"
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/workload"
+)
+
+// Config collects every tunable of a FOSS instance.
+type Config struct {
+	Seed     int64
+	MaxSteps int // plan-edit episode length (paper default 3)
+	Agents   int // multi-agent switch (paper §VI-C5); 1 = single agent
+
+	StateNet aam.StateNetConfig
+	Planner  planner.Config
+	Learner  learner.Config
+
+	// Ablation switches (Table II)
+	DisableSimulatedEnv bool
+	DisablePenalty      bool
+	DisableValidation   bool
+}
+
+// DefaultConfig mirrors the paper's settings at repository scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:     1,
+		MaxSteps: 3,
+		Agents:   1,
+		StateNet: aam.StateNetConfig{DModel: 32, Heads: 2, Layers: 1, FFDim: 64, StateDim: 32},
+		Planner:  planner.DefaultConfig(),
+		Learner:  learner.DefaultConfig(),
+	}
+}
+
+// System is a trained (or trainable) FOSS instance bound to one workload.
+type System struct {
+	Cfg Config
+	W   *workload.Workload
+
+	Enc      *planenc.Encoder
+	Opt      *optimizer.Optimizer
+	Exec     *exec.Executor
+	AAM      *aam.Model
+	Learner  *learner.Learner
+	Planners []*planner.Planner
+
+	trainTime time.Duration
+}
+
+// New builds a FOSS system over a loaded workload.
+func New(w *workload.Workload, cfg Config) (*System, error) {
+	if cfg.MaxSteps < 1 {
+		return nil, fmt.Errorf("core: MaxSteps must be >= 1, got %d", cfg.MaxSteps)
+	}
+	if cfg.Agents < 1 {
+		cfg.Agents = 1
+	}
+	enc := planenc.NewEncoder(w.DB.Schema)
+	opt := optimizer.New(w.DB, w.Stats)
+	ex := exec.New(w.DB)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := aam.NewModel(rng, cfg.StateNet, enc.NumTables, enc.NumCols)
+
+	space := plan.NewSpace(w.MaxTables)
+	plCfg := cfg.Planner
+	plCfg.MaxSteps = cfg.MaxSteps
+	if cfg.DisablePenalty {
+		plCfg.PenaltyGamma = 0
+	}
+
+	var planners []*planner.Planner
+	for a := 0; a < cfg.Agents; a++ {
+		agentCfg := plCfg
+		// multi-agent: diversify strategies via discount factor and LR, as
+		// the paper suggests
+		agentCfg.PPO.Seed = cfg.Seed + int64(a)
+		agentCfg.PPO.Gamma = plCfg.PPO.Gamma - 0.02*float64(a)
+		lr := agentCfg.PPO.LR * (1 + 0.5*float64(a))
+		agent := planner.NewAgent(rand.New(rand.NewSource(cfg.Seed+int64(100+a))),
+			cfg.StateNet, enc.NumTables, enc.NumCols, space.Size(), agentCfg.Hidden, lr)
+		planners = append(planners, &planner.Planner{
+			Cfg:   agentCfg,
+			Space: space,
+			Enc:   enc,
+			Opt:   opt,
+			Agent: agent,
+		})
+	}
+
+	lCfg := cfg.Learner
+	lCfg.Seed = cfg.Seed
+	lCfg.DisableSim = cfg.DisableSimulatedEnv
+	lCfg.DisableValidation = cfg.DisableValidation
+	lCfg.Agents = cfg.Agents
+
+	sys := &System{
+		Cfg:      cfg,
+		W:        w,
+		Enc:      enc,
+		Opt:      opt,
+		Exec:     ex,
+		AAM:      model,
+		Planners: planners,
+	}
+	sys.Learner = learner.New(w, planners, model, ex, lCfg)
+	return sys, nil
+}
+
+// Train runs the simulated-learner loop. progress may be nil.
+func (s *System) Train(progress func(learner.IterStats)) error {
+	start := time.Now()
+	err := s.Learner.Train(progress)
+	s.trainTime += time.Since(start)
+	return err
+}
+
+// TrainingTime reports cumulative wall-clock spent in Train.
+func (s *System) TrainingTime() time.Duration { return s.trainTime }
+
+// Optimize returns FOSS's chosen plan for the query along with the
+// optimization time (model inference + hint completions), mirroring the
+// paper's "SQL in → execution plan out" measurement.
+func (s *System) Optimize(q *query.Query) (*plan.CP, time.Duration, error) {
+	start := time.Now()
+	pe, err := s.Learner.Optimize(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pe.CP, time.Since(start), nil
+}
+
+// ExpertPlan exposes the traditional optimizer's plan (the baseline).
+func (s *System) ExpertPlan(q *query.Query) (*plan.CP, time.Duration, error) {
+	start := time.Now()
+	cp, err := s.Opt.Plan(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cp, time.Since(start), nil
+}
+
+// Execute runs a plan to completion (no timeout) and returns its simulated
+// latency in milliseconds.
+func (s *System) Execute(cp *plan.CP) float64 {
+	return s.Exec.Execute(cp, 0).LatencyMs
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/foss-db/foss/internal/nn"
+)
+
+// snapshot is the serialized form of a trained system's learned state: the
+// AAM and every agent's state network and policy heads. The workload and
+// configuration are not persisted — callers re-create the System with the
+// same Config over the same workload, then Load.
+type snapshot struct {
+	AAM      []byte
+	Agents   [][]byte
+	MaxSteps int
+}
+
+// Save serializes the trained models (AAM + per-agent networks).
+func (s *System) Save() ([]byte, error) {
+	snap := snapshot{MaxSteps: s.Cfg.MaxSteps}
+	blob, err := nn.SaveParams(s.AAM)
+	if err != nil {
+		return nil, fmt.Errorf("core: save AAM: %w", err)
+	}
+	snap.AAM = blob
+	for i, pl := range s.Planners {
+		ab, err := nn.SaveParams(agentModule{pl.Agent})
+		if err != nil {
+			return nil, fmt.Errorf("core: save agent %d: %w", i, err)
+		}
+		snap.Agents = append(snap.Agents, ab)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Load restores models previously produced by Save into this System. The
+// System must have been built with the same Config (network sizes, agent
+// count) over the same schema.
+func (s *System) Load(data []byte) error {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return err
+	}
+	if snap.MaxSteps != s.Cfg.MaxSteps {
+		return fmt.Errorf("core: snapshot maxsteps %d != config %d", snap.MaxSteps, s.Cfg.MaxSteps)
+	}
+	if len(snap.Agents) != len(s.Planners) {
+		return fmt.Errorf("core: snapshot has %d agents, config %d", len(snap.Agents), len(s.Planners))
+	}
+	if err := nn.LoadParams(s.AAM, snap.AAM); err != nil {
+		return fmt.Errorf("core: load AAM: %w", err)
+	}
+	for i, pl := range s.Planners {
+		if err := nn.LoadParams(agentModule{pl.Agent}, snap.Agents[i]); err != nil {
+			return fmt.Errorf("core: load agent %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// agentModule adapts an agent (state network + policy heads) to nn.Module.
+type agentModule struct {
+	a interface {
+		Params() []*nn.Tensor
+	}
+}
+
+func (m agentModule) Params() []*nn.Tensor { return m.a.Params() }

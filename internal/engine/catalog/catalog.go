@@ -1,0 +1,143 @@
+// Package catalog defines schemas: tables, columns, foreign keys, and which
+// columns carry indexes. All values in the engine are int64; string-typed
+// columns are dictionary-encoded by the workload generators before load.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColumnType distinguishes plain integers from dictionary-encoded strings.
+// Both are stored as int64; the type only affects how workload generators
+// produce values and how examples render them.
+type ColumnType int
+
+// Column types.
+const (
+	IntCol ColumnType = iota
+	StrCol
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name    string
+	Type    ColumnType
+	Indexed bool // an index (hash + sorted) exists on this column
+}
+
+// Table is schema-level table metadata.
+type Table struct {
+	Name    string
+	Columns []Column
+
+	colIdx map[string]int
+}
+
+// NewTable creates table metadata with the given columns.
+func NewTable(name string, cols ...Column) *Table {
+	t := &Table{Name: name, Columns: cols, colIdx: map[string]int{}}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			panic(fmt.Sprintf("catalog: duplicate column %s.%s", name, c.Name))
+		}
+		t.colIdx[c.Name] = i
+	}
+	return t
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasColumn reports whether the table has the named column.
+func (t *Table) HasColumn(name string) bool { return t.ColIndex(name) >= 0 }
+
+// ForeignKey declares that FromTable.FromCol references ToTable.ToCol.
+// The optimizer and workload generators use FKs to know which equi-joins are
+// meaningful.
+type ForeignKey struct {
+	FromTable, FromCol string
+	ToTable, ToCol     string
+}
+
+// Schema is a collection of tables plus their referential structure.
+type Schema struct {
+	Tables map[string]*Table
+	Order  []string // deterministic table order
+	FKs    []ForeignKey
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{Tables: map[string]*Table{}}
+}
+
+// AddTable registers a table; the name must be unique.
+func (s *Schema) AddTable(t *Table) {
+	if _, dup := s.Tables[t.Name]; dup {
+		panic(fmt.Sprintf("catalog: duplicate table %s", t.Name))
+	}
+	s.Tables[t.Name] = t
+	s.Order = append(s.Order, t.Name)
+}
+
+// AddFK registers a foreign-key relationship.
+func (s *Schema) AddFK(fromTable, fromCol, toTable, toCol string) {
+	s.FKs = append(s.FKs, ForeignKey{fromTable, fromCol, toTable, toCol})
+}
+
+// Validate checks that every FK references existing tables and columns.
+func (s *Schema) Validate() error {
+	for _, fk := range s.FKs {
+		ft, ok := s.Tables[fk.FromTable]
+		if !ok {
+			return fmt.Errorf("catalog: fk references unknown table %q", fk.FromTable)
+		}
+		tt, ok := s.Tables[fk.ToTable]
+		if !ok {
+			return fmt.Errorf("catalog: fk references unknown table %q", fk.ToTable)
+		}
+		if !ft.HasColumn(fk.FromCol) {
+			return fmt.Errorf("catalog: fk references unknown column %s.%s", fk.FromTable, fk.FromCol)
+		}
+		if !tt.HasColumn(fk.ToCol) {
+			return fmt.Errorf("catalog: fk references unknown column %s.%s", fk.ToTable, fk.ToCol)
+		}
+	}
+	names := append([]string(nil), s.Order...)
+	sort.Strings(names)
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			return fmt.Errorf("catalog: duplicate table %q in order", names[i])
+		}
+	}
+	return nil
+}
+
+// TableIDs returns a stable mapping table name → small integer id, used by
+// the plan encoder's embedding vocabularies.
+func (s *Schema) TableIDs() map[string]int {
+	ids := make(map[string]int, len(s.Order))
+	for i, n := range s.Order {
+		ids[n] = i
+	}
+	return ids
+}
+
+// ColumnIDs returns a stable mapping "table.column" → small integer id.
+func (s *Schema) ColumnIDs() map[string]int {
+	ids := map[string]int{}
+	n := 0
+	for _, tn := range s.Order {
+		for _, c := range s.Tables[tn].Columns {
+			ids[tn+"."+c.Name] = n
+			n++
+		}
+	}
+	return ids
+}

@@ -1,0 +1,69 @@
+package catalog
+
+import "testing"
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema()
+	s.AddTable(NewTable("a", Column{Name: "id", Indexed: true}, Column{Name: "x"}))
+	s.AddTable(NewTable("b", Column{Name: "id"}, Column{Name: "a_id"}))
+	s.AddFK("b", "a_id", "a", "id")
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tables["a"].ColIndex("x") != 1 || s.Tables["a"].ColIndex("zz") != -1 {
+		t.Fatal("ColIndex broken")
+	}
+	if !s.Tables["a"].HasColumn("id") || s.Tables["a"].HasColumn("nope") {
+		t.Fatal("HasColumn broken")
+	}
+}
+
+func TestValidateCatchesBadFK(t *testing.T) {
+	s := NewSchema()
+	s.AddTable(NewTable("a", Column{Name: "id"}))
+	s.AddFK("a", "id", "missing", "id")
+	if err := s.Validate(); err == nil {
+		t.Fatal("FK to missing table accepted")
+	}
+	s2 := NewSchema()
+	s2.AddTable(NewTable("a", Column{Name: "id"}))
+	s2.AddTable(NewTable("b", Column{Name: "id"}))
+	s2.AddFK("a", "missing_col", "b", "id")
+	if err := s2.Validate(); err == nil {
+		t.Fatal("FK on missing column accepted")
+	}
+}
+
+func TestDuplicateTablePanics(t *testing.T) {
+	s := NewSchema()
+	s.AddTable(NewTable("a", Column{Name: "id"}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate table")
+		}
+	}()
+	s.AddTable(NewTable("a", Column{Name: "id"}))
+}
+
+func TestDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate column")
+		}
+	}()
+	NewTable("a", Column{Name: "id"}, Column{Name: "id"})
+}
+
+func TestStableIDs(t *testing.T) {
+	s := NewSchema()
+	s.AddTable(NewTable("z", Column{Name: "c1"}))
+	s.AddTable(NewTable("a", Column{Name: "c1"}, Column{Name: "c2"}))
+	tids := s.TableIDs()
+	if tids["z"] != 0 || tids["a"] != 1 {
+		t.Fatalf("TableIDs should follow declaration order: %v", tids)
+	}
+	cids := s.ColumnIDs()
+	if cids["z.c1"] != 0 || cids["a.c1"] != 1 || cids["a.c2"] != 2 {
+		t.Fatalf("ColumnIDs = %v", cids)
+	}
+}

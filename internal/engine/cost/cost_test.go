@@ -1,0 +1,91 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCostsArePositive(t *testing.T) {
+	for _, p := range []Params{OptimizerParams(), TruthParams()} {
+		f := func(l, r, o uint16) bool {
+			lr, rr, or := float64(l)+1, float64(r)+1, float64(o)
+			if p.SeqScanCost(lr, 2) <= 0 {
+				return false
+			}
+			if p.IndexScanCost(lr, rr, 1) <= 0 {
+				return false
+			}
+			if p.HashJoinCost(lr, rr, or) <= 0 {
+				return false
+			}
+			if p.MergeJoinCost(lr, rr, or, false, false) <= 0 {
+				return false
+			}
+			if p.NestLoopCost(lr, rr, or, true) <= 0 {
+				return false
+			}
+			if p.NestLoopCost(lr, rr, or, false) <= 0 {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIndexedNestLoopCheaperThanNaive(t *testing.T) {
+	p := TruthParams()
+	if p.NestLoopCost(100, 100000, 100, true) >= p.NestLoopCost(100, 100000, 100, false) {
+		t.Fatal("indexed NLJ should beat naive NLJ on a large inner")
+	}
+}
+
+func TestSortedMergeCheaper(t *testing.T) {
+	p := TruthParams()
+	if p.MergeJoinCost(1000, 1000, 100, true, true) >= p.MergeJoinCost(1000, 1000, 100, false, false) {
+		t.Fatal("pre-sorted merge join should be cheaper")
+	}
+}
+
+func TestOperatorCrossover(t *testing.T) {
+	// tiny outer + indexed inner: NLJ must beat hash (the paper's 1b shape);
+	// large outer: hash must win.
+	p := TruthParams()
+	inner := 100000.0
+	if p.NestLoopCost(10, inner, 10, true) >= p.HashJoinCost(10, inner, 10)+inner*p.SeqTuple {
+		t.Fatal("NLJ should win with a 10-row outer")
+	}
+	if p.NestLoopCost(1e6, inner, 1e6, true) <= p.HashJoinCost(1e6, inner, 1e6)+inner*p.SeqTuple {
+		t.Fatal("hash should win with a million-row outer")
+	}
+}
+
+func TestOptimizerBias(t *testing.T) {
+	// The believed constants must overprice index access relative to truth —
+	// the engineered cost-model error that biases the expert toward
+	// scan-and-hash pipelines.
+	b, tr := OptimizerParams(), TruthParams()
+	if b.IdxLookup <= tr.IdxLookup {
+		t.Fatal("believed index descent must be pricier than truth")
+	}
+	if b.HashBuild >= tr.HashBuild {
+		t.Fatal("believed hash build must be cheaper than truth")
+	}
+}
+
+func TestMsConversionRoundTrip(t *testing.T) {
+	f := func(w uint32) bool {
+		work := float64(w)
+		rt := FromMs(ToMs(work))
+		diff := rt - work
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*(work+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,536 @@
+// Package exec executes complete plans against the column store and charges
+// a deterministic simulated latency.
+//
+// Latency model. Every operator is charged the cost-model formula of its
+// physical method evaluated over the *true* cardinalities the execution
+// observes, using cost.TruthParams (which deviate slightly from the
+// optimizer's believed constants — cost-model error on top of cardinality
+// error). Join results are always computed with an efficient algorithm
+// (hashing or index lookups) so execution stays fast, while the *charge*
+// reflects the plan's chosen method: a nested loop without an index is
+// charged |outer|·|inner| work even though its result is computed by
+// hashing. This yields latencies that are deterministic, reproducible, and
+// faithful to the relative economics of the operators — which is what the
+// paper's learning signal needs.
+//
+// Timeouts. Execute aborts once charged work exceeds the budget, mirroring
+// the paper's dynamic timeout (1.5× the original plan's latency) that keeps
+// catastrophic candidate plans from stalling training.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/foss-db/foss/internal/engine/cost"
+	"github.com/foss-db/foss/internal/engine/storage"
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/query"
+)
+
+// Result reports one plan execution.
+type Result struct {
+	LatencyMs float64 // simulated latency (ms); if TimedOut, the budget value
+	Work      float64 // charged work units
+	OutRows   int     // final output cardinality (0 if timed out)
+	TimedOut  bool
+}
+
+// Executor runs plans over one database.
+type Executor struct {
+	DB     *storage.DB
+	Params cost.Params
+}
+
+// New creates an executor with the truth cost constants.
+func New(db *storage.DB) *Executor {
+	return &Executor{DB: db, Params: cost.TruthParams()}
+}
+
+// Execute runs the plan. timeoutMs <= 0 means no timeout.
+func (e *Executor) Execute(cp *plan.CP, timeoutMs float64) Result {
+	budget := math.Inf(1)
+	if timeoutMs > 0 {
+		budget = cost.FromMs(timeoutMs)
+	}
+	st := &execState{ex: e, q: cp.Q, budget: budget}
+	rel, ok := st.run(cp.Root)
+	if !ok {
+		return Result{LatencyMs: timeoutMs, Work: st.work, TimedOut: true}
+	}
+	return Result{LatencyMs: cost.ToMs(st.work), Work: st.work, OutRows: len(rel.rows)}
+}
+
+// relation is an intermediate result: for each surviving combination, one
+// base-table row id per joined alias.
+type relation struct {
+	aliases []string
+	apos    map[string]int
+	rows    [][]int32
+}
+
+func (r *relation) colOf(alias string) int { return r.apos[alias] }
+
+type execState struct {
+	ex     *Executor
+	q      *query.Query
+	work   float64
+	budget float64
+}
+
+func (s *execState) charge(w float64) bool {
+	s.work += w
+	return s.work <= s.budget
+}
+
+// run evaluates a plan node; ok=false signals timeout.
+func (s *execState) run(n *plan.Node) (*relation, bool) {
+	if n.IsScan() {
+		return s.runScan(n)
+	}
+	if n.Method == plan.NestLoop {
+		return s.runNestLoop(n)
+	}
+	left, ok := s.run(n.Left)
+	if !ok {
+		return nil, false
+	}
+	right, ok := s.runScan(n.Right)
+	if !ok {
+		return nil, false
+	}
+	return s.runHashComputedJoin(n, left, right)
+}
+
+// runScan produces the filtered row ids of a base table and charges the
+// access-path cost.
+func (s *execState) runScan(n *plan.Node) (*relation, bool) {
+	tbl := s.ex.DB.Table(s.q.TableOf(n.Alias))
+	filters := n.ScanPred
+	var ids []int32
+
+	if n.Scan == plan.IndexScan && n.IdxFlt >= 0 && n.IdxFlt < len(filters) {
+		f := filters[n.IdxFlt]
+		ci := tbl.Meta.ColIndex(f.Col)
+		cand := tbl.Lookup(ci, f.Val)
+		residual := 0
+		for fi := range filters {
+			if fi != n.IdxFlt {
+				residual++
+			}
+		}
+		if !s.charge(s.ex.Params.IndexScanCost(float64(tbl.NumRows()), float64(len(cand)), residual)) {
+			return nil, false
+		}
+		for _, r := range cand {
+			if s.rowPasses(tbl, r, filters, n.IdxFlt) {
+				ids = append(ids, r)
+			}
+		}
+	} else {
+		nRows := tbl.NumRows()
+		if !s.charge(s.ex.Params.SeqScanCost(float64(nRows), len(filters))) {
+			return nil, false
+		}
+		for r := 0; r < nRows; r++ {
+			if s.rowPasses(tbl, int32(r), filters, -1) {
+				ids = append(ids, int32(r))
+			}
+		}
+	}
+	rel := &relation{aliases: []string{n.Alias}, apos: map[string]int{n.Alias: 0}}
+	rel.rows = make([][]int32, len(ids))
+	for i, id := range ids {
+		rel.rows[i] = []int32{id}
+	}
+	return rel, true
+}
+
+func (s *execState) rowPasses(tbl *storage.Table, r int32, filters []query.Filter, skip int) bool {
+	for fi, f := range filters {
+		if fi == skip {
+			continue
+		}
+		ci := tbl.Meta.ColIndex(f.Col)
+		if ci < 0 {
+			return false
+		}
+		if !evalFilter(tbl.Value(ci, r), f) {
+			return false
+		}
+	}
+	return true
+}
+
+func evalFilter(v int64, f query.Filter) bool {
+	switch f.Op {
+	case query.Eq:
+		return v == f.Val
+	case query.Ne:
+		return v != f.Val
+	case query.Lt:
+		return v < f.Val
+	case query.Le:
+		return v <= f.Val
+	case query.Gt:
+		return v > f.Val
+	case query.Ge:
+		return v >= f.Val
+	case query.Between:
+		return v >= f.Val && v <= f.Hi
+	case query.In:
+		for _, m := range f.Set {
+			if v == m {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// predCols resolves which side of each predicate belongs to the left
+// relation vs the inner alias, returning (leftAlias, leftCol, innerCol) per
+// predicate.
+func splitPreds(preds []query.JoinPred, inner string) (lAlias, lCol, iCol []string) {
+	for _, p := range preds {
+		if p.RA == inner {
+			lAlias = append(lAlias, p.LA)
+			lCol = append(lCol, p.LC)
+			iCol = append(iCol, p.RC)
+		} else {
+			lAlias = append(lAlias, p.RA)
+			lCol = append(lCol, p.RC)
+			iCol = append(iCol, p.LC)
+		}
+	}
+	return
+}
+
+const outCheckBatch = 4096
+
+// runHashComputedJoin computes the join result by hashing (regardless of the
+// plan's method) and charges the method-specific cost from true cardinalities.
+func (s *execState) runHashComputedJoin(n *plan.Node, left *relation, right *relation) (*relation, bool) {
+	innerAlias := n.Right.Alias
+	innerTbl := s.ex.DB.Table(s.q.TableOf(innerAlias))
+	lRows, rRows := float64(len(left.rows)), float64(len(right.rows))
+
+	// Method charge, pre-output: output tuples charged incrementally below.
+	switch n.Method {
+	case plan.HashJoin:
+		if !s.charge(rRows*s.ex.Params.HashBuild + lRows*s.ex.Params.HashProbe) {
+			return nil, false
+		}
+	case plan.MergeJoin:
+		sorted := innerSortedOnJoinCol(innerTbl, n.Preds, innerAlias)
+		c := (lRows + rRows) * s.ex.Params.MergeTuple
+		if lRows >= 2 {
+			c += lRows * math.Log2(lRows) * s.ex.Params.SortTuple
+		}
+		if !sorted && rRows >= 2 {
+			c += rRows * math.Log2(rRows) * s.ex.Params.SortTuple
+		}
+		if !s.charge(c) {
+			return nil, false
+		}
+	default:
+		panic(fmt.Sprintf("exec: runHashComputedJoin on %v", n.Method))
+	}
+
+	lAlias, lCol, iCol := splitPreds(n.Preds, innerAlias)
+
+	// Cross product: no predicates connect the sides.
+	if len(n.Preds) == 0 {
+		return s.crossProduct(left, right, innerAlias)
+	}
+
+	// Build on the inner side.
+	build := map[uint64][]int32{}
+	iColIdx := make([]int, len(iCol))
+	for i, c := range iCol {
+		iColIdx[i] = innerTbl.Meta.ColIndex(c)
+	}
+	for _, row := range right.rows {
+		r := row[0]
+		build[hashKeyTable(innerTbl, iColIdx, r)] = append(build[hashKeyTable(innerTbl, iColIdx, r)], r)
+	}
+
+	// Probe with the left relation.
+	lTblIdx := make([]*storage.Table, len(lAlias))
+	lColIdx := make([]int, len(lAlias))
+	lRelPos := make([]int, len(lAlias))
+	for i := range lAlias {
+		lTblIdx[i] = s.ex.DB.Table(s.q.TableOf(lAlias[i]))
+		lColIdx[i] = lTblIdx[i].Meta.ColIndex(lCol[i])
+		lRelPos[i] = left.colOf(lAlias[i])
+	}
+	out := &relation{aliases: append(append([]string(nil), left.aliases...), innerAlias), apos: map[string]int{}}
+	for i, a := range out.aliases {
+		out.apos[a] = i
+	}
+	pending := 0
+	for _, lrow := range left.rows {
+		key := hashKeyLeft(lTblIdx, lColIdx, lRelPos, lrow)
+		for _, r := range build[key] {
+			if !joinValuesEqual(lTblIdx, lColIdx, lRelPos, lrow, innerTbl, iColIdx, r) {
+				continue
+			}
+			nr := make([]int32, len(lrow)+1)
+			copy(nr, lrow)
+			nr[len(lrow)] = r
+			out.rows = append(out.rows, nr)
+			pending++
+			if pending >= outCheckBatch {
+				if !s.charge(float64(pending) * s.ex.Params.OutTuple) {
+					return nil, false
+				}
+				pending = 0
+			}
+		}
+	}
+	if !s.charge(float64(pending) * s.ex.Params.OutTuple) {
+		return nil, false
+	}
+	return out, true
+}
+
+// runNestLoop executes the nested-loop join. With an index on the inner join
+// column it performs true index lookups per outer tuple (and charges them);
+// without one it charges |outer|·|innerBase| and computes the result by
+// hashing the filtered inner rows.
+func (s *execState) runNestLoop(n *plan.Node) (*relation, bool) {
+	left, ok := s.run(n.Left)
+	if !ok {
+		return nil, false
+	}
+	innerAlias := n.Right.Alias
+	innerTbl := s.ex.DB.Table(s.q.TableOf(innerAlias))
+	innerFilters := n.Right.ScanPred
+	lRows := float64(len(left.rows))
+	innerBase := float64(innerTbl.NumRows())
+
+	lAlias, lCol, iCol := splitPreds(n.Preds, innerAlias)
+
+	// pick an indexed inner join column, if any
+	idxPred := -1
+	for i, c := range iCol {
+		ci := innerTbl.Meta.ColIndex(c)
+		if ci >= 0 && innerTbl.HasIndex(ci) {
+			idxPred = i
+			break
+		}
+	}
+
+	out := &relation{aliases: append(append([]string(nil), left.aliases...), innerAlias), apos: map[string]int{}}
+	for i, a := range out.aliases {
+		out.apos[a] = i
+	}
+
+	if len(n.Preds) == 0 {
+		// cross nested loop: charge the naive formula, compute as product
+		if !s.charge(lRows*s.ex.Params.NLOuter + lRows*innerBase*s.ex.Params.NLInner) {
+			return nil, false
+		}
+		right, ok2 := s.runScanUncharged(n.Right)
+		if !ok2 {
+			return nil, false
+		}
+		return s.crossProduct(left, right, innerAlias)
+	}
+
+	if idxPred >= 0 {
+		// Index nested loop, executed for real.
+		if !s.charge(lRows * (s.ex.Params.NLOuter + s.ex.Params.IdxLookup*log2c(innerBase))) {
+			return nil, false
+		}
+		la := s.q.TableOf(lAlias[idxPred])
+		lt := s.ex.DB.Table(la)
+		lci := lt.Meta.ColIndex(lCol[idxPred])
+		lrp := left.colOf(lAlias[idxPred])
+		ici := innerTbl.Meta.ColIndex(iCol[idxPred])
+
+		lTblIdx := make([]*storage.Table, len(lAlias))
+		lColIdx := make([]int, len(lAlias))
+		lRelPos := make([]int, len(lAlias))
+		iColIdx := make([]int, len(iCol))
+		for i := range lAlias {
+			lTblIdx[i] = s.ex.DB.Table(s.q.TableOf(lAlias[i]))
+			lColIdx[i] = lTblIdx[i].Meta.ColIndex(lCol[i])
+			lRelPos[i] = left.colOf(lAlias[i])
+			iColIdx[i] = innerTbl.Meta.ColIndex(iCol[i])
+		}
+
+		pendingCand, pendingOut := 0, 0
+		for _, lrow := range left.rows {
+			v := lt.Value(lci, lrow[lrp])
+			cands := innerTbl.Lookup(ici, v)
+			pendingCand += len(cands)
+			if pendingCand >= outCheckBatch {
+				if !s.charge(float64(pendingCand) * s.ex.Params.IdxTuple) {
+					return nil, false
+				}
+				pendingCand = 0
+			}
+			for _, r := range cands {
+				if !s.rowPasses(innerTbl, r, innerFilters, -1) {
+					continue
+				}
+				okAll := true
+				for i := range lAlias {
+					if i == idxPred {
+						continue
+					}
+					if lTblIdx[i].Value(lColIdx[i], lrow[lRelPos[i]]) != innerTbl.Value(iColIdx[i], r) {
+						okAll = false
+						break
+					}
+				}
+				if !okAll {
+					continue
+				}
+				nr := make([]int32, len(lrow)+1)
+				copy(nr, lrow)
+				nr[len(lrow)] = r
+				out.rows = append(out.rows, nr)
+				pendingOut++
+				if pendingOut >= outCheckBatch {
+					if !s.charge(float64(pendingOut) * s.ex.Params.OutTuple) {
+						return nil, false
+					}
+					pendingOut = 0
+				}
+			}
+		}
+		if !s.charge(float64(pendingCand)*s.ex.Params.IdxTuple + float64(pendingOut)*s.ex.Params.OutTuple) {
+			return nil, false
+		}
+		return out, true
+	}
+
+	// Naive nested loop: charge the quadratic formula up front; if the budget
+	// survives, compute the identical result via hashing.
+	if !s.charge(lRows*s.ex.Params.NLOuter + lRows*innerBase*s.ex.Params.NLInner) {
+		return nil, false
+	}
+	right, ok := s.runScanUncharged(n.Right)
+	if !ok {
+		return nil, false
+	}
+	saveWork := s.work
+	rel, ok2 := s.runHashComputedJoinNoCharge(n, left, right)
+	s.work = saveWork // hashing here is an implementation detail, not a charge
+	if !ok2 {
+		return nil, false
+	}
+	// output tuples are still charged
+	if !s.charge(float64(len(rel.rows)) * s.ex.Params.OutTuple) {
+		return nil, false
+	}
+	return rel, true
+}
+
+// runScanUncharged evaluates a scan's row set without charging (used when the
+// enclosing operator's formula already covers inner access).
+func (s *execState) runScanUncharged(n *plan.Node) (*relation, bool) {
+	saved := s.work
+	rel, ok := s.runScan(n)
+	s.work = saved
+	return rel, ok
+}
+
+// runHashComputedJoinNoCharge computes the join result by hashing without
+// charging method costs (inner helper for the naive NLJ path).
+func (s *execState) runHashComputedJoinNoCharge(n *plan.Node, left, right *relation) (*relation, bool) {
+	tmp := &plan.Node{Method: plan.HashJoin, Preds: n.Preds, Left: n.Left, Right: n.Right}
+	saved := s.work
+	// give the helper unlimited budget: the caller already charged
+	savedBudget := s.budget
+	s.budget = math.Inf(1)
+	rel, ok := s.runHashComputedJoin(tmp, left, right)
+	s.budget = savedBudget
+	s.work = saved
+	return rel, ok
+}
+
+func (s *execState) crossProduct(left, right *relation, innerAlias string) (*relation, bool) {
+	out := &relation{aliases: append(append([]string(nil), left.aliases...), innerAlias), apos: map[string]int{}}
+	for i, a := range out.aliases {
+		out.apos[a] = i
+	}
+	pending := 0
+	for _, lrow := range left.rows {
+		for _, rrow := range right.rows {
+			nr := make([]int32, len(lrow)+1)
+			copy(nr, lrow)
+			nr[len(lrow)] = rrow[0]
+			out.rows = append(out.rows, nr)
+			pending++
+			if pending >= outCheckBatch {
+				if !s.charge(float64(pending) * s.ex.Params.OutTuple) {
+					return nil, false
+				}
+				pending = 0
+			}
+		}
+	}
+	if !s.charge(float64(pending) * s.ex.Params.OutTuple) {
+		return nil, false
+	}
+	return out, true
+}
+
+func innerSortedOnJoinCol(tbl *storage.Table, preds []query.JoinPred, inner string) bool {
+	for _, p := range preds {
+		col := p.RC
+		if p.RA != inner {
+			col = p.LC
+		}
+		ci := tbl.Meta.ColIndex(col)
+		if ci >= 0 && tbl.HasIndex(ci) {
+			return true
+		}
+	}
+	return false
+}
+
+func log2c(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+const fnvOffset = 14695981039346656037
+const fnvPrime = 1099511628211
+
+func mix(h uint64, v int64) uint64 {
+	h ^= uint64(v)
+	h *= fnvPrime
+	return h
+}
+
+func hashKeyTable(tbl *storage.Table, cols []int, r int32) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range cols {
+		h = mix(h, tbl.Value(c, r))
+	}
+	return h
+}
+
+func hashKeyLeft(tbls []*storage.Table, cols, relPos []int, lrow []int32) uint64 {
+	h := uint64(fnvOffset)
+	for i := range tbls {
+		h = mix(h, tbls[i].Value(cols[i], lrow[relPos[i]]))
+	}
+	return h
+}
+
+func joinValuesEqual(lt []*storage.Table, lc, lp []int, lrow []int32, it *storage.Table, ic []int, r int32) bool {
+	for i := range lt {
+		if lt[i].Value(lc[i], lrow[lp[i]]) != it.Value(ic[i], r) {
+			return false
+		}
+	}
+	return true
+}

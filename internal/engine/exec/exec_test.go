@@ -1,0 +1,361 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/foss-db/foss/internal/engine/catalog"
+	"github.com/foss-db/foss/internal/engine/stats"
+	"github.com/foss-db/foss/internal/engine/storage"
+	"github.com/foss-db/foss/internal/optimizer"
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/query"
+)
+
+// testDB builds a small 3-table star: orders -> customers, orders -> items.
+func testDB(t testing.TB, nCust, nItem, nOrd int, seed int64) *storage.DB {
+	t.Helper()
+	s := catalog.NewSchema()
+	s.AddTable(catalog.NewTable("customer",
+		catalog.Column{Name: "id", Indexed: true},
+		catalog.Column{Name: "region"},
+	))
+	s.AddTable(catalog.NewTable("item",
+		catalog.Column{Name: "id", Indexed: true},
+		catalog.Column{Name: "price"},
+	))
+	s.AddTable(catalog.NewTable("orders",
+		catalog.Column{Name: "id", Indexed: true},
+		catalog.Column{Name: "cust_id", Indexed: true},
+		catalog.Column{Name: "item_id", Indexed: true},
+		catalog.Column{Name: "qty"},
+	))
+	s.AddFK("orders", "cust_id", "customer", "id")
+	s.AddFK("orders", "item_id", "item", "id")
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB(s)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < nCust; i++ {
+		db.Table("customer").AppendRow(int64(i), int64(rng.Intn(5)))
+	}
+	for i := 0; i < nItem; i++ {
+		db.Table("item").AppendRow(int64(i), int64(rng.Intn(100)))
+	}
+	for i := 0; i < nOrd; i++ {
+		db.Table("orders").AppendRow(int64(i), int64(rng.Intn(nCust)), int64(rng.Intn(nItem)), int64(rng.Intn(10)))
+	}
+	db.BuildAllIndexes()
+	return db
+}
+
+func starQ() *query.Query {
+	return &query.Query{
+		ID: "star",
+		Tables: []query.TableRef{
+			{Table: "orders", Alias: "o"},
+			{Table: "customer", Alias: "c"},
+			{Table: "item", Alias: "i"},
+		},
+		Joins: []query.JoinPred{
+			{LA: "o", LC: "cust_id", RA: "c", RC: "id"},
+			{LA: "o", LC: "item_id", RA: "i", RC: "id"},
+		},
+		Filters: []query.Filter{
+			{Alias: "c", Col: "region", Op: query.Eq, Val: 2},
+			{Alias: "i", Col: "price", Op: query.Lt, Val: 50},
+		},
+	}
+}
+
+// bruteForceCount counts the true result cardinality by triple loop.
+func bruteForceCount(db *storage.DB, q *query.Query) int {
+	o, c, i := db.Table("orders"), db.Table("customer"), db.Table("item")
+	count := 0
+	for oi := 0; oi < o.NumRows(); oi++ {
+		for ci := 0; ci < c.NumRows(); ci++ {
+			if o.Value(1, int32(oi)) != c.Value(0, int32(ci)) {
+				continue
+			}
+			if c.Value(1, int32(ci)) != 2 {
+				continue
+			}
+			for ii := 0; ii < i.NumRows(); ii++ {
+				if o.Value(2, int32(oi)) != i.Value(0, int32(ii)) {
+					continue
+				}
+				if i.Value(1, int32(ii)) >= 50 {
+					continue
+				}
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func planAllOrders(t *testing.T, db *storage.DB, q *query.Query) []*plan.CP {
+	t.Helper()
+	st := stats.Build(db, 1.0, 1)
+	opt := optimizer.New(db, st)
+	var cps []*plan.CP
+	orders := [][]string{
+		{"o", "c", "i"}, {"o", "i", "c"},
+		{"c", "o", "i"}, {"i", "o", "c"},
+	}
+	for _, ord := range orders {
+		for _, m1 := range []plan.JoinMethod{plan.HashJoin, plan.MergeJoin, plan.NestLoop} {
+			for _, m2 := range []plan.JoinMethod{plan.HashJoin, plan.MergeJoin, plan.NestLoop} {
+				icp := plan.ICP{Order: ord, Methods: []plan.JoinMethod{m1, m2}}
+				cp, err := opt.HintedPlan(q, icp)
+				if err != nil {
+					t.Fatalf("HintedPlan(%v): %v", icp, err)
+				}
+				cps = append(cps, cp)
+			}
+		}
+	}
+	return cps
+}
+
+func TestExecutorMatchesBruteForceAcrossAllPlans(t *testing.T) {
+	db := testDB(t, 50, 40, 400, 7)
+	q := starQ()
+	want := bruteForceCount(db, q)
+	ex := New(db)
+	for _, cp := range planAllOrders(t, db, q) {
+		res := ex.Execute(cp, 0)
+		if res.TimedOut {
+			t.Fatalf("unexpected timeout for %s", cp)
+		}
+		if res.OutRows != want {
+			t.Fatalf("plan produced %d rows, brute force %d:\n%s", res.OutRows, want, cp)
+		}
+	}
+}
+
+func TestExecutorDeterministic(t *testing.T) {
+	db := testDB(t, 30, 30, 200, 3)
+	q := starQ()
+	cps := planAllOrders(t, db, q)
+	ex := New(db)
+	for _, cp := range cps {
+		a := ex.Execute(cp, 0)
+		b := ex.Execute(cp, 0)
+		if a.LatencyMs != b.LatencyMs || a.OutRows != b.OutRows || a.Work != b.Work {
+			t.Fatalf("execution not deterministic: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestExecutorMethodsHaveDistinctCosts(t *testing.T) {
+	db := testDB(t, 50, 40, 400, 7)
+	q := starQ()
+	st := stats.Build(db, 1.0, 1)
+	opt := optimizer.New(db, st)
+	ex := New(db)
+	lat := map[plan.JoinMethod]float64{}
+	for _, m := range []plan.JoinMethod{plan.HashJoin, plan.MergeJoin, plan.NestLoop} {
+		icp := plan.ICP{Order: []string{"c", "o", "i"}, Methods: []plan.JoinMethod{m, plan.HashJoin}}
+		cp, err := opt.HintedPlan(q, icp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[m] = ex.Execute(cp, 0).LatencyMs
+	}
+	if lat[plan.HashJoin] == lat[plan.MergeJoin] && lat[plan.MergeJoin] == lat[plan.NestLoop] {
+		t.Fatalf("all methods charged identically: %v", lat)
+	}
+}
+
+func TestExecutorTimeout(t *testing.T) {
+	db := testDB(t, 200, 200, 5000, 9)
+	q := starQ()
+	st := stats.Build(db, 1.0, 1)
+	opt := optimizer.New(db, st)
+	cp, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	full := ex.Execute(cp, 0)
+	if full.TimedOut {
+		t.Fatal("full run should not time out")
+	}
+	cut := ex.Execute(cp, full.LatencyMs/4)
+	if !cut.TimedOut {
+		t.Fatalf("expected timeout at quarter budget (full=%.3fms)", full.LatencyMs)
+	}
+	if cut.LatencyMs != full.LatencyMs/4 {
+		t.Fatalf("timeout latency should equal the budget: %f vs %f", cut.LatencyMs, full.LatencyMs/4)
+	}
+}
+
+func TestHintFidelity(t *testing.T) {
+	db := testDB(t, 30, 30, 300, 5)
+	q := starQ()
+	st := stats.Build(db, 1.0, 1)
+	opt := optimizer.New(db, st)
+	f := func(ordPick uint8, m1, m2 uint8) bool {
+		orders := [][]string{{"o", "c", "i"}, {"o", "i", "c"}, {"c", "o", "i"}, {"i", "o", "c"}}
+		icp := plan.ICP{
+			Order:   orders[int(ordPick)%len(orders)],
+			Methods: []plan.JoinMethod{plan.JoinMethod(m1 % 3), plan.JoinMethod(m2 % 3)},
+		}
+		cp, err := opt.HintedPlan(q, icp)
+		if err != nil {
+			return false
+		}
+		got, err := plan.Extract(cp)
+		if err != nil {
+			return false
+		}
+		return got.Equal(icp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizerPicksConnectedOrder(t *testing.T) {
+	db := testDB(t, 50, 40, 400, 7)
+	q := starQ()
+	st := stats.Build(db, 1.0, 1)
+	opt := optimizer.New(db, st)
+	cp, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icp, err := plan.Extract(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsConnectedOrder(icp.Order) {
+		t.Fatalf("DP chose a cross-product order %v", icp.Order)
+	}
+}
+
+func TestOptimizerRespectsDisabledJoins(t *testing.T) {
+	db := testDB(t, 50, 40, 400, 7)
+	q := starQ()
+	st := stats.Build(db, 1.0, 1)
+	opt := optimizer.New(db, st)
+	cfg := optimizer.Config{DisabledJoins: map[plan.JoinMethod]bool{plan.HashJoin: true}}
+	cp, err := opt.PlanWithConfig(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icp, err := plan.Extract(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range icp.Methods {
+		if m == plan.HashJoin {
+			t.Fatal("disabled method used")
+		}
+	}
+}
+
+func TestOptimizerChoosesIndexScanForSelectiveEq(t *testing.T) {
+	db := testDB(t, 5000, 40, 400, 11)
+	q := &query.Query{
+		ID: "pt",
+		Tables: []query.TableRef{
+			{Table: "orders", Alias: "o"},
+			{Table: "customer", Alias: "c"},
+		},
+		Joins:   []query.JoinPred{{LA: "o", LC: "cust_id", RA: "c", RC: "id"}},
+		Filters: []query.Filter{{Alias: "c", Col: "id", Op: query.Eq, Val: 17}},
+	}
+	st := stats.Build(db, 1.0, 1)
+	opt := optimizer.New(db, st)
+	cp, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scan on c (5000 rows, unique eq filter on indexed id) must be an
+	// index scan.
+	found := false
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		if n == nil {
+			return
+		}
+		if n.IsScan() && n.Alias == "c" {
+			found = n.Scan == plan.IndexScan
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(cp.Root)
+	if !found {
+		t.Fatalf("expected index scan on c:\n%s", cp)
+	}
+}
+
+func TestStatsEstimatesWithinReason(t *testing.T) {
+	db := testDB(t, 500, 200, 5000, 13)
+	st := stats.Build(db, 1.0, 1)
+	ts := st.Table("orders")
+	if ts == nil || ts.Rows != 5000 {
+		t.Fatalf("orders stats rows %v", ts)
+	}
+	cs := ts.Cols["cust_id"]
+	if cs.NDV < 300 || cs.NDV > 500 {
+		t.Fatalf("cust_id ndv %.0f, want ~500", cs.NDV)
+	}
+	// range selectivity of the full domain should be ~1
+	if sel := cs.RangeSelectivity(cs.Min, cs.Max); sel < 0.95 || sel > 1.0 {
+		t.Fatalf("full-range selectivity %f", sel)
+	}
+}
+
+func TestSingleTablePlanExecutes(t *testing.T) {
+	db := testDB(t, 50, 40, 400, 7)
+	q := &query.Query{
+		ID:      "single",
+		Tables:  []query.TableRef{{Table: "customer", Alias: "c"}},
+		Filters: []query.Filter{{Alias: "c", Col: "region", Op: query.Eq, Val: 2}},
+	}
+	st := stats.Build(db, 1.0, 1)
+	opt := optimizer.New(db, st)
+	cp, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := New(db).Execute(cp, 0)
+	want := 0
+	c := db.Table("customer")
+	for r := 0; r < c.NumRows(); r++ {
+		if c.Value(1, int32(r)) == 2 {
+			want++
+		}
+	}
+	if res.OutRows != want {
+		t.Fatalf("single table scan got %d rows, want %d", res.OutRows, want)
+	}
+}
+
+func TestCrossProductWhenDisconnected(t *testing.T) {
+	db := testDB(t, 10, 10, 20, 7)
+	q := &query.Query{
+		ID: "cross",
+		Tables: []query.TableRef{
+			{Table: "customer", Alias: "c"},
+			{Table: "item", Alias: "i"},
+		},
+	}
+	st := stats.Build(db, 1.0, 1)
+	opt := optimizer.New(db, st)
+	cp, err := opt.Plan(q) // must fall back to allowing the cross join
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := New(db).Execute(cp, 0)
+	if res.OutRows != 100 {
+		t.Fatalf("cross product rows %d, want 100", res.OutRows)
+	}
+}

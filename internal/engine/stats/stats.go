@@ -1,0 +1,288 @@
+// Package stats builds per-column statistics (equi-depth histograms,
+// distinct counts, min/max) from stored data and estimates predicate and
+// join selectivities the way a traditional optimizer does: histograms per
+// column combined under the independence assumption, and the classic
+// |L⋈R| = |L||R| / max(ndv_L, ndv_R) join formula.
+//
+// These estimators are deliberately error-prone in exactly the ways real
+// systems are: they are built from a sample, they assume column
+// independence, and they know nothing about cross-column or cross-table
+// correlations — which the synthetic workloads engineer on purpose. The
+// resulting estimation error is the root cause of the suboptimal plans FOSS
+// then repairs, mirroring the paper's premise.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/foss-db/foss/internal/engine/storage"
+	"github.com/foss-db/foss/internal/query"
+)
+
+// HistogramBuckets is the number of equi-depth buckets per column.
+const HistogramBuckets = 16
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	Min, Max  int64
+	NDV       float64   // estimated number of distinct values
+	Bounds    []int64   // bucket upper bounds (inclusive), equi-depth
+	RowsTotal float64   // rows in the (sampled) column
+	MCVs      []int64   // most common values
+	MCVFracs  []float64 // their frequency fractions
+}
+
+// TableStats summarizes one table.
+type TableStats struct {
+	Rows float64 // true row count (cheap to maintain exactly, like pg_class)
+	Cols map[string]*ColumnStats
+}
+
+// Catalog holds statistics for every table.
+type Catalog struct {
+	Tables map[string]*TableStats
+}
+
+// Build computes statistics over the database, sampling sampleFrac of the
+// rows of each table (1.0 = full scan). Sampling is seeded for determinism.
+func Build(db *storage.DB, sampleFrac float64, seed int64) *Catalog {
+	rng := rand.New(rand.NewSource(seed))
+	cat := &Catalog{Tables: map[string]*TableStats{}}
+	for _, name := range db.Schema.Order {
+		t := db.Table(name)
+		ts := &TableStats{Rows: float64(t.NumRows()), Cols: map[string]*ColumnStats{}}
+		n := t.NumRows()
+		var sampleIDs []int32
+		if sampleFrac >= 1 || n == 0 {
+			sampleIDs = nil // full scan
+		} else {
+			k := int(float64(n) * sampleFrac)
+			if k < 100 {
+				k = 100
+			}
+			if k > n {
+				k = n
+			}
+			sampleIDs = make([]int32, 0, k)
+			for i := 0; i < k; i++ {
+				sampleIDs = append(sampleIDs, int32(rng.Intn(n)))
+			}
+		}
+		for ci, col := range t.Meta.Columns {
+			ts.Cols[col.Name] = buildColumn(t.Cols[ci], sampleIDs)
+		}
+		cat.Tables[name] = ts
+	}
+	return cat
+}
+
+func buildColumn(data []int64, sampleIDs []int32) *ColumnStats {
+	var vals []int64
+	if sampleIDs == nil {
+		vals = append([]int64(nil), data...)
+	} else {
+		vals = make([]int64, len(sampleIDs))
+		for i, r := range sampleIDs {
+			vals[i] = data[r]
+		}
+	}
+	cs := &ColumnStats{RowsTotal: float64(len(vals))}
+	if len(vals) == 0 {
+		cs.NDV = 1
+		return cs
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	cs.Min, cs.Max = vals[0], vals[len(vals)-1]
+
+	// distinct count + most common values from the sorted sample
+	type vc struct {
+		v int64
+		c int
+	}
+	var counts []vc
+	cur, cnt := vals[0], 0
+	for _, v := range vals {
+		if v == cur {
+			cnt++
+		} else {
+			counts = append(counts, vc{cur, cnt})
+			cur, cnt = v, 1
+		}
+	}
+	counts = append(counts, vc{cur, cnt})
+	cs.NDV = float64(len(counts))
+	sort.Slice(counts, func(a, b int) bool { return counts[a].c > counts[b].c })
+	for i := 0; i < len(counts) && i < 8; i++ {
+		frac := float64(counts[i].c) / float64(len(vals))
+		if frac < 0.01 {
+			break
+		}
+		cs.MCVs = append(cs.MCVs, counts[i].v)
+		cs.MCVFracs = append(cs.MCVFracs, frac)
+	}
+
+	// equi-depth bucket bounds
+	b := HistogramBuckets
+	if b > len(vals) {
+		b = len(vals)
+	}
+	for i := 1; i <= b; i++ {
+		idx := i*len(vals)/b - 1
+		cs.Bounds = append(cs.Bounds, vals[idx])
+	}
+	return cs
+}
+
+// EqSelectivity estimates the fraction of rows where col = v.
+func (cs *ColumnStats) EqSelectivity(v int64) float64 {
+	for i, m := range cs.MCVs {
+		if m == v {
+			return cs.MCVFracs[i]
+		}
+	}
+	if v < cs.Min || v > cs.Max {
+		return 0.5 / math.Max(cs.RowsTotal, 1) // tiny non-zero, like PG
+	}
+	// uniform over non-MCV distinct values
+	mcvMass := 0.0
+	for _, f := range cs.MCVFracs {
+		mcvMass += f
+	}
+	rest := math.Max(cs.NDV-float64(len(cs.MCVs)), 1)
+	return math.Max((1-mcvMass)/rest, 1e-9)
+}
+
+// RangeSelectivity estimates the fraction of rows with lo <= col <= hi
+// using the equi-depth histogram (each bucket holds 1/len(Bounds) mass).
+func (cs *ColumnStats) RangeSelectivity(lo, hi int64) float64 {
+	if len(cs.Bounds) == 0 || lo > hi {
+		return 0
+	}
+	if hi < cs.Min || lo > cs.Max {
+		return 1e-9
+	}
+	if lo < cs.Min {
+		lo = cs.Min
+	}
+	if hi > cs.Max {
+		hi = cs.Max
+	}
+	per := 1.0 / float64(len(cs.Bounds))
+	sel := 0.0
+	prev := cs.Min
+	for _, ub := range cs.Bounds {
+		bLo, bUb := prev, ub
+		prev = ub
+		if bUb < lo || bLo > hi {
+			continue
+		}
+		// overlap fraction within the bucket, assuming uniform spread
+		width := float64(bUb-bLo) + 1
+		oLo, oHi := bLo, bUb
+		if lo > oLo {
+			oLo = lo
+		}
+		if hi < oHi {
+			oHi = hi
+		}
+		frac := (float64(oHi-oLo) + 1) / width
+		if frac > 1 {
+			frac = 1
+		}
+		sel += per * frac
+	}
+	if sel <= 0 {
+		sel = 1e-9
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// FilterSelectivity estimates the selectivity of a single filter predicate.
+func (cs *ColumnStats) FilterSelectivity(f query.Filter) float64 {
+	switch f.Op {
+	case query.Eq:
+		return cs.EqSelectivity(f.Val)
+	case query.Ne:
+		return math.Max(1-cs.EqSelectivity(f.Val), 1e-9)
+	case query.Lt:
+		return cs.RangeSelectivity(cs.Min, f.Val-1)
+	case query.Le:
+		return cs.RangeSelectivity(cs.Min, f.Val)
+	case query.Gt:
+		return cs.RangeSelectivity(f.Val+1, cs.Max)
+	case query.Ge:
+		return cs.RangeSelectivity(f.Val, cs.Max)
+	case query.Between:
+		return cs.RangeSelectivity(f.Val, f.Hi)
+	case query.In:
+		s := 0.0
+		for _, v := range f.Set {
+			s += cs.EqSelectivity(v)
+		}
+		if s > 1 {
+			s = 1
+		}
+		return math.Max(s, 1e-9)
+	}
+	return 1
+}
+
+// Table returns stats for the named table (nil if absent).
+func (c *Catalog) Table(name string) *TableStats { return c.Tables[name] }
+
+// ScanSelectivity estimates the combined selectivity of all filters on one
+// alias under the independence assumption.
+func (c *Catalog) ScanSelectivity(q *query.Query, alias string) float64 {
+	table := q.TableOf(alias)
+	ts := c.Tables[table]
+	if ts == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, f := range q.FiltersOn(alias) {
+		cs := ts.Cols[f.Col]
+		if cs == nil {
+			continue
+		}
+		sel *= cs.FilterSelectivity(f)
+	}
+	return sel
+}
+
+// ScanRows estimates the output cardinality of scanning alias with its
+// filters applied.
+func (c *Catalog) ScanRows(q *query.Query, alias string) float64 {
+	table := q.TableOf(alias)
+	ts := c.Tables[table]
+	if ts == nil {
+		return 1
+	}
+	rows := ts.Rows * c.ScanSelectivity(q, alias)
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// JoinSelectivity estimates the selectivity of an equi-join between the two
+// columns using 1/max(ndv_l, ndv_r).
+func (c *Catalog) JoinSelectivity(lTable, lCol, rTable, rCol string) float64 {
+	lt, rt := c.Tables[lTable], c.Tables[rTable]
+	if lt == nil || rt == nil {
+		return 0.1
+	}
+	lc, rc := lt.Cols[lCol], rt.Cols[rCol]
+	if lc == nil || rc == nil {
+		return 0.1
+	}
+	ndv := math.Max(lc.NDV, rc.NDV)
+	if ndv < 1 {
+		ndv = 1
+	}
+	return 1 / ndv
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/foss-db/foss/internal/engine/catalog"
+	"github.com/foss-db/foss/internal/engine/storage"
+	"github.com/foss-db/foss/internal/query"
+)
+
+func uniformTable(n int, mod int64) *storage.DB {
+	s := catalog.NewSchema()
+	s.AddTable(catalog.NewTable("t", catalog.Column{Name: "v"}))
+	db := storage.NewDB(s)
+	for i := 0; i < n; i++ {
+		db.Table("t").AppendRow(int64(i) % mod)
+	}
+	return db
+}
+
+func TestEqSelectivityUniform(t *testing.T) {
+	db := uniformTable(10000, 100)
+	cat := Build(db, 1.0, 1)
+	cs := cat.Table("t").Cols["v"]
+	sel := cs.EqSelectivity(42)
+	if sel < 0.005 || sel > 0.02 {
+		t.Fatalf("eq selectivity %f, want ~0.01", sel)
+	}
+	if s := cs.EqSelectivity(1e9); s > 0.001 {
+		t.Fatalf("out-of-domain selectivity %f", s)
+	}
+}
+
+func TestRangeSelectivityUniform(t *testing.T) {
+	db := uniformTable(10000, 100)
+	cat := Build(db, 1.0, 1)
+	cs := cat.Table("t").Cols["v"]
+	if s := cs.RangeSelectivity(0, 49); s < 0.4 || s > 0.6 {
+		t.Fatalf("half-range selectivity %f", s)
+	}
+	if s := cs.RangeSelectivity(cs.Min, cs.Max); s < 0.95 || s > 1.0 {
+		t.Fatalf("full-range selectivity %f", s)
+	}
+	if s := cs.RangeSelectivity(500, 600); s > 0.001 {
+		t.Fatalf("out-of-domain range selectivity %f", s)
+	}
+}
+
+func TestSelectivityBoundsProperty(t *testing.T) {
+	db := uniformTable(5000, 37)
+	cat := Build(db, 1.0, 1)
+	cs := cat.Table("t").Cols["v"]
+	f := func(op uint8, v int64) bool {
+		fl := query.Filter{Alias: "t", Col: "v", Op: query.CmpOp(op % 7), Val: v % 100, Hi: v%100 + 10}
+		s := cs.FilterSelectivity(fl)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNDVEstimate(t *testing.T) {
+	db := uniformTable(10000, 250)
+	cat := Build(db, 1.0, 1)
+	cs := cat.Table("t").Cols["v"]
+	if cs.NDV < 200 || cs.NDV > 300 {
+		t.Fatalf("NDV %f, want ~250", cs.NDV)
+	}
+}
+
+func TestSamplingIntroducesError(t *testing.T) {
+	// a sampled catalog must differ from the full-scan catalog (this error
+	// is a feature: it is one of the estimator's realistic failure sources)
+	rng := rand.New(rand.NewSource(9))
+	s := catalog.NewSchema()
+	s.AddTable(catalog.NewTable("t", catalog.Column{Name: "v"}))
+	db := storage.NewDB(s)
+	for i := 0; i < 20000; i++ {
+		db.Table("t").AppendRow(rng.Int63n(5000))
+	}
+	full := Build(db, 1.0, 1)
+	sampled := Build(db, 0.05, 1)
+	fNDV := full.Table("t").Cols["v"].NDV
+	sNDV := sampled.Table("t").Cols["v"].NDV
+	if fNDV == sNDV {
+		t.Fatal("sampling produced identical NDV; no estimation error source")
+	}
+	if sNDV > fNDV {
+		t.Fatalf("sampled NDV %f exceeds full NDV %f", sNDV, fNDV)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	s := catalog.NewSchema()
+	s.AddTable(catalog.NewTable("a", catalog.Column{Name: "k"}))
+	s.AddTable(catalog.NewTable("b", catalog.Column{Name: "k"}))
+	db := storage.NewDB(s)
+	for i := 0; i < 1000; i++ {
+		db.Table("a").AppendRow(int64(i % 100))
+		db.Table("b").AppendRow(int64(i % 50))
+	}
+	cat := Build(db, 1.0, 1)
+	sel := cat.JoinSelectivity("a", "k", "b", "k")
+	if sel < 0.008 || sel > 0.012 { // 1/max(100,50) = 0.01
+		t.Fatalf("join selectivity %f, want ~0.01", sel)
+	}
+}
+
+func TestScanRowsFloor(t *testing.T) {
+	db := uniformTable(100, 10)
+	cat := Build(db, 1.0, 1)
+	q := &query.Query{
+		ID:      "f",
+		Tables:  []query.TableRef{{Table: "t", Alias: "t"}},
+		Filters: []query.Filter{{Alias: "t", Col: "v", Op: query.Eq, Val: 99999}},
+	}
+	if r := cat.ScanRows(q, "t"); r < 1 {
+		t.Fatalf("ScanRows must be floored at 1, got %f", r)
+	}
+}

@@ -1,0 +1,408 @@
+// Package learner implements the paper's simulated learner (Fig. 3): the
+// training loop that alternates between (a) executing candidate plans in the
+// real environment to fill the execution buffer, (b) supervising the
+// asymmetric advantage model on plan pairs from that buffer, (c) letting the
+// planner's agent interact cheaply with the simulated environment
+// (traditional optimizer as state transitioner + AAM as reward indicator)
+// to generate ample experience for PPO updates, and (d) validating promising
+// plans found in simulation by executing them for real, which both corrects
+// AAM drift and enriches its training pool.
+package learner
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/foss-db/foss/internal/aam"
+	"github.com/foss-db/foss/internal/engine/exec"
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/rl"
+	"github.com/foss-db/foss/internal/workload"
+)
+
+// Buffer is the execution buffer: every executed candidate plan per query.
+type Buffer struct {
+	byQuery map[string][]*planner.PlanEval
+	order   []string
+}
+
+// NewBuffer creates an empty execution buffer.
+func NewBuffer() *Buffer {
+	return &Buffer{byQuery: map[string][]*planner.PlanEval{}}
+}
+
+// Add records an executed plan (its Latency must be set). Duplicate ICPs for
+// the same query keep only the first execution (latencies are deterministic).
+func (b *Buffer) Add(pe *planner.PlanEval) {
+	if pe == nil || !pe.HasLatency() {
+		return
+	}
+	qid := pe.Q.ID
+	for _, old := range b.byQuery[qid] {
+		if old.ICP.Equal(pe.ICP) {
+			return
+		}
+	}
+	if _, ok := b.byQuery[qid]; !ok {
+		b.order = append(b.order, qid)
+	}
+	b.byQuery[qid] = append(b.byQuery[qid], pe)
+}
+
+// Size returns the total number of executions stored.
+func (b *Buffer) Size() int {
+	n := 0
+	for _, v := range b.byQuery {
+		n += len(v)
+	}
+	return n
+}
+
+// Original returns the recorded step-0 plan for a query, or nil.
+func (b *Buffer) Original(qid string) *planner.PlanEval {
+	for _, pe := range b.byQuery[qid] {
+		if pe.Step == 0 {
+			return pe
+		}
+	}
+	return nil
+}
+
+// Refs assembles the paper's episode-bounty reference set for a query: the
+// best-performing and median-performing executed plans that beat the
+// original, plus the original, with refb_i = AdvInit(lat_orig, lat_ref_i).
+func (b *Buffer) Refs(qid string) []planner.Ref {
+	orig := b.Original(qid)
+	if orig == nil {
+		return nil
+	}
+	var better []*planner.PlanEval
+	for _, pe := range b.byQuery[qid] {
+		if !pe.TimedOut && pe.Latency < orig.Latency {
+			better = append(better, pe)
+		}
+	}
+	sort.Slice(better, func(i, j int) bool { return better[i].Latency < better[j].Latency })
+	best, median := orig, orig
+	if len(better) > 0 {
+		best = better[0]
+		median = better[len(better)/2]
+	}
+	mk := func(pe *planner.PlanEval) planner.Ref {
+		return planner.Ref{Eval: pe, RefB: aam.AdvInit(orig.Latency, pe.Latency)}
+	}
+	return []planner.Ref{mk(best), mk(median), mk(orig)}
+}
+
+// Samples builds the AAM supervised training set: all ordered pairs of
+// executed plans of the same query, excluding pairs where both timed out
+// (their relative order is unknowable), labeled with the true advantage
+// class. maxSteps normalizes the step-status feature.
+func (b *Buffer) Samples(maxSteps int) []aam.Sample {
+	var out []aam.Sample
+	for _, qid := range b.order {
+		plans := b.byQuery[qid]
+		for i := 0; i < len(plans); i++ {
+			for j := 0; j < len(plans); j++ {
+				if i == j {
+					continue
+				}
+				l, r := plans[i], plans[j]
+				if l.TimedOut && r.TimedOut {
+					continue
+				}
+				out = append(out, aam.Sample{
+					EncL: l.Enc, EncR: r.Enc,
+					StepL: l.StepStatus(maxSteps), StepR: r.StepStatus(maxSteps),
+					Label: aam.ScoreOf(aam.AdvInit(l.Latency, r.Latency)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Config drives the training loop.
+type Config struct {
+	Iterations      int // outer loop iterations
+	RealPerIter     int // queries rolled out in the real environment per iteration
+	SimPerIter      int // simulated episodes per iteration (the paper's 900-episode updates, scaled)
+	ValidatePerIter int // promising plans executed (validated) per iteration
+	AAMTrain        aam.TrainConfig
+	Seed            int64
+
+	// Ablation switches (Table II).
+	DisableSim        bool // Off-Simulated: agent learns from real episodes only
+	DisableValidation bool // Off-Validation: no promising-plan execution
+	Agents            int  // multi-agent switch; 0/1 = single agent
+
+	// InferenceRollouts is the number of episodes each agent runs per query
+	// at inference time: one greedy plus (InferenceRollouts-1) stochastic
+	// rollouts whose candidates all enter the AAM selection. More rollouts
+	// widen the candidate set at the cost of optimization time.
+	InferenceRollouts int
+}
+
+// DefaultConfig returns a laptop-scale training schedule.
+func DefaultConfig() Config {
+	return Config{
+		Iterations:        8,
+		RealPerIter:       24,
+		SimPerIter:        150,
+		ValidatePerIter:   24,
+		AAMTrain:          aam.DefaultTrainConfig(),
+		Seed:              1,
+		Agents:            1,
+		InferenceRollouts: 4,
+	}
+}
+
+// Learner owns one FOSS training run.
+type Learner struct {
+	W        *workload.Workload
+	Planners []*planner.Planner // one per agent (shared Enc/Opt, distinct nets)
+	AAM      *aam.Model
+	Exec     *exec.Executor
+	Buf      *Buffer
+	Cfg      Config
+
+	rng     *rand.Rand
+	origMap map[string]*planner.PlanEval // cached original plans per query
+
+	// TrainingTime accumulates wall-clock spent in Train.
+	TrainingTime time.Duration
+}
+
+// New assembles a learner from pre-built components. planners must share the
+// encoder and optimizer; each brings its own agent.
+func New(w *workload.Workload, planners []*planner.Planner, model *aam.Model, ex *exec.Executor, cfg Config) *Learner {
+	if cfg.Agents < 1 {
+		cfg.Agents = 1
+	}
+	return &Learner{
+		W:        w,
+		Planners: planners,
+		AAM:      model,
+		Exec:     ex,
+		Buf:      NewBuffer(),
+		Cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		origMap:  map[string]*planner.PlanEval{},
+	}
+}
+
+// original returns (and caches) the step-0 evaluated plan for q, executing
+// it if needed.
+func (l *Learner) original(q *query.Query) (*planner.PlanEval, error) {
+	if pe, ok := l.origMap[q.ID]; ok {
+		return pe, nil
+	}
+	pe, err := l.Planners[0].OriginalEval(q)
+	if err != nil {
+		return nil, err
+	}
+	res := l.Exec.Execute(pe.CP, 0)
+	pe.Latency = res.LatencyMs
+	pe.TimedOut = res.TimedOut
+	l.origMap[q.ID] = pe
+	l.Buf.Add(pe)
+	return pe, nil
+}
+
+// IterStats summarizes one outer iteration for progress callbacks.
+type IterStats struct {
+	Iter        int
+	BufferSize  int
+	AAMLoss     float64
+	AAMAccuracy float64
+	PPO         rl.Stats
+	Validated   int
+}
+
+// Train runs the full loop. progress may be nil.
+func (l *Learner) Train(progress func(IterStats)) error {
+	start := time.Now()
+	defer func() { l.TrainingTime += time.Since(start) }()
+
+	queries := l.W.Train
+	for iter := 0; iter < l.Cfg.Iterations; iter++ {
+		st := IterStats{Iter: iter}
+
+		// (a) real-environment episodes to gather executions
+		realTrans, err := l.realPhase(queries)
+		if err != nil {
+			return err
+		}
+
+		// (b) AAM supervised training from the execution buffer
+		samples := l.Buf.Samples(l.Planners[0].Cfg.MaxSteps)
+		if len(samples) > 0 {
+			losses := l.AAM.Train(samples, l.Cfg.AAMTrain)
+			st.AAMLoss = losses[len(losses)-1]
+			if len(samples) > 200 {
+				samples = samples[:200]
+			}
+			st.AAMAccuracy = l.AAM.Accuracy(samples)
+		}
+
+		// (c) simulated episodes + PPO update per agent
+		if l.Cfg.DisableSim {
+			// Off-Simulated ablation: the agent updates from the (scarce)
+			// real experience instead.
+			for ai, pl := range l.Planners {
+				if len(realTrans[ai]) > 0 {
+					st.PPO = pl.Update(realTrans[ai])
+				}
+			}
+		} else {
+			var promising []*planner.PlanEval
+			for _, pl := range l.Planners {
+				simEnv := &planner.SimEnv{Model: l.AAM, MaxSteps: pl.Cfg.MaxSteps}
+				var trans []rl.Transition
+				for e := 0; e < l.Cfg.SimPerIter; e++ {
+					q := queries[l.rng.Intn(len(queries))]
+					orig, err := l.original(q)
+					if err != nil {
+						return err
+					}
+					ep, err := pl.RunEpisodeFrom(q, orig, simEnv, l.Buf.Refs(q.ID), true)
+					if err != nil {
+						return err
+					}
+					trans = append(trans, ep.Transitions...)
+					if ep.Final != nil && ep.Final.Step > 0 {
+						promising = append(promising, ep.Final)
+					}
+				}
+				st.PPO = pl.Update(trans)
+			}
+			// (d) promising-plan validation
+			if !l.Cfg.DisableValidation {
+				st.Validated = l.validate(promising)
+			}
+		}
+
+		st.BufferSize = l.Buf.Size()
+		if progress != nil {
+			progress(st)
+		}
+	}
+	return nil
+}
+
+// realPhase runs real-environment episodes on randomly sampled queries and
+// returns the transitions per agent (used directly in the Off-Simulated
+// ablation; otherwise only their side effect — buffer fills — matters).
+func (l *Learner) realPhase(queries []*query.Query) ([][]rl.Transition, error) {
+	out := make([][]rl.Transition, len(l.Planners))
+	for ai, pl := range l.Planners {
+		env := &planner.RealEnv{Exec: l.Exec, OnExecuted: func(pe *planner.PlanEval) { l.Buf.Add(pe) }}
+		for e := 0; e < l.Cfg.RealPerIter; e++ {
+			q := queries[l.rng.Intn(len(queries))]
+			orig, err := l.original(q)
+			if err != nil {
+				return nil, err
+			}
+			ep, err := pl.RunEpisodeFrom(q, orig, env, l.Buf.Refs(q.ID), true)
+			if err != nil {
+				return nil, err
+			}
+			out[ai] = append(out[ai], ep.Transitions...)
+		}
+	}
+	return out, nil
+}
+
+// validate executes up to ValidatePerIter distinct promising plans under the
+// dynamic timeout and adds the results to the buffer.
+func (l *Learner) validate(promising []*planner.PlanEval) int {
+	l.rng.Shuffle(len(promising), func(i, j int) { promising[i], promising[j] = promising[j], promising[i] })
+	n := 0
+	for _, pe := range promising {
+		if n >= l.Cfg.ValidatePerIter {
+			break
+		}
+		if pe.HasLatency() {
+			continue
+		}
+		orig := l.origMap[pe.Q.ID]
+		timeout := 0.0
+		if orig != nil {
+			timeout = orig.Latency * l.Planners[0].Cfg.TimeoutFactor
+		}
+		res := l.Exec.Execute(pe.CP, timeout)
+		pe.Latency = res.LatencyMs
+		pe.TimedOut = res.TimedOut
+		l.Buf.Add(pe)
+		n++
+	}
+	return n
+}
+
+// Optimize doctors one query at inference time. Every agent generates its
+// candidate sequences in the simulated environment — one greedy episode plus
+// InferenceRollouts−1 stochastic ones, widening the candidate pool the way
+// the paper's multi-agent mode does — and the AAM selects the estimated-best
+// plan in temporal order. The original plan is always a candidate, so FOSS
+// never does worse than its own selector believes.
+func (l *Learner) Optimize(q *query.Query) (*planner.PlanEval, error) {
+	rollouts := l.Cfg.InferenceRollouts
+	if rollouts < 1 {
+		rollouts = 1
+	}
+	maxSteps := l.Planners[0].Cfg.MaxSteps
+	var pool []*planner.PlanEval
+	seen := map[string]bool{}
+	addCands := func(cands []*planner.PlanEval) {
+		for _, c := range cands {
+			if !seen[c.ICP.Key()] {
+				seen[c.ICP.Key()] = true
+				pool = append(pool, c)
+			}
+		}
+	}
+	for _, pl := range l.Planners {
+		simEnv := &planner.SimEnv{Model: l.AAM, MaxSteps: pl.Cfg.MaxSteps}
+		orig, err := pl.OriginalEval(q)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < rollouts; r++ {
+			ep, err := pl.RunEpisodeFrom(q, orig, simEnv, nil, r > 0)
+			if err != nil {
+				return nil, err
+			}
+			addCands(ep.Candidates)
+		}
+	}
+	best := planner.SelectBest(l.AAM, pool, maxSteps)
+	if best == nil {
+		return nil, errNoCandidate
+	}
+	return best, nil
+}
+
+var errNoCandidate = errorString("learner: no candidate plan produced")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// KnownBest returns, for each query id, the lowest-latency non-timeout
+// execution seen during training (used by the Fig. 7/8 analyses).
+func (l *Learner) KnownBest() map[string]*planner.PlanEval {
+	out := map[string]*planner.PlanEval{}
+	for qid, plans := range l.Buf.byQuery {
+		for _, pe := range plans {
+			if pe.TimedOut {
+				continue
+			}
+			if cur, ok := out[qid]; !ok || pe.Latency < cur.Latency {
+				out[qid] = pe
+			}
+		}
+	}
+	return out
+}

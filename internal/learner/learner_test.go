@@ -1,0 +1,127 @@
+package learner
+
+import (
+	"math"
+	"testing"
+
+	"github.com/foss-db/foss/internal/aam"
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+)
+
+func eval(qid string, step int, lat float64, timedOut bool) *planner.PlanEval {
+	q := &query.Query{ID: qid}
+	return &planner.PlanEval{
+		Q:        q,
+		ICP:      fakeICP(step),
+		Step:     step,
+		Latency:  lat,
+		TimedOut: timedOut,
+	}
+}
+
+func fakeICP(step int) plan.ICP {
+	icp := plan.ICP{Order: []string{"a", "b", "c"}, Methods: make([]plan.JoinMethod, 2)}
+	for i := range icp.Methods {
+		icp.Methods[i] = plan.JoinMethod((step + i) % 3)
+	}
+	return icp
+}
+
+func TestBufferDedupAndRefs(t *testing.T) {
+	b := NewBuffer()
+	orig := eval("q1", 0, 100, false)
+	b.Add(orig)
+	b.Add(orig) // duplicate ICP: ignored
+	if b.Size() != 1 {
+		t.Fatalf("buffer size %d after duplicate add", b.Size())
+	}
+	better := eval("q1", 1, 40, false)
+	worse := eval("q1", 2, 300, false)
+	b.Add(better)
+	b.Add(worse)
+	if b.Size() != 3 {
+		t.Fatalf("buffer size %d", b.Size())
+	}
+	refs := b.Refs("q1")
+	if len(refs) != 3 {
+		t.Fatalf("want 3 refs, got %d", len(refs))
+	}
+	// best = 40ms plan, refb = 1 - 40/100 = 0.6
+	if refs[0].Eval.Latency != 40 || math.Abs(refs[0].RefB-0.6) > 1e-9 {
+		t.Fatalf("best ref wrong: %+v", refs[0])
+	}
+	// original: refb = 0
+	if refs[2].Eval.Latency != 100 || refs[2].RefB != 0 {
+		t.Fatalf("orig ref wrong: %+v", refs[2])
+	}
+}
+
+func TestBufferRefsWithoutBetterPlans(t *testing.T) {
+	b := NewBuffer()
+	b.Add(eval("q2", 0, 50, false))
+	b.Add(eval("q2", 1, 90, false)) // worse than original
+	refs := b.Refs("q2")
+	for _, r := range refs {
+		if r.Eval.Latency != 50 || r.RefB != 0 {
+			t.Fatalf("with no better plan all refs must be the original: %+v", r)
+		}
+	}
+}
+
+func TestSamplesFilterDoubleTimeouts(t *testing.T) {
+	b := NewBuffer()
+	b.Add(eval("q3", 0, 100, false))
+	b.Add(eval("q3", 1, 150, true))
+	b.Add(eval("q3", 2, 150, true))
+	samples := b.Samples(3)
+	// pairs among 3 plans = 6 ordered; pairs (1,2) and (2,1) are both
+	// timeouts -> filtered; 4 remain
+	if len(samples) != 4 {
+		t.Fatalf("want 4 samples after double-timeout filtering, got %d", len(samples))
+	}
+	for _, s := range samples {
+		if s.Label < 0 || s.Label >= aam.NumScores {
+			t.Fatalf("label out of range: %d", s.Label)
+		}
+	}
+}
+
+func TestSamplesLabels(t *testing.T) {
+	b := NewBuffer()
+	b.Add(eval("q4", 0, 100, false))
+	b.Add(eval("q4", 1, 30, false)) // 70% saving vs orig -> score 2
+	samples := b.Samples(3)
+	found := false
+	for _, s := range samples {
+		if s.StepL == 0 && s.StepR > 0 && s.Label == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected a (orig, much-better) pair labeled 2")
+	}
+}
+
+func TestKnownBestIgnoresTimeouts(t *testing.T) {
+	b := NewBuffer()
+	b.Add(eval("q5", 0, 100, false))
+	b.Add(eval("q5", 1, 10, true)) // timed out: not a real measurement
+	b.Add(eval("q5", 2, 60, false))
+	l := &Learner{Buf: b}
+	kb := l.KnownBest()
+	if kb["q5"].Latency != 60 {
+		t.Fatalf("known best should skip timeouts: got %f", kb["q5"].Latency)
+	}
+}
+
+func TestBufferIgnoresUnexecuted(t *testing.T) {
+	b := NewBuffer()
+	pe := eval("q6", 0, 0, false)
+	pe.Latency = math.NaN()
+	b.Add(pe)
+	if b.Size() != 0 {
+		t.Fatal("unexecuted plan entered the buffer")
+	}
+}

@@ -1,0 +1,352 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Module is anything with trainable parameters.
+type Module interface {
+	// Params returns the trainable tensors of the module, in a stable order.
+	Params() []*Tensor
+}
+
+// Linear is a fully-connected layer y = xW + b.
+type Linear struct {
+	W *Tensor // [in, out]
+	B *Tensor // [1, out]
+}
+
+// NewLinear creates a Linear layer with Xavier-uniform initialization.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	limit := math.Sqrt(6.0 / float64(in+out))
+	w := Zeros(in, out)
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return &Linear{W: w.Param(), B: Zeros(1, out).Param()}
+}
+
+// Forward applies the layer to a [batch, in] input.
+func (l *Linear) Forward(x *Tensor) *Tensor {
+	return AddRowVector(MatMul(x, l.W), l.B)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// In returns the input width.
+func (l *Linear) In() int { return l.W.Shape[0] }
+
+// Out returns the output width.
+func (l *Linear) Out() int { return l.W.Shape[1] }
+
+// Embedding maps integer ids to dense vectors.
+type Embedding struct {
+	W *Tensor // [vocab, dim]
+}
+
+// NewEmbedding creates an embedding table with N(0, 0.1) initialization.
+func NewEmbedding(rng *rand.Rand, vocab, dim int) *Embedding {
+	w := Zeros(vocab, dim)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * 0.1
+	}
+	return &Embedding{W: w.Param()}
+}
+
+// Forward gathers rows for the given ids producing [len(ids), dim].
+// Ids out of range are clamped to the last row (an explicit "other" bucket).
+func (e *Embedding) Forward(ids []int) *Tensor {
+	vocab, dim := e.W.Shape[0], e.W.Shape[1]
+	d := make([]float64, len(ids)*dim)
+	clamped := make([]int, len(ids))
+	for i, id := range ids {
+		if id < 0 || id >= vocab {
+			id = vocab - 1
+		}
+		clamped[i] = id
+		copy(d[i*dim:(i+1)*dim], e.W.Data[id*dim:(id+1)*dim])
+	}
+	out := newResult("embed", d, []int{len(ids), dim}, e.W)
+	if out.parents != nil {
+		out.backFn = func() {
+			e.W.ensureGrad()
+			for i, id := range clamped {
+				for j := 0; j < dim; j++ {
+					e.W.Grad[id*dim+j] += out.Grad[i*dim+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Module.
+func (e *Embedding) Params() []*Tensor { return []*Tensor{e.W} }
+
+// LayerNorm normalizes each row of a 2-D tensor and applies a learned
+// affine transform.
+type LayerNorm struct {
+	Gamma *Tensor
+	Beta  *Tensor
+	Eps   float64
+}
+
+// NewLayerNorm creates a LayerNorm over rows of width dim.
+func NewLayerNorm(dim int) *LayerNorm {
+	return &LayerNorm{Gamma: Full(1, 1, dim).Param(), Beta: Zeros(1, dim).Param(), Eps: 1e-5}
+}
+
+// Forward normalizes each row of x [rows, dim].
+func (l *LayerNorm) Forward(x *Tensor) *Tensor {
+	rows, dim := x.Shape[0], x.Shape[1]
+	d := make([]float64, rows*dim)
+	means := make([]float64, rows)
+	invstd := make([]float64, rows)
+	norm := make([]float64, rows*dim)
+	for r := 0; r < rows; r++ {
+		row := x.Data[r*dim : (r+1)*dim]
+		m := 0.0
+		for _, v := range row {
+			m += v
+		}
+		m /= float64(dim)
+		vr := 0.0
+		for _, v := range row {
+			vr += (v - m) * (v - m)
+		}
+		vr /= float64(dim)
+		is := 1 / math.Sqrt(vr+l.Eps)
+		means[r], invstd[r] = m, is
+		for j, v := range row {
+			n := (v - m) * is
+			norm[r*dim+j] = n
+			d[r*dim+j] = n*l.Gamma.Data[j] + l.Beta.Data[j]
+		}
+	}
+	out := newResult("layernorm", d, x.Shape, x, l.Gamma, l.Beta)
+	if out.parents != nil {
+		out.backFn = func() {
+			if l.Gamma.RequiresGrad {
+				for r := 0; r < rows; r++ {
+					for j := 0; j < dim; j++ {
+						l.Gamma.Grad[j] += out.Grad[r*dim+j] * norm[r*dim+j]
+						l.Beta.Grad[j] += out.Grad[r*dim+j]
+					}
+				}
+			}
+			if x.RequiresGrad || x.parents != nil {
+				x.ensureGrad()
+				for r := 0; r < rows; r++ {
+					// dnorm_j = dout_j * gamma_j
+					// dx = invstd * (dnorm - mean(dnorm) - norm * mean(dnorm*norm))
+					var mdn, mdnn float64
+					for j := 0; j < dim; j++ {
+						dn := out.Grad[r*dim+j] * l.Gamma.Data[j]
+						mdn += dn
+						mdnn += dn * norm[r*dim+j]
+					}
+					mdn /= float64(dim)
+					mdnn /= float64(dim)
+					for j := 0; j < dim; j++ {
+						dn := out.Grad[r*dim+j] * l.Gamma.Data[j]
+						x.Grad[r*dim+j] += invstd[r] * (dn - mdn - norm[r*dim+j]*mdnn)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []*Tensor { return []*Tensor{l.Gamma, l.Beta} }
+
+// MultiHeadAttention is masked multi-head self-attention over a single
+// sequence of shape [seq, dim]. The mask is a seq×seq boolean matrix where
+// mask[i*seq+j]==true means position i may attend to position j (the paper's
+// reachability mask: attention score forced to zero between unreachable plan
+// nodes).
+type MultiHeadAttention struct {
+	Heads int
+	WQ    *Linear
+	WK    *Linear
+	WV    *Linear
+	WO    *Linear
+}
+
+// NewMultiHeadAttention creates self-attention with the given model width and
+// head count (dim must be divisible by heads).
+func NewMultiHeadAttention(rng *rand.Rand, dim, heads int) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: dim %d not divisible by heads %d", dim, heads))
+	}
+	return &MultiHeadAttention{
+		Heads: heads,
+		WQ:    NewLinear(rng, dim, dim),
+		WK:    NewLinear(rng, dim, dim),
+		WV:    NewLinear(rng, dim, dim),
+		WO:    NewLinear(rng, dim, dim),
+	}
+}
+
+// Forward computes masked self-attention for x [seq, dim]. mask may be nil
+// (full attention).
+func (m *MultiHeadAttention) Forward(x *Tensor, mask []bool) *Tensor {
+	seq, dim := x.Shape[0], x.Shape[1]
+	dh := dim / m.Heads
+	q := m.WQ.Forward(x)
+	k := m.WK.Forward(x)
+	v := m.WV.Forward(x)
+	heads := make([]*Tensor, m.Heads)
+	scale := 1 / math.Sqrt(float64(dh))
+	for h := 0; h < m.Heads; h++ {
+		qh := Cols(q, h*dh, dh)
+		kh := Cols(k, h*dh, dh)
+		vh := Cols(v, h*dh, dh)
+		scores := Scale(MatMul(qh, TransposeT(kh)), scale) // [seq, seq]
+		if mask != nil {
+			scores = MaskedFill(scores, mask, -1e9)
+		}
+		attn := Softmax(scores)
+		heads[h] = MatMul(attn, vh) // [seq, dh]
+	}
+	cat := Concat(heads...)
+	_ = seq
+	return m.WO.Forward(cat)
+}
+
+// Params implements Module.
+func (m *MultiHeadAttention) Params() []*Tensor {
+	var ps []*Tensor
+	ps = append(ps, m.WQ.Params()...)
+	ps = append(ps, m.WK.Params()...)
+	ps = append(ps, m.WV.Params()...)
+	ps = append(ps, m.WO.Params()...)
+	return ps
+}
+
+// Cols extracts columns [start, start+n) of a 2-D tensor.
+func Cols(a *Tensor, start, n int) *Tensor {
+	rows, cols := a.Shape[0], a.Shape[1]
+	if start < 0 || start+n > cols {
+		panic("nn: Cols out of range")
+	}
+	d := make([]float64, rows*n)
+	for r := 0; r < rows; r++ {
+		copy(d[r*n:(r+1)*n], a.Data[r*cols+start:r*cols+start+n])
+	}
+	out := newResult("cols", d, []int{rows, n}, a)
+	if out.parents != nil {
+		out.backFn = func() {
+			a.ensureGrad()
+			for r := 0; r < rows; r++ {
+				for j := 0; j < n; j++ {
+					a.Grad[r*cols+start+j] += out.Grad[r*n+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TransposeT returns the transpose of a 2-D tensor.
+func TransposeT(a *Tensor) *Tensor {
+	rows, cols := a.Shape[0], a.Shape[1]
+	d := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			d[c*rows+r] = a.Data[r*cols+c]
+		}
+	}
+	out := newResult("transpose", d, []int{cols, rows}, a)
+	if out.parents != nil {
+		out.backFn = func() {
+			a.ensureGrad()
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					a.Grad[r*cols+c] += out.Grad[c*rows+r]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TransformerLayer is a pre-norm transformer encoder block:
+// x + MHA(LN(x)), then x + FFN(LN(x)).
+type TransformerLayer struct {
+	Attn *MultiHeadAttention
+	LN1  *LayerNorm
+	LN2  *LayerNorm
+	FF1  *Linear
+	FF2  *Linear
+}
+
+// NewTransformerLayer creates one encoder block with an ffDim-wide MLP.
+func NewTransformerLayer(rng *rand.Rand, dim, heads, ffDim int) *TransformerLayer {
+	return &TransformerLayer{
+		Attn: NewMultiHeadAttention(rng, dim, heads),
+		LN1:  NewLayerNorm(dim),
+		LN2:  NewLayerNorm(dim),
+		FF1:  NewLinear(rng, dim, ffDim),
+		FF2:  NewLinear(rng, ffDim, dim),
+	}
+}
+
+// Forward applies the block to x [seq, dim] with the given attention mask.
+func (t *TransformerLayer) Forward(x *Tensor, mask []bool) *Tensor {
+	h := Add(x, t.Attn.Forward(t.LN1.Forward(x), mask))
+	return Add(h, t.FF2.Forward(ReLU(t.FF1.Forward(t.LN2.Forward(h)))))
+}
+
+// Params implements Module.
+func (t *TransformerLayer) Params() []*Tensor {
+	var ps []*Tensor
+	ps = append(ps, t.Attn.Params()...)
+	ps = append(ps, t.LN1.Params()...)
+	ps = append(ps, t.LN2.Params()...)
+	ps = append(ps, t.FF1.Params()...)
+	ps = append(ps, t.FF2.Params()...)
+	return ps
+}
+
+// MLP is a stack of Linear layers with ReLU between them (none after the
+// final layer).
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer widths, e.g. (rng, 64, 128, 1).
+func NewMLP(rng *rand.Rand, widths ...int) *MLP {
+	if len(widths) < 2 {
+		panic("nn: MLP needs at least two widths")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(widths); i++ {
+		m.Layers = append(m.Layers, NewLinear(rng, widths[i], widths[i+1]))
+	}
+	return m
+}
+
+// Forward applies the MLP to x [batch, in].
+func (m *MLP) Forward(x *Tensor) *Tensor {
+	for i, l := range m.Layers {
+		x = l.Forward(x)
+		if i+1 < len(m.Layers) {
+			x = ReLU(x)
+		}
+	}
+	return x
+}
+
+// Params implements Module.
+func (m *MLP) Params() []*Tensor {
+	var ps []*Tensor
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,246 @@
+package plan
+
+import (
+	"fmt"
+
+	"github.com/foss-db/foss/internal/query"
+)
+
+// ActionKind distinguishes the two edit types of the paper.
+type ActionKind int
+
+// Action kinds.
+const (
+	SwapAction ActionKind = iota
+	OverrideAction
+)
+
+// Action is a decoded action: Swap(T_L, T_R) exchanges the leaves at labels
+// L and R; Override(O_I, Method) rewrites the join method at label I.
+type Action struct {
+	Kind   ActionKind
+	L, R   int // leaf labels for Swap (1-based, L < R)
+	I      int // join label for Override (1-based)
+	Method JoinMethod
+}
+
+func (a Action) String() string {
+	if a.Kind == SwapAction {
+		return fmt.Sprintf("Swap(T%d,T%d)", a.L, a.R)
+	}
+	return fmt.Sprintf("Override(O%d,%s)", a.I, a.Method)
+}
+
+// Space is the integer action space for schemas with up to N tables, as
+// defined in the paper: actions 1..Is are swaps, Is+1..Is+Io are overrides,
+// with Is = N(N-1)/2 and Io = |Op|·(N-1).
+//
+// Note on the paper's decode formulas: the published swap decode
+// "r = a − B_l + 2" is correct only for l = 1; the general inverse of the
+// B_k block layout is r = a − B_l + l + 1, which is what Decode implements
+// (and what the property test round-trips).
+type Space struct {
+	N int // maximum number of tables
+}
+
+// NewSpace creates the action space for queries of up to n tables.
+func NewSpace(n int) Space {
+	if n < 2 {
+		panic("plan: action space needs at least 2 tables")
+	}
+	return Space{N: n}
+}
+
+// NumSwaps returns Is.
+func (s Space) NumSwaps() int { return s.N * (s.N - 1) / 2 }
+
+// NumOverrides returns Io.
+func (s Space) NumOverrides() int { return NumJoinMethods * (s.N - 1) }
+
+// Size returns Is + Io, the total number of action ids.
+func (s Space) Size() int { return s.NumSwaps() + s.NumOverrides() }
+
+// blockStart returns B_l: the first action id of the swap block for left
+// label l (1-based), per the paper's B_k definition.
+func (s Space) blockStart(l int) int {
+	if l == 1 {
+		return 1
+	}
+	b := 1
+	for i := 2; i <= l; i++ {
+		b += s.N - i + 1
+	}
+	return b
+}
+
+// Encode maps an action to its integer id in [1, Size()].
+func (s Space) Encode(a Action) int {
+	switch a.Kind {
+	case SwapAction:
+		l, r := a.L, a.R
+		if l > r {
+			l, r = r, l
+		}
+		if l < 1 || r > s.N || l == r {
+			panic(fmt.Sprintf("plan: invalid swap (%d,%d) for N=%d", a.L, a.R, s.N))
+		}
+		return s.blockStart(l) + (r - l - 1)
+	case OverrideAction:
+		if a.I < 1 || a.I > s.N-1 || a.Method < 0 || int(a.Method) >= NumJoinMethods {
+			panic(fmt.Sprintf("plan: invalid override (%d,%v) for N=%d", a.I, a.Method, s.N))
+		}
+		// Inverse of the paper's decode: i = ceil((Is+Io+1-a)/|Op|),
+		// j = ((Is+Io-a) mod |Op|) + 1 with j = method index (1-based).
+		is, io := s.NumSwaps(), s.NumOverrides()
+		j := int(a.Method) + 1
+		return is + io - ((a.I-1)*NumJoinMethods + (j - 1))
+	}
+	panic("plan: unknown action kind")
+}
+
+// Decode maps an integer id back to an action.
+func (s Space) Decode(id int) Action {
+	is, io := s.NumSwaps(), s.NumOverrides()
+	if id < 1 || id > is+io {
+		panic(fmt.Sprintf("plan: action id %d out of range [1,%d]", id, is+io))
+	}
+	if id <= is {
+		// find the block l with B_l <= id < B_{l+1}
+		l := 1
+		for l < s.N-1 && id >= s.blockStart(l+1) {
+			l++
+		}
+		r := id - s.blockStart(l) + l + 1
+		return Action{Kind: SwapAction, L: l, R: r}
+	}
+	// Paper formulas: i = ceil((Is+Io+1-a)/|Op|), j = ((Is+Io-a) mod |Op|)+1.
+	i := (is + io + 1 - id + NumJoinMethods - 1) / NumJoinMethods
+	j := (is+io-id)%NumJoinMethods + 1
+	return Action{Kind: OverrideAction, I: i, Method: JoinMethod(j - 1)}
+}
+
+// Apply executes the action on a copy of the ICP and returns it.
+// Swap labels beyond the ICP's table count or override labels beyond its
+// join count are rejected with an error (they should have been masked).
+func (s Space) Apply(icp ICP, a Action) (ICP, error) {
+	out := icp.Clone()
+	switch a.Kind {
+	case SwapAction:
+		n := icp.NumTables()
+		if a.L < 1 || a.R > n || a.L >= a.R {
+			return ICP{}, fmt.Errorf("plan: swap (%d,%d) illegal for %d tables", a.L, a.R, n)
+		}
+		out.Order[a.L-1], out.Order[a.R-1] = out.Order[a.R-1], out.Order[a.L-1]
+	case OverrideAction:
+		if a.I < 1 || a.I > len(icp.Methods) {
+			return ICP{}, fmt.Errorf("plan: override O%d illegal for %d joins", a.I, len(icp.Methods))
+		}
+		out.Methods[a.I-1] = a.Method
+	}
+	return out, nil
+}
+
+// MaskConfig controls which actions the validity check permits.
+type MaskConfig struct {
+	// AllowCrossProducts permits swaps that disconnect the left-deep join
+	// prefix. Off by default, mirroring pg_hint_plan practice.
+	AllowCrossProducts bool
+	// RestrictAfterSwap enables the paper's heuristic pruning rule: after a
+	// Swap(Tl,Tr), the next action must be an Override on the parent join of
+	// Tl or Tr.
+	RestrictAfterSwap bool
+}
+
+// Mask computes the legality mask over action ids [1..Size()] for the
+// current ICP of query q. mask[id-1] == true means id is legal.
+// prev is the previously applied action (nil at the first step); when
+// cfg.RestrictAfterSwap is set and prev was a swap, only the overrides on
+// the parent joins of the swapped leaves remain legal.
+func (s Space) Mask(icp ICP, q *query.Query, prev *Action, cfg MaskConfig) []bool {
+	mask := make([]bool, s.Size())
+	n := icp.NumTables()
+
+	if prev != nil && prev.Kind == SwapAction && cfg.RestrictAfterSwap {
+		allowed := map[int]bool{ParentJoinOf(prev.L): true, ParentJoinOf(prev.R): true}
+		for id := 1; id <= s.Size(); id++ {
+			a := s.Decode(id)
+			if a.Kind == OverrideAction && a.I <= len(icp.Methods) && allowed[a.I] {
+				// skip no-op overrides to the current method
+				if icp.Methods[a.I-1] != a.Method {
+					mask[id-1] = true
+				}
+			}
+		}
+		return mask
+	}
+
+	for id := 1; id <= s.Size(); id++ {
+		a := s.Decode(id)
+		switch a.Kind {
+		case SwapAction:
+			if a.R > n {
+				continue // arity mask: labels beyond the query's tables
+			}
+			if !cfg.AllowCrossProducts {
+				next, err := s.Apply(icp, a)
+				if err != nil {
+					continue
+				}
+				if !q.IsConnectedOrder(next.Order) {
+					continue
+				}
+			}
+			mask[id-1] = true
+		case OverrideAction:
+			if a.I > len(icp.Methods) {
+				continue
+			}
+			if icp.Methods[a.I-1] == a.Method {
+				continue // no-op
+			}
+			mask[id-1] = true
+		}
+	}
+	return mask
+}
+
+// MinSteps returns the minimum number of actions needed to transform the
+// original ICP into cur: the minimum number of transpositions to realize the
+// leaf permutation (n − number of permutation cycles) plus the number of
+// join positions whose method differs. Used by the paper's penalty term.
+func MinSteps(orig, cur ICP) int {
+	if len(orig.Order) != len(cur.Order) {
+		panic("plan: MinSteps on ICPs of different arity")
+	}
+	pos := make(map[string]int, len(orig.Order))
+	for i, a := range orig.Order {
+		pos[a] = i
+	}
+	n := len(cur.Order)
+	perm := make([]int, n)
+	for i, a := range cur.Order {
+		p, ok := pos[a]
+		if !ok {
+			panic(fmt.Sprintf("plan: MinSteps alias %q absent from original", a))
+		}
+		perm[i] = p
+	}
+	seen := make([]bool, n)
+	cycles := 0
+	for i := 0; i < n; i++ {
+		if seen[i] {
+			continue
+		}
+		cycles++
+		for j := i; !seen[j]; j = perm[j] {
+			seen[j] = true
+		}
+	}
+	steps := n - cycles
+	for i := range cur.Methods {
+		if cur.Methods[i] != orig.Methods[i] {
+			steps++
+		}
+	}
+	return steps
+}

@@ -1,0 +1,330 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/foss-db/foss/internal/query"
+)
+
+func chainQuery(n int) *query.Query {
+	// a1 - a2 - ... - an chain join graph
+	q := &query.Query{ID: "chain"}
+	for i := 0; i < n; i++ {
+		q.Tables = append(q.Tables, query.TableRef{Table: "t", Alias: alias(i)})
+	}
+	for i := 0; i+1 < n; i++ {
+		q.Joins = append(q.Joins, query.JoinPred{LA: alias(i), LC: "id", RA: alias(i + 1), RC: "fk"})
+	}
+	return q
+}
+
+func starQuery(n int) *query.Query {
+	// a0 joined with a1..a(n-1)
+	q := &query.Query{ID: "star"}
+	for i := 0; i < n; i++ {
+		q.Tables = append(q.Tables, query.TableRef{Table: "t", Alias: alias(i)})
+	}
+	for i := 1; i < n; i++ {
+		q.Joins = append(q.Joins, query.JoinPred{LA: alias(0), LC: "id", RA: alias(i), RC: "fk"})
+	}
+	return q
+}
+
+func alias(i int) string { return string(rune('a' + i)) }
+
+func defaultICP(n int) ICP {
+	icp := ICP{}
+	for i := 0; i < n; i++ {
+		icp.Order = append(icp.Order, alias(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		icp.Methods = append(icp.Methods, HashJoin)
+	}
+	return icp
+}
+
+func TestActionEncodeDecodeBijection(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 12, 16} {
+		s := NewSpace(n)
+		seen := map[string]int{}
+		for id := 1; id <= s.Size(); id++ {
+			a := s.Decode(id)
+			if got := s.Encode(a); got != id {
+				t.Fatalf("N=%d: Encode(Decode(%d)) = %d (%v)", n, id, got, a)
+			}
+			k := a.String()
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("N=%d: ids %d and %d decode to same action %s", n, prev, id, k)
+			}
+			seen[k] = id
+		}
+		if len(seen) != s.Size() {
+			t.Fatalf("N=%d: %d distinct actions, want %d", n, len(seen), s.Size())
+		}
+	}
+}
+
+func TestActionSpaceSizes(t *testing.T) {
+	s := NewSpace(5)
+	if s.NumSwaps() != 10 {
+		t.Fatalf("Is = %d, want 10", s.NumSwaps())
+	}
+	if s.NumOverrides() != 12 {
+		t.Fatalf("Io = %d, want 12", s.NumOverrides())
+	}
+	// Block layout per the paper: B1=1, B2=1+(n-1)=5, B3=5+(n-2)=8, B4=10.
+	if s.blockStart(2) != 5 || s.blockStart(3) != 8 || s.blockStart(4) != 10 {
+		t.Fatalf("block starts %d %d %d", s.blockStart(2), s.blockStart(3), s.blockStart(4))
+	}
+	// First swap id is (1,2), last swap id is (n-1, n).
+	if a := s.Decode(1); a.L != 1 || a.R != 2 {
+		t.Fatalf("Decode(1) = %v", a)
+	}
+	if a := s.Decode(10); a.L != 4 || a.R != 5 {
+		t.Fatalf("Decode(10) = %v", a)
+	}
+	// Paper: a = Is+Io decodes to Override(O1, Op1); a = Is+1 to O(n-1), Op|Op|.
+	if a := s.Decode(s.Size()); a.I != 1 || a.Method != JoinMethod(0) {
+		t.Fatalf("Decode(last) = %v", a)
+	}
+	if a := s.Decode(s.NumSwaps() + 1); a.I != 4 || a.Method != JoinMethod(2) {
+		t.Fatalf("Decode(Is+1) = %v", a)
+	}
+}
+
+func TestSwapIsInvolution(t *testing.T) {
+	f := func(nRaw uint8, lRaw, rRaw uint8) bool {
+		n := int(nRaw)%6 + 3 // 3..8
+		l := int(lRaw)%n + 1
+		r := int(rRaw)%n + 1
+		if l == r {
+			return true
+		}
+		if l > r {
+			l, r = r, l
+		}
+		s := NewSpace(n)
+		icp := defaultICP(n)
+		a := Action{Kind: SwapAction, L: l, R: r}
+		once, err := s.Apply(icp, a)
+		if err != nil {
+			return false
+		}
+		twice, err := s.Apply(once, a)
+		if err != nil {
+			return false
+		}
+		return twice.Equal(icp) && !once.Equal(icp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverrideIsIdempotent(t *testing.T) {
+	s := NewSpace(4)
+	icp := defaultICP(4)
+	a := Action{Kind: OverrideAction, I: 2, Method: NestLoop}
+	once, err := s.Apply(icp, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := s.Apply(once, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !once.Equal(twice) {
+		t.Fatal("override not idempotent")
+	}
+	if icp.Methods[1] != HashJoin {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestMinStepsProperties(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 3
+		s := NewSpace(n)
+		orig := defaultICP(n)
+		cur := orig.Clone()
+		taken := int(steps) % 6
+		for i := 0; i < taken; i++ {
+			var a Action
+			if rng.Intn(2) == 0 {
+				l := rng.Intn(n) + 1
+				r := rng.Intn(n) + 1
+				for r == l {
+					r = rng.Intn(n) + 1
+				}
+				if l > r {
+					l, r = r, l
+				}
+				a = Action{Kind: SwapAction, L: l, R: r}
+			} else {
+				a = Action{Kind: OverrideAction, I: rng.Intn(n-1) + 1, Method: JoinMethod(rng.Intn(NumJoinMethods))}
+			}
+			next, err := s.Apply(cur, a)
+			if err != nil {
+				return false
+			}
+			cur = next
+		}
+		ms := MinSteps(orig, cur)
+		if ms > taken {
+			return false // min steps can never exceed actual steps taken
+		}
+		if cur.Equal(orig) != (ms == 0) {
+			return false // ms == 0 iff identical
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinStepsExact(t *testing.T) {
+	orig := defaultICP(4) // order a,b,c,d methods H,H,H
+	cur := ICP{Order: []string{"b", "a", "c", "d"}, Methods: []JoinMethod{HashJoin, NestLoop, HashJoin}}
+	if got := MinSteps(orig, cur); got != 2 { // one swap + one override
+		t.Fatalf("MinSteps = %d, want 2", got)
+	}
+	// 3-cycle a->b->c->a needs two transpositions
+	cur2 := ICP{Order: []string{"c", "a", "b", "d"}, Methods: []JoinMethod{HashJoin, HashJoin, HashJoin}}
+	if got := MinSteps(orig, cur2); got != 2 {
+		t.Fatalf("MinSteps 3-cycle = %d, want 2", got)
+	}
+}
+
+func TestMaskArity(t *testing.T) {
+	// Space sized for 6 tables, query with only 4: swaps touching T5/T6 and
+	// overrides on O4/O5 must be masked out.
+	s := NewSpace(6)
+	q := starQuery(4)
+	icp := defaultICP(4)
+	mask := s.Mask(icp, q, nil, MaskConfig{AllowCrossProducts: true})
+	for id := 1; id <= s.Size(); id++ {
+		a := s.Decode(id)
+		legal := mask[id-1]
+		switch a.Kind {
+		case SwapAction:
+			if a.R > 4 && legal {
+				t.Fatalf("swap %v should be masked for 4-table query", a)
+			}
+			if a.R <= 4 && !legal {
+				t.Fatalf("swap %v should be legal", a)
+			}
+		case OverrideAction:
+			if a.I > 3 && legal {
+				t.Fatalf("override %v should be masked", a)
+			}
+			if a.I <= 3 && legal && icp.Methods[a.I-1] == a.Method {
+				t.Fatalf("no-op override %v should be masked", a)
+			}
+		}
+	}
+}
+
+func TestMaskConnectivity(t *testing.T) {
+	// chain a-b-c-d: order [a b c d] is connected; swapping a and d gives
+	// [d b c a]: prefix {d,b} is disconnected -> illegal without cross joins.
+	s := NewSpace(4)
+	q := chainQuery(4)
+	icp := defaultICP(4)
+	noCross := s.Mask(icp, q, nil, MaskConfig{})
+	withCross := s.Mask(icp, q, nil, MaskConfig{AllowCrossProducts: true})
+	idAD := s.Encode(Action{Kind: SwapAction, L: 1, R: 4})
+	if noCross[idAD-1] {
+		t.Fatal("disconnecting swap should be masked without cross products")
+	}
+	if !withCross[idAD-1] {
+		t.Fatal("swap should be legal when cross products allowed")
+	}
+	// swapping b and c keeps the chain connected: a-c? a joins b only...
+	// chain: a-b, b-c, c-d. order [a c b d]: prefix {a,c} has no join -> masked.
+	idBC := s.Encode(Action{Kind: SwapAction, L: 2, R: 3})
+	if noCross[idBC-1] {
+		t.Fatal("swap(b,c) disconnects prefix {a,c} on a chain; must be masked")
+	}
+	// on a star query every non-hub permutation keeps connectivity as long as
+	// the hub stays first; swapping spokes 2 and 3 is fine.
+	qs := starQuery(4)
+	m := s.Mask(defaultICP(4), qs, nil, MaskConfig{})
+	idCD := s.Encode(Action{Kind: SwapAction, L: 3, R: 4})
+	if !m[idCD-1] {
+		t.Fatal("spoke swap should be legal on star query")
+	}
+}
+
+func TestMaskRestrictAfterSwap(t *testing.T) {
+	s := NewSpace(4)
+	q := starQuery(4)
+	icp := defaultICP(4)
+	prev := &Action{Kind: SwapAction, L: 1, R: 3}
+	mask := s.Mask(icp, q, prev, MaskConfig{RestrictAfterSwap: true})
+	for id := 1; id <= s.Size(); id++ {
+		if !mask[id-1] {
+			continue
+		}
+		a := s.Decode(id)
+		if a.Kind != OverrideAction {
+			t.Fatalf("after swap only overrides allowed, got %v", a)
+		}
+		// parents of T1 and T3 are O1 and O2
+		if a.I != 1 && a.I != 2 {
+			t.Fatalf("override %v not on parent of swapped leaves", a)
+		}
+	}
+}
+
+func TestExtractRoundTrip(t *testing.T) {
+	// Build a left-deep CP by hand: ((a ⋈H b) ⋈N c)
+	leafA := &Node{Alias: "a"}
+	leafB := &Node{Alias: "b"}
+	leafC := &Node{Alias: "c"}
+	j1 := &Node{Method: HashJoin, Left: leafA, Right: leafB}
+	j2 := &Node{Method: NestLoop, Left: j1, Right: leafC}
+	cp := &CP{Root: j2}
+	icp, err := Extract(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ICP{Order: []string{"a", "b", "c"}, Methods: []JoinMethod{HashJoin, NestLoop}}
+	if !icp.Equal(want) {
+		t.Fatalf("Extract = %v, want %v", icp, want)
+	}
+}
+
+func TestExtractRejectsBushy(t *testing.T) {
+	// (a ⋈ b) ⋈ (c ⋈ d) is bushy: right child is a join
+	l := &Node{Method: HashJoin, Left: &Node{Alias: "a"}, Right: &Node{Alias: "b"}}
+	r := &Node{Method: HashJoin, Left: &Node{Alias: "c"}, Right: &Node{Alias: "d"}}
+	cp := &CP{Root: &Node{Method: HashJoin, Left: l, Right: r}}
+	if _, err := Extract(cp); err == nil {
+		t.Fatal("expected error for bushy plan")
+	}
+}
+
+func TestICPKeyDistinguishes(t *testing.T) {
+	a := ICP{Order: []string{"a", "b", "c"}, Methods: []JoinMethod{HashJoin, NestLoop}}
+	b := ICP{Order: []string{"a", "b", "c"}, Methods: []JoinMethod{HashJoin, MergeJoin}}
+	c := ICP{Order: []string{"a", "c", "b"}, Methods: []JoinMethod{HashJoin, NestLoop}}
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Fatal("ICP keys collide")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("clone changes key")
+	}
+}
+
+func TestParentJoinOf(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 3, 7: 6}
+	for leaf, want := range cases {
+		if got := ParentJoinOf(leaf); got != want {
+			t.Fatalf("ParentJoinOf(%d) = %d, want %d", leaf, got, want)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package planner implements the paper's planner: the MDP whose states are
+// complete plans (plus step status), whose actions are Swap/Override edits
+// on the incomplete plan, and whose episodes iteratively doctor the
+// traditional optimizer's original plan (Algorithm 1).
+package planner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/foss-db/foss/internal/aam"
+	"github.com/foss-db/foss/internal/engine/exec"
+	"github.com/foss-db/foss/internal/nn"
+	"github.com/foss-db/foss/internal/optimizer"
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/planenc"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/rl"
+)
+
+// PlanEval is one candidate plan in an episode's temporal sequence.
+type PlanEval struct {
+	Q        *query.Query
+	ICP      plan.ICP
+	CP       *plan.CP
+	Enc      *planenc.Encoded
+	Step     int     // 0 = original plan
+	Latency  float64 // simulated ms; NaN until executed
+	TimedOut bool
+}
+
+// HasLatency reports whether the plan has been executed.
+func (p *PlanEval) HasLatency() bool { return !math.IsNaN(p.Latency) }
+
+// StepStatus returns Step/maxsteps for the state encoding.
+func (p *PlanEval) StepStatus(maxSteps int) float64 {
+	return float64(p.Step) / float64(maxSteps)
+}
+
+// Environment provides reward signals: the real environment executes plans;
+// the simulated environment queries the AAM.
+type Environment interface {
+	// Prepare readies a candidate for comparison. timeoutMs is the dynamic
+	// timeout (1.5× the original plan's latency); the real environment
+	// executes under it, the simulated environment ignores it.
+	Prepare(pe *PlanEval, timeoutMs float64)
+	// Adv returns the advantage class of r over l in {0..K-1}.
+	Adv(l, r *PlanEval, maxSteps int) int
+}
+
+// RealEnv executes candidates in the DBMS executor.
+type RealEnv struct {
+	Exec *exec.Executor
+	// OnExecuted, if set, is called after every execution (the learner uses
+	// it to fill the execution buffer).
+	OnExecuted func(pe *PlanEval)
+}
+
+// Prepare executes the plan under the dynamic timeout if not yet executed.
+func (e *RealEnv) Prepare(pe *PlanEval, timeoutMs float64) {
+	if pe.HasLatency() {
+		return
+	}
+	res := e.Exec.Execute(pe.CP, timeoutMs)
+	pe.Latency = res.LatencyMs
+	pe.TimedOut = res.TimedOut
+	if e.OnExecuted != nil {
+		e.OnExecuted(pe)
+	}
+}
+
+// Adv computes the true advantage class from executed latencies.
+func (e *RealEnv) Adv(l, r *PlanEval, maxSteps int) int {
+	return aam.ScoreOf(aam.AdvInit(l.Latency, r.Latency))
+}
+
+// SimEnv scores candidates with the asymmetric advantage model; no execution
+// happens (the traditional optimizer has already acted as the state
+// transitioner when the candidate was hinted into a complete plan).
+type SimEnv struct {
+	Model    *aam.Model
+	MaxSteps int
+}
+
+// Prepare is a no-op in the simulated environment.
+func (e *SimEnv) Prepare(pe *PlanEval, timeoutMs float64) {}
+
+// Adv queries the AAM.
+func (e *SimEnv) Adv(l, r *PlanEval, maxSteps int) int {
+	return e.Model.Score(l.Enc, r.Enc, l.StepStatus(maxSteps), r.StepStatus(maxSteps))
+}
+
+// Config parameterizes the planner.
+type Config struct {
+	MaxSteps      int     // episode length (paper default 3)
+	Eta           float64 // episode-bounty weight η (paper: 12)
+	PenaltyGamma  float64 // penalty coefficient γ (paper: 2; 0 disables)
+	TimeoutFactor float64 // dynamic timeout multiplier (paper: 1.5)
+	Mask          plan.MaskConfig
+	Hidden        int // policy/critic hidden width
+	PPO           rl.Config
+}
+
+// DefaultConfig mirrors the paper's hyperparameters.
+func DefaultConfig() Config {
+	return Config{
+		MaxSteps:      3,
+		Eta:           12,
+		PenaltyGamma:  2,
+		TimeoutFactor: 1.5,
+		Mask:          plan.MaskConfig{RestrictAfterSwap: true},
+		Hidden:        128,
+		PPO:           rl.DefaultConfig(),
+	}
+}
+
+// Agent bundles the state network ϕ, the action selector π, and their
+// optimizer.
+type Agent struct {
+	Phi    *aam.StateNet
+	Policy *rl.Policy
+	Opt    *nn.Adam
+	Rng    *rand.Rand
+}
+
+// NewAgent creates an agent for the given action-space size.
+func NewAgent(rng *rand.Rand, netCfg aam.StateNetConfig, numTables, numCols, numActions, hidden int, lr float64) *Agent {
+	phi := aam.NewStateNet(rng, netCfg, numTables, numCols)
+	pol := rl.NewPolicy(rng, netCfg.StateDim, hidden, numActions)
+	params := append(phi.Params(), pol.Params()...)
+	opt := nn.NewAdam(params, lr)
+	opt.ClipNorm = 5
+	return &Agent{Phi: phi, Policy: pol, Opt: opt, Rng: rng}
+}
+
+// Params implements nn.Module over the agent's trainable tensors (state
+// network + policy heads), enabling save/load of trained agents.
+func (a *Agent) Params() []*nn.Tensor {
+	return append(a.Phi.Params(), a.Policy.Params()...)
+}
+
+// Planner drives episodes for one workload's schema.
+type Planner struct {
+	Cfg   Config
+	Space plan.Space
+	Enc   *planenc.Encoder
+	Opt   *optimizer.Optimizer
+	Agent *Agent
+}
+
+// Ref is one reference plan for the episode bounty: its evaluated plan and
+// its reference bounty refb = AdvInit(lat(original), lat(ref)).
+type Ref struct {
+	Eval *PlanEval
+	RefB float64
+}
+
+// EpisodeResult is everything one episode produced.
+type EpisodeResult struct {
+	Transitions []rl.Transition
+	Candidates  []*PlanEval // temporal sequence, original first
+	Final       *PlanEval   // estimated-optimal plan CP̄ (the output)
+	OrigLatency float64     // NaN when unknown (pure simulated episodes)
+}
+
+// NewEval hints the ICP into a complete plan and encodes it.
+func (p *Planner) NewEval(q *query.Query, icp plan.ICP, step int) (*PlanEval, error) {
+	cp, err := p.Opt.HintedPlan(q, icp)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanEval{Q: q, ICP: icp, CP: cp, Enc: p.Enc.Encode(cp), Step: step, Latency: math.NaN()}, nil
+}
+
+// OriginalEval plans the query with the traditional optimizer and wraps it
+// as step-0 candidate.
+func (p *Planner) OriginalEval(q *query.Query) (*PlanEval, error) {
+	cp, err := p.Opt.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	icp, err := plan.Extract(cp)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanEval{Q: q, ICP: icp, CP: cp, Enc: p.Enc.Encode(cp), Step: 0, Latency: math.NaN()}, nil
+}
+
+// RunEpisode executes Algorithm 1 for one query in the given environment.
+// refs supplies the episode-bounty reference set (may be empty: episode
+// bounty is then computed against the original plan only, via env.Adv).
+// sample selects stochastic (training) vs greedy (inference) actions.
+func (p *Planner) RunEpisode(q *query.Query, env Environment, refs []Ref, sample bool) (*EpisodeResult, error) {
+	orig, err := p.OriginalEval(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunEpisodeFrom(q, orig, env, refs, sample)
+}
+
+// RunEpisodeFrom is RunEpisode starting from a pre-planned original plan
+// (lets callers cache the original).
+func (p *Planner) RunEpisodeFrom(q *query.Query, orig *PlanEval, env Environment, refs []Ref, sample bool) (*EpisodeResult, error) {
+	maxSteps := p.Cfg.MaxSteps
+	// Dynamic timeout needs the original latency in the real environment.
+	env.Prepare(orig, 0)
+	timeout := 0.0
+	if orig.HasLatency() {
+		timeout = orig.Latency * p.Cfg.TimeoutFactor
+	}
+
+	res := &EpisodeResult{Candidates: []*PlanEval{orig}, OrigLatency: orig.Latency}
+	seen := map[string]bool{orig.ICP.Key(): true}
+	best := orig // CP̄: estimated optimal so far
+	cur := orig
+	var prevAction *plan.Action
+
+	for t := 1; t <= maxSteps; t++ {
+		mask := p.Space.Mask(cur.ICP, q, prevAction, p.Cfg.Mask)
+		if !anyTrue(mask) {
+			// fully restricted (can happen after a swap on a 2-table query
+			// whose parent override is a no-op); relax to the general mask
+			mask = p.Space.Mask(cur.ICP, q, nil, p.Cfg.Mask)
+			if !anyTrue(mask) {
+				break
+			}
+		}
+		stepStatus := cur.StepStatus(maxSteps)
+		sv := p.Agent.Phi.Forward(cur.Enc, stepStatus)
+		var actionIdx int
+		var logp float64
+		if sample {
+			actionIdx, logp = p.Agent.Policy.Sample(p.Agent.Rng, sv, mask)
+		} else {
+			actionIdx = p.Agent.Policy.Greedy(sv, mask)
+			logp = 0
+		}
+		value := p.Agent.Policy.Value(sv).Detach().Item()
+		action := p.Space.Decode(actionIdx + 1)
+		nextICP, err := p.Space.Apply(cur.ICP, action)
+		if err != nil {
+			return nil, fmt.Errorf("planner: masked action slipped through: %w", err)
+		}
+		next, err := p.NewEval(q, nextICP, t)
+		if err != nil {
+			return nil, err
+		}
+		env.Prepare(next, timeout)
+
+		// Reward = Penalty (+ Bounty if this ICP is new in the episode).
+		reward := -p.Cfg.PenaltyGamma * float64(t-plan.MinSteps(orig.ICP, nextICP))
+		isNew := !seen[nextICP.Key()]
+		if isNew {
+			seen[nextICP.Key()] = true
+			pb := float64(env.Adv(best, next, maxSteps))
+			bounty := pb
+			if t == maxSteps {
+				// episode bounty applies only at the final step
+				finalBest := best
+				if env.Adv(best, next, maxSteps) > 0 {
+					finalBest = next
+				}
+				bounty += p.Cfg.Eta * p.episodeBounty(env, refs, orig, finalBest, maxSteps)
+			}
+			reward += bounty
+			res.Candidates = append(res.Candidates, next)
+		}
+
+		if env.Adv(best, next, maxSteps) > 0 {
+			best = next
+		}
+
+		encCur, stCur := cur.Enc, stepStatus
+		res.Transitions = append(res.Transitions, rl.Transition{
+			Recompute: func() *nn.Tensor { return p.Agent.Phi.Forward(encCur, stCur) },
+			Mask:      mask,
+			Action:    actionIdx,
+			LogProb:   logp,
+			Reward:    reward,
+			Value:     value,
+			Done:      t == maxSteps,
+		})
+		prevAction = &action
+		cur = next
+	}
+	if len(res.Transitions) > 0 {
+		res.Transitions[len(res.Transitions)-1].Done = true
+	}
+	res.Final = best
+	return res, nil
+}
+
+// episodeBounty computes eb = Σ_i (D̂(adv_i) + adv_i/l) · (refb_{i-1} − refb_i)
+// over the reference set {best, median, original} with refb_0 = 1.
+func (p *Planner) episodeBounty(env Environment, refs []Ref, orig, final *PlanEval, maxSteps int) float64 {
+	if len(refs) == 0 {
+		refs = []Ref{{Eval: orig, RefB: 0}}
+	}
+	const l = float64(len(aam.Partition)) // 2
+	prev := 1.0
+	eb := 0.0
+	for _, ref := range refs {
+		adv := env.Adv(ref.Eval, final, maxSteps)
+		eb += (aam.Midpoint(adv) + float64(adv)/l) * (prev - ref.RefB)
+		prev = ref.RefB
+	}
+	return eb
+}
+
+func anyTrue(mask []bool) bool {
+	for _, m := range mask {
+		if m {
+			return true
+		}
+	}
+	return false
+}
+
+// Update runs one PPO update over collected transitions.
+func (p *Planner) Update(trans []rl.Transition) rl.Stats {
+	return rl.Update(p.Agent.Opt, p.Agent.Policy, trans, p.Cfg.PPO)
+}
+
+// SelectBest applies the paper's temporal selection: walk the candidate
+// sequence in generation order keeping the AAM-estimated best.
+func SelectBest(model *aam.Model, cands []*PlanEval, maxSteps int) *PlanEval {
+	if len(cands) == 0 {
+		return nil
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if model.Score(best.Enc, c.Enc, best.StepStatus(maxSteps), c.StepStatus(maxSteps)) > 0 {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,148 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/foss-db/foss/internal/nn"
+)
+
+// A 5-state chain MDP: states 0..4, actions {0: left, 1: right}; reaching
+// state 4 gives reward 1 and ends. Optimal policy always goes right.
+type chainEnv struct{ state int }
+
+func (e *chainEnv) reset() int { e.state = 0; return e.state }
+func (e *chainEnv) step(a int) (next int, reward float64, done bool) {
+	if a == 1 {
+		e.state++
+	} else if e.state > 0 {
+		e.state--
+	}
+	if e.state == 4 {
+		return e.state, 1, true
+	}
+	return e.state, -0.01, false
+}
+
+func stateVec(s int) *nn.Tensor {
+	d := make([]float64, 5)
+	d[s] = 1
+	return nn.NewTensor(d, 1, 5)
+}
+
+func TestPPOLearnsChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	policy := NewPolicy(rng, 5, 32, 2)
+	opt := nn.NewAdam(policy.Params(), 3e-3)
+	opt.ClipNorm = 5
+	cfg := DefaultConfig()
+	cfg.Epochs = 4
+
+	env := &chainEnv{}
+	for iter := 0; iter < 60; iter++ {
+		var trans []Transition
+		for ep := 0; ep < 10; ep++ {
+			s := env.reset()
+			for step := 0; step < 20; step++ {
+				sv := stateVec(s)
+				a, lp := policy.Sample(rng, sv, nil)
+				v := policy.Value(sv).Detach().Item()
+				next, r, done := env.step(a)
+				cur := s
+				trans = append(trans, Transition{
+					Recompute: func() *nn.Tensor { return stateVec(cur) },
+					Action:    a, LogProb: lp, Reward: r, Value: v, Done: done,
+				})
+				s = next
+				if done {
+					break
+				}
+			}
+			if !trans[len(trans)-1].Done {
+				trans[len(trans)-1].Done = true
+			}
+		}
+		Update(opt, policy, trans, cfg)
+	}
+
+	// Greedy policy should go right from every state.
+	for s := 0; s < 4; s++ {
+		if a := policy.Greedy(stateVec(s), nil); a != 1 {
+			t.Fatalf("greedy action at state %d is %d, want 1 (right)", s, a)
+		}
+	}
+}
+
+func TestPPORespectsActionMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	policy := NewPolicy(rng, 5, 16, 4)
+	mask := []bool{false, true, false, true}
+	for i := 0; i < 200; i++ {
+		a, _ := policy.Sample(rng, stateVec(i%5), mask)
+		if !mask[a] {
+			t.Fatalf("sampled illegal action %d", a)
+		}
+	}
+	if a := policy.Greedy(stateVec(0), mask); !mask[a] {
+		t.Fatalf("greedy chose illegal action %d", a)
+	}
+}
+
+func TestGAEComputation(t *testing.T) {
+	trans := []Transition{
+		{Reward: 1, Value: 0.5, Done: false},
+		{Reward: 0, Value: 0.4, Done: true},
+	}
+	adv, ret := gae(trans, 0.9, 1.0)
+	// step 1 (terminal): delta = 0 - 0.4 = -0.4
+	if math.Abs(adv[1]-(-0.4)) > 1e-9 {
+		t.Fatalf("adv[1] = %f", adv[1])
+	}
+	// step 0: delta = 1 + 0.9*0.4 - 0.5 = 0.86; adv = 0.86 + 0.9*(-0.4) = 0.5
+	if math.Abs(adv[0]-0.5) > 1e-9 {
+		t.Fatalf("adv[0] = %f", adv[0])
+	}
+	if math.Abs(ret[0]-(adv[0]+0.5)) > 1e-9 {
+		t.Fatalf("ret[0] = %f", ret[0])
+	}
+}
+
+func TestGAEResetsAcrossEpisodes(t *testing.T) {
+	// Two one-step episodes; the second must not leak into the first.
+	trans := []Transition{
+		{Reward: 1, Value: 0, Done: true},
+		{Reward: -1, Value: 0, Done: true},
+	}
+	adv, _ := gae(trans, 0.99, 0.95)
+	if math.Abs(adv[0]-1) > 1e-9 || math.Abs(adv[1]-(-1)) > 1e-9 {
+		t.Fatalf("adv = %v, episodes leaked", adv)
+	}
+}
+
+func TestUpdateEmptyIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	policy := NewPolicy(rng, 5, 8, 2)
+	opt := nn.NewAdam(policy.Params(), 1e-3)
+	st := Update(opt, policy, nil, DefaultConfig())
+	if st.Epochs != 0 {
+		t.Fatal("update on empty batch should do nothing")
+	}
+}
+
+func TestClampAndMinHelpers(t *testing.T) {
+	x := nn.NewTensor([]float64{0.5, 1.0, 1.5, 2.5}, 1, 4)
+	c := clampTensor(x, 0.8, 1.2)
+	want := []float64{0.8, 1.0, 1.2, 1.2}
+	for i := range want {
+		if math.Abs(c.Data[i]-want[i]) > 1e-9 {
+			t.Fatalf("clamp: %v", c.Data)
+		}
+	}
+	a := nn.NewTensor([]float64{1, 5}, 1, 2)
+	b := nn.NewTensor([]float64{3, 2}, 1, 2)
+	m := minTensor(a, b)
+	if m.Data[0] != 1 || m.Data[1] != 2 {
+		t.Fatalf("min: %v", m.Data)
+	}
+}
