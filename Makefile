@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race vet ci ci-quick bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full verification pipeline: vet + build + race tests + determinism checks
+# (+ the workers=4 speedup measurement on multi-core machines).
+ci:
+	scripts/ci.sh
+
+ci-quick:
+	scripts/ci.sh --quick
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

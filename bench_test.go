@@ -5,15 +5,50 @@
 package foss_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
+	"github.com/foss-db/foss/internal/aam"
+	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/experiments"
+	"github.com/foss-db/foss/internal/workload"
 )
 
 // benchOpts keeps every experiment small enough for testing.B cycles.
 func benchOpts() experiments.Opts {
 	return experiments.Opts{Scale: 0.2, Seed: 1, Fast: true}
+}
+
+// BenchmarkTrainParallel measures the FOSS training loop on the JOB workload
+// at different episode fan-outs. workers=1 is the sequential reference path;
+// higher widths exercise the runtime pool's deterministic episode
+// partitioning. Compare ns/op across sub-benchmarks for the speedup.
+func BenchmarkTrainParallel(b *testing.B) {
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.35})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+				cfg.Workers = workers
+				cfg.Learner.Iterations = 2
+				cfg.Learner.RealPerIter = 12
+				cfg.Learner.SimPerIter = 80
+				cfg.Learner.ValidatePerIter = 12
+				sys, err := core.New(w, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Train(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTableI_JOB regenerates the JOB column of Table I (all six

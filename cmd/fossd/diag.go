@@ -8,6 +8,14 @@ import (
 	"github.com/foss-db/foss/internal/query"
 )
 
+// printCacheStats surfaces the runtime plan-cache counters after an
+// evaluation pass.
+func printCacheStats(sys *core.System) {
+	st := sys.RT.CacheStats()
+	fmt.Printf("plan cache: hits=%d misses=%d evictions=%d hitRate=%.1f%% size=%d/%d\n",
+		st.Hits, st.Misses, st.Evictions, 100*st.HitRate(), st.Size, st.Capacity)
+}
+
 // diagnose prints, for each query, the greedy candidate sequence with true
 // latencies and what the AAM selector chose (enabled with -diag).
 func diagnose(sys *core.System, qs []*query.Query) {

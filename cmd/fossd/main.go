@@ -1,38 +1,56 @@
 // Command fossd trains FOSS on one workload and evaluates it against the
-// expert optimizer on the train/test splits.
+// expert optimizer on the train/test splits. Training fans episode
+// collection out over -workers goroutines; evaluation serves queries
+// concurrently through the runtime's cached optimize path.
 //
 // Usage:
 //
-//	fossd -workload job -scale 0.5 -iters 6 -sim 120 -real 30 -validate 30
+//	fossd -workload job -scale 0.5 -iters 6 -sim 120 -real 30 -validate 30 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"time"
 
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/learner"
 	"github.com/foss-db/foss/internal/metrics"
 	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/runtime"
 	"github.com/foss-db/foss/internal/workload"
 )
 
+func defaultWorkers() int {
+	n := goruntime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 func main() {
 	var (
-		wl       = flag.String("workload", "job", "workload: job | tpcds | stack")
-		scale    = flag.Float64("scale", 0.5, "data scale factor")
-		seed     = flag.Int64("seed", 1, "random seed")
-		iters    = flag.Int("iters", 6, "training iterations")
-		simEp    = flag.Int("sim", 120, "simulated episodes per iteration")
-		realEp   = flag.Int("real", 30, "real episodes per iteration")
-		validate = flag.Int("validate", 30, "promising plans validated per iteration")
-		agents   = flag.Int("agents", 1, "number of agents")
-		maxSteps = flag.Int("maxsteps", 3, "episode length")
-		verbose  = flag.Bool("v", false, "per-query output")
-		diag     = flag.Bool("diag", false, "print candidate sequences with true latencies")
-		rollouts = flag.Int("rollouts", 4, "inference rollouts per agent")
+		wl          = flag.String("workload", "job", "workload: job | tpcds | stack")
+		scale       = flag.Float64("scale", 0.5, "data scale factor")
+		seed        = flag.Int64("seed", 1, "random seed")
+		iters       = flag.Int("iters", 6, "training iterations")
+		simEp       = flag.Int("sim", 120, "simulated episodes per iteration")
+		realEp      = flag.Int("real", 30, "real episodes per iteration")
+		validate    = flag.Int("validate", 30, "promising plans validated per iteration")
+		agents      = flag.Int("agents", 1, "number of agents")
+		maxSteps    = flag.Int("maxsteps", 3, "episode length")
+		verbose     = flag.Bool("v", false, "per-query output")
+		diag        = flag.Bool("diag", false, "print candidate sequences with true latencies")
+		rollouts    = flag.Int("rollouts", 4, "inference rollouts per agent")
+		workers     = flag.Int("workers", 1, "training episode fan-out; 1 (default) is the sequential reproducible baseline — trained models depend on this value, so raise it only when wall-clock matters more than cross-machine comparability")
+		evalWorkers = flag.Int("eval-workers", defaultWorkers(), "evaluation request fan-out (plan choices are per-query deterministic, so this never changes results)")
+		cacheSize   = flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
 	)
 	flag.Parse()
 
@@ -49,6 +67,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MaxSteps = *maxSteps
 	cfg.Agents = *agents
+	cfg.Workers = *workers
+	cfg.PlanCache = *cacheSize
 	cfg.Learner.Iterations = *iters
 	cfg.Learner.RealPerIter = *realEp
 	cfg.Learner.SimPerIter = *simEp
@@ -59,6 +79,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "new:", err)
 		os.Exit(1)
 	}
+	fmt.Printf("runtime: workers=%d eval-workers=%d cache=%d\n", *workers, *evalWorkers, *cacheSize)
 
 	err = sys.Train(func(st learner.IterStats) {
 		fmt.Printf("iter %d: buffer=%d aamLoss=%.3f aamAcc=%.2f ppoKL=%.4f validated=%d elapsed=%s\n",
@@ -70,22 +91,43 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Evaluation serves queries concurrently through the runtime: requests
+	// fan out over the pool, results land in per-query slots so output and
+	// aggregate metrics stay deterministic.
+	pool := runtime.NewPool(*evalWorkers)
 	eval := func(name string, qs []*query.Query) {
-		var fossRes, pgRes []metrics.QueryResult
-		wins, losses, changed := 0, 0, 0
-		for _, q := range qs {
-			fcp, ot, err := sys.Optimize(q)
+		type row struct {
+			foss, pg metrics.QueryResult
+			ok       bool
+		}
+		rows := make([]row, len(qs))
+		pool.Run(len(qs), func(_, i int) {
+			q := qs[i]
+			fcp, _, ot, err := sys.OptimizeCached(q)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "optimize %s: %v\n", q.ID, err)
-				continue
+				return
 			}
 			ecp, eot, err := sys.ExpertPlan(q)
 			if err != nil {
-				continue
+				return
 			}
 			fl, el := sys.Execute(fcp), sys.Execute(ecp)
-			fossRes = append(fossRes, metrics.QueryResult{QueryID: q.ID, LatencyMs: fl, OptTimeMs: ot.Seconds() * 1000})
-			pgRes = append(pgRes, metrics.QueryResult{QueryID: q.ID, LatencyMs: el, OptTimeMs: eot.Seconds() * 1000})
+			rows[i] = row{
+				foss: metrics.QueryResult{QueryID: q.ID, LatencyMs: fl, OptTimeMs: ot.Seconds() * 1000},
+				pg:   metrics.QueryResult{QueryID: q.ID, LatencyMs: el, OptTimeMs: eot.Seconds() * 1000},
+				ok:   true,
+			}
+		})
+		var fossRes, pgRes []metrics.QueryResult
+		wins, losses, changed := 0, 0, 0
+		for i, r := range rows {
+			if !r.ok {
+				continue
+			}
+			fossRes = append(fossRes, r.foss)
+			pgRes = append(pgRes, r.pg)
+			fl, el := r.foss.LatencyMs, r.pg.LatencyMs
 			if fl < el*0.99 {
 				wins++
 			} else if fl > el*1.01 {
@@ -95,7 +137,7 @@ func main() {
 				changed++
 			}
 			if *verbose {
-				fmt.Printf("  %-10s expert=%9.3fms foss=%9.3fms speedup=%5.2fx\n", q.ID, el, fl, el/fl)
+				fmt.Printf("  %-10s expert=%9.3fms foss=%9.3fms speedup=%5.2fx\n", qs[i].ID, el, fl, el/fl)
 			}
 		}
 		fmt.Printf("%s: WRL=%.3f GMRL=%.3f wins=%d losses=%d changed=%d/%d\n",
@@ -103,6 +145,7 @@ func main() {
 	}
 	eval("train", w.Train)
 	eval("test ", w.Test)
+	printCacheStats(sys)
 	if *diag {
 		fmt.Println("--- test candidate diagnosis ---")
 		diagnose(sys, w.Test)

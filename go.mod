@@ -1,0 +1,3 @@
+module github.com/foss-db/foss
+
+go 1.24

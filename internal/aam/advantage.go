@@ -234,9 +234,13 @@ func (m *Model) Accuracy(samples []Sample) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
+	pairs := make([]Pair, len(samples))
+	for i, s := range samples {
+		pairs[i] = Pair{EncL: s.EncL, EncR: s.EncR, StepL: s.StepL, StepR: s.StepR}
+	}
 	ok := 0
-	for _, s := range samples {
-		if m.Score(s.EncL, s.EncR, s.StepL, s.StepR) == s.Label {
+	for i, score := range m.ScoreBatch(pairs) {
+		if score == samples[i].Label {
 			ok++
 		}
 	}

@@ -1,0 +1,145 @@
+package aam
+
+import (
+	"math"
+
+	"github.com/foss-db/foss/internal/nn"
+	"github.com/foss-db/foss/internal/planenc"
+)
+
+// scoreChunk bounds how many plans are stacked into one batched forward.
+// Plans inside a chunk share every dense matmul; attention stays per-plan
+// (block-diagonal), so the only cost of a larger chunk is peak memory.
+const scoreChunk = 32
+
+// ForwardBatch produces the state representation vectors [N, StateDim] for N
+// encoded plans in one stacked forward pass: embeddings, the input
+// projection, layer norms and feed-forward MLPs run over all plans' nodes at
+// once, and attention is evaluated per plan block. Row i is bit-identical to
+// Forward(encs[i], steps[i]).
+func (s *StateNet) ForwardBatch(encs []*planenc.Encoded, steps []float64) *nn.Tensor {
+	if len(encs) != len(steps) {
+		panic("aam: ForwardBatch length mismatch")
+	}
+	n := len(encs)
+	lengths := make([]int, n)
+	masks := make([][]bool, n)
+	totalNodes := 0
+	for i, enc := range encs {
+		lengths[i] = enc.N
+		masks[i] = enc.Mask
+		totalNodes += enc.N
+	}
+	ops := make([]int, 0, totalNodes)
+	tables := make([]int, 0, totalNodes)
+	cols := make([]int, 0, totalNodes)
+	rowBkt := make([]int, 0, totalNodes)
+	heights := make([]int, 0, totalNodes)
+	structs := make([]int, 0, totalNodes)
+	for _, enc := range encs {
+		ops = append(ops, enc.Ops...)
+		tables = append(tables, enc.Tables...)
+		cols = append(cols, enc.Columns...)
+		rowBkt = append(rowBkt, enc.RowBkt...)
+		heights = append(heights, enc.Heights...)
+		structs = append(structs, enc.Structs...)
+	}
+	node := nn.Concat(
+		s.OpEmb.Forward(ops),
+		s.TableEmb.Forward(tables),
+		s.ColEmb.Forward(cols),
+		s.RowEmb.Forward(rowBkt),
+		s.HeightEmb.Forward(heights),
+		s.StructEmb.Forward(structs),
+	)
+	x := s.InProj.Forward(node) // [ΣSeq, DModel]
+	blocks := nn.Blocks(lengths, masks)
+	for _, b := range s.Blocks {
+		x = b.ForwardBlocks(x, blocks)
+	}
+	x = s.OutLN.Forward(x)
+	pooled := nn.SegmentMean(x, lengths)                     // [N, DModel]
+	withStep := nn.Concat(pooled, nn.NewTensor(steps, n, 1)) // [N, DModel+1]
+	return nn.Tanh(s.Out.Forward(withStep))                  // [N, StateDim]
+}
+
+// Pair is one (left, right) plan comparison for batched scoring.
+type Pair struct {
+	EncL, EncR   *planenc.Encoded
+	StepL, StepR float64
+}
+
+// LogitsBatch computes the K advantage logits for every pair in one batched
+// forward: all 2N plan states are produced by a single ForwardBatch, then the
+// pairwise head runs as two stacked matmuls. Row i is bit-identical to
+// Logits(pairs[i]...).
+func (m *Model) LogitsBatch(pairs []Pair) *nn.Tensor {
+	n := len(pairs)
+	encs := make([]*planenc.Encoded, 2*n)
+	steps := make([]float64, 2*n)
+	for i, p := range pairs {
+		encs[i], steps[i] = p.EncL, p.StepL
+		encs[n+i], steps[n+i] = p.EncR, p.StepR
+	}
+	sv := m.State.ForwardBatch(encs, steps)
+	svL := nn.Rows(sv, 0, n)
+	svR := nn.Rows(sv, n, n)
+	hl := nn.ReLU(m.FC1.Forward(nn.AddRowVector(svL, m.PosL)))
+	hr := nn.ReLU(m.FC1.Forward(nn.AddRowVector(svR, m.PosR)))
+	return m.FC2.Forward(nn.Sub(hl, hr)) // [N, NumScores]
+}
+
+// ScoreBatch returns the predicted advantage class for every pair. It is the
+// batched equivalent of calling Score per pair (identical results), with the
+// work of 2N state-network forwards collapsed into ⌈2N/scoreChunk⌉ stacked
+// passes.
+func (m *Model) ScoreBatch(pairs []Pair) []int {
+	out := make([]int, len(pairs))
+	half := scoreChunk / 2
+	if half < 1 {
+		half = 1
+	}
+	for start := 0; start < len(pairs); start += half {
+		end := start + half
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		logits := m.LogitsBatch(pairs[start:end]).Detach()
+		k := logits.Shape[1]
+		for i := 0; i < end-start; i++ {
+			best, bi := math.Inf(-1), 0
+			for j := 0; j < k; j++ {
+				if v := logits.Data[i*k+j]; v > best {
+					best, bi = v, j
+				}
+			}
+			out[start+i] = bi
+		}
+	}
+	return out
+}
+
+// StatesBatch exposes the batched state vectors [N, StateDim] for a set of
+// plans (used by the temporal plan selector, which chains pairwise
+// comparisons over a fixed candidate pool).
+func (m *Model) StatesBatch(encs []*planenc.Encoded, steps []float64) *nn.Tensor {
+	return m.State.ForwardBatch(encs, steps).Detach()
+}
+
+// ScoreStates returns the predicted advantage class of plan r over plan l
+// given precomputed state vectors (rows l and r of a StatesBatch result).
+// Identical to Score on the same plans.
+func (m *Model) ScoreStates(sv *nn.Tensor, l, r int) int {
+	svL := nn.Rows(sv, l, 1)
+	svR := nn.Rows(sv, r, 1)
+	hl := nn.ReLU(m.FC1.Forward(nn.Add(svL, m.PosL)))
+	hr := nn.ReLU(m.FC1.Forward(nn.Add(svR, m.PosR)))
+	logits := m.FC2.Forward(nn.Sub(hl, hr)).Detach()
+	best, bi := math.Inf(-1), 0
+	for i, v := range logits.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,137 @@
+package aam
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/foss-db/foss/internal/planenc"
+)
+
+// variableEncoded builds a fake encoded plan with n nodes and a banded
+// reachability mask, so batch tests cover varying sequence lengths and
+// nontrivial masking.
+func variableEncoded(rng *rand.Rand, n int) *planenc.Encoded {
+	enc := &planenc.Encoded{
+		Ops:     make([]int, n),
+		Tables:  make([]int, n),
+		Columns: make([]int, n),
+		RowBkt:  make([]int, n),
+		Heights: make([]int, n),
+		Structs: make([]int, n),
+		Mask:    make([]bool, n*n),
+		N:       n,
+	}
+	for i := 0; i < n; i++ {
+		enc.Ops[i] = rng.Intn(planenc.NumOps)
+		enc.Tables[i] = rng.Intn(4)
+		enc.Columns[i] = rng.Intn(4)
+		enc.RowBkt[i] = rng.Intn(planenc.RowBuckets)
+		enc.Heights[i] = rng.Intn(4)
+		enc.Structs[i] = rng.Intn(planenc.NumStructs)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			enc.Mask[i*n+j] = i == j || i-j == 1 || j-i == 1
+		}
+	}
+	return enc
+}
+
+func TestForwardBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := StateNetConfig{DModel: 16, Heads: 2, Layers: 2, FFDim: 32, StateDim: 16}
+	s := NewStateNet(rng, cfg, 4, 4)
+
+	var encs []*planenc.Encoded
+	var steps []float64
+	for i := 0; i < 7; i++ {
+		encs = append(encs, variableEncoded(rng, 1+rng.Intn(6)))
+		steps = append(steps, float64(i)/7)
+	}
+	batch := s.ForwardBatch(encs, steps).Detach()
+	dim := batch.Shape[1]
+	for i, enc := range encs {
+		want := s.Forward(enc, steps[i]).Detach()
+		for j := 0; j < dim; j++ {
+			if batch.Data[i*dim+j] != want.Data[j] {
+				t.Fatalf("plan %d dim %d: batch %v != sequential %v",
+					i, j, batch.Data[i*dim+j], want.Data[j])
+			}
+		}
+	}
+}
+
+func TestScoreBatchMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cfg := StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	m := NewModel(rng, cfg, 4, 4)
+
+	// More pairs than one scoreChunk holds, to exercise chunking.
+	var pairs []Pair
+	for i := 0; i < scoreChunk+9; i++ {
+		pairs = append(pairs, Pair{
+			EncL:  variableEncoded(rng, 1+rng.Intn(5)),
+			EncR:  variableEncoded(rng, 1+rng.Intn(5)),
+			StepL: rng.Float64(),
+			StepR: rng.Float64(),
+		})
+	}
+	got := m.ScoreBatch(pairs)
+	for i, p := range pairs {
+		want := m.Score(p.EncL, p.EncR, p.StepL, p.StepR)
+		if got[i] != want {
+			t.Fatalf("pair %d: ScoreBatch %d != Score %d", i, got[i], want)
+		}
+	}
+}
+
+func TestLogitsBatchMatchesLogits(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cfg := StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	m := NewModel(rng, cfg, 4, 4)
+
+	var pairs []Pair
+	for i := 0; i < 5; i++ {
+		pairs = append(pairs, Pair{
+			EncL:  variableEncoded(rng, 2+rng.Intn(4)),
+			EncR:  variableEncoded(rng, 2+rng.Intn(4)),
+			StepL: rng.Float64(),
+			StepR: rng.Float64(),
+		})
+	}
+	batch := m.LogitsBatch(pairs).Detach()
+	for i, p := range pairs {
+		want := m.Logits(p.EncL, p.EncR, p.StepL, p.StepR).Detach()
+		for j := 0; j < NumScores; j++ {
+			if batch.Data[i*NumScores+j] != want.Data[j] {
+				t.Fatalf("pair %d logit %d: batch %v != sequential %v",
+					i, j, batch.Data[i*NumScores+j], want.Data[j])
+			}
+		}
+	}
+}
+
+func TestScoreStatesMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	cfg := StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	m := NewModel(rng, cfg, 4, 4)
+
+	var encs []*planenc.Encoded
+	var steps []float64
+	for i := 0; i < 6; i++ {
+		encs = append(encs, variableEncoded(rng, 1+rng.Intn(5)))
+		steps = append(steps, float64(i)/6)
+	}
+	sv := m.StatesBatch(encs, steps)
+	for l := 0; l < len(encs); l++ {
+		for r := 0; r < len(encs); r++ {
+			if l == r {
+				continue
+			}
+			want := m.Score(encs[l], encs[r], steps[l], steps[r])
+			if got := m.ScoreStates(sv, l, r); got != want {
+				t.Fatalf("(%d,%d): ScoreStates %d != Score %d", l, r, got, want)
+			}
+		}
+	}
+}

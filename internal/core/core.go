@@ -17,6 +17,7 @@ import (
 	"github.com/foss-db/foss/internal/planenc"
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/runtime"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -25,6 +26,17 @@ type Config struct {
 	Seed     int64
 	MaxSteps int // plan-edit episode length (paper default 3)
 	Agents   int // multi-agent switch (paper §VI-C5); 1 = single agent
+
+	// Workers bounds the training episode fan-out (see learner.Config). 0/1
+	// runs the sequential loop; higher values parallelize episode collection
+	// deterministically for the fixed worker count.
+	Workers int
+	// PlanCache is the serving-path plan cache capacity in entries (keyed by
+	// query fingerprint, invalidated on Train/Load). 0 — the default —
+	// disables caching, keeping per-query optimization-time measurements
+	// faithful (the experiments harness depends on that); serving deployments
+	// like cmd/fossd opt in.
+	PlanCache int
 
 	StateNet aam.StateNetConfig
 	Planner  planner.Config
@@ -39,12 +51,14 @@ type Config struct {
 // DefaultConfig mirrors the paper's settings at repository scale.
 func DefaultConfig() Config {
 	return Config{
-		Seed:     1,
-		MaxSteps: 3,
-		Agents:   1,
-		StateNet: aam.StateNetConfig{DModel: 32, Heads: 2, Layers: 1, FFDim: 64, StateDim: 32},
-		Planner:  planner.DefaultConfig(),
-		Learner:  learner.DefaultConfig(),
+		Seed:      1,
+		MaxSteps:  3,
+		Agents:    1,
+		Workers:   1,
+		PlanCache: 0,
+		StateNet:  aam.StateNetConfig{DModel: 32, Heads: 2, Layers: 1, FFDim: 64, StateDim: 32},
+		Planner:   planner.DefaultConfig(),
+		Learner:   learner.DefaultConfig(),
 	}
 }
 
@@ -59,6 +73,10 @@ type System struct {
 	AAM      *aam.Model
 	Learner  *learner.Learner
 	Planners []*planner.Planner
+
+	// RT arbitrates the concurrent serving path (cached, shared-locked
+	// Optimize) against the exclusive training path.
+	RT *runtime.Runtime
 
 	trainTime time.Duration
 }
@@ -75,8 +93,11 @@ func New(w *workload.Workload, cfg Config) (*System, error) {
 	opt := optimizer.New(w.DB, w.Stats)
 	ex := exec.New(w.DB)
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	model := aam.NewModel(rng, cfg.StateNet, enc.NumTables, enc.NumCols)
+	// Every component gets an independent seeded source: the AAM's weight
+	// init, each agent's weight init, and each agent's action-sampling
+	// stream never share a *rand.Rand, so constructing components in any
+	// order (or in parallel) cannot perturb another component's stream.
+	model := aam.NewModel(rand.New(rand.NewSource(cfg.Seed)), cfg.StateNet, enc.NumTables, enc.NumCols)
 
 	space := plan.NewSpace(w.MaxTables)
 	plCfg := cfg.Planner
@@ -95,6 +116,9 @@ func New(w *workload.Workload, cfg Config) (*System, error) {
 		lr := agentCfg.PPO.LR * (1 + 0.5*float64(a))
 		agent := planner.NewAgent(rand.New(rand.NewSource(cfg.Seed+int64(100+a))),
 			cfg.StateNet, enc.NumTables, enc.NumCols, space.Size(), agentCfg.Hidden, lr)
+		// Decouple action sampling from the construction stream: weight init
+		// consumed the rng above; sampling draws from its own source.
+		agent.Rng = rand.New(rand.NewSource(cfg.Seed + int64(500+a)))
 		planners = append(planners, &planner.Planner{
 			Cfg:   agentCfg,
 			Space: space,
@@ -109,6 +133,7 @@ func New(w *workload.Workload, cfg Config) (*System, error) {
 	lCfg.DisableSim = cfg.DisableSimulatedEnv
 	lCfg.DisableValidation = cfg.DisableValidation
 	lCfg.Agents = cfg.Agents
+	lCfg.Workers = cfg.Workers
 
 	sys := &System{
 		Cfg:      cfg,
@@ -120,13 +145,19 @@ func New(w *workload.Workload, cfg Config) (*System, error) {
 		Planners: planners,
 	}
 	sys.Learner = learner.New(w, planners, model, ex, lCfg)
+	sys.RT = runtime.New(runtime.Config{Workers: cfg.Workers, CacheSize: cfg.PlanCache}, sys.Learner)
+	// The runtime owns the worker pool; the learner's episode fan-out
+	// borrows it rather than running a pool of its own.
+	sys.Learner.UsePool(sys.RT.Pool())
 	return sys, nil
 }
 
-// Train runs the simulated-learner loop. progress may be nil.
+// Train runs the simulated-learner loop with the serving path quiesced; any
+// cached plans are invalidated afterwards since the models changed. progress
+// may be nil.
 func (s *System) Train(progress func(learner.IterStats)) error {
 	start := time.Now()
-	err := s.Learner.Train(progress)
+	err := s.RT.Exclusive(func() error { return s.Learner.Train(progress) })
 	s.trainTime += time.Since(start)
 	return err
 }
@@ -136,14 +167,22 @@ func (s *System) TrainingTime() time.Duration { return s.trainTime }
 
 // Optimize returns FOSS's chosen plan for the query along with the
 // optimization time (model inference + hint completions), mirroring the
-// paper's "SQL in → execution plan out" measurement.
+// paper's "SQL in → execution plan out" measurement. It serves through the
+// runtime: concurrent calls are safe, and repeated queries hit the plan
+// cache.
 func (s *System) Optimize(q *query.Query) (*plan.CP, time.Duration, error) {
+	cp, _, d, err := s.OptimizeCached(q)
+	return cp, d, err
+}
+
+// OptimizeCached is Optimize exposing whether the plan came from the cache.
+func (s *System) OptimizeCached(q *query.Query) (*plan.CP, bool, time.Duration, error) {
 	start := time.Now()
-	pe, err := s.Learner.Optimize(q)
+	pe, hit, err := s.RT.Optimize(q)
 	if err != nil {
-		return nil, 0, err
+		return nil, false, 0, err
 	}
-	return pe.CP, time.Since(start), nil
+	return pe.CP, hit, time.Since(start), nil
 }
 
 // ExpertPlan exposes the traditional optimizer's plan (the baseline).

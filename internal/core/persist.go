@@ -42,8 +42,14 @@ func (s *System) Save() ([]byte, error) {
 
 // Load restores models previously produced by Save into this System. The
 // System must have been built with the same Config (network sizes, agent
-// count) over the same schema.
+// count) over the same schema. The serving path is quiesced while weights
+// are swapped, and cached plans (chosen by the previous weights) are
+// invalidated.
 func (s *System) Load(data []byte) error {
+	return s.RT.Exclusive(func() error { return s.load(data) })
+}
+
+func (s *System) load(data []byte) error {
 	var snap snapshot
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return err

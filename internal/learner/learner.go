@@ -12,6 +12,7 @@ package learner
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/foss-db/foss/internal/aam"
@@ -19,11 +20,15 @@ import (
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/rl"
+	"github.com/foss-db/foss/internal/runtime"
 	"github.com/foss-db/foss/internal/workload"
 )
 
 // Buffer is the execution buffer: every executed candidate plan per query.
+// It is safe for concurrent use; parallel episode collection adds executed
+// plans from many workers.
 type Buffer struct {
+	mu      sync.Mutex
 	byQuery map[string][]*planner.PlanEval
 	order   []string
 }
@@ -39,6 +44,8 @@ func (b *Buffer) Add(pe *planner.PlanEval) {
 	if pe == nil || !pe.HasLatency() {
 		return
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	qid := pe.Q.ID
 	for _, old := range b.byQuery[qid] {
 		if old.ICP.Equal(pe.ICP) {
@@ -53,6 +60,8 @@ func (b *Buffer) Add(pe *planner.PlanEval) {
 
 // Size returns the total number of executions stored.
 func (b *Buffer) Size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	n := 0
 	for _, v := range b.byQuery {
 		n += len(v)
@@ -62,6 +71,12 @@ func (b *Buffer) Size() int {
 
 // Original returns the recorded step-0 plan for a query, or nil.
 func (b *Buffer) Original(qid string) *planner.PlanEval {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.original(qid)
+}
+
+func (b *Buffer) original(qid string) *planner.PlanEval {
 	for _, pe := range b.byQuery[qid] {
 		if pe.Step == 0 {
 			return pe
@@ -74,7 +89,9 @@ func (b *Buffer) Original(qid string) *planner.PlanEval {
 // best-performing and median-performing executed plans that beat the
 // original, plus the original, with refb_i = AdvInit(lat_orig, lat_ref_i).
 func (b *Buffer) Refs(qid string) []planner.Ref {
-	orig := b.Original(qid)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	orig := b.original(qid)
 	if orig == nil {
 		return nil
 	}
@@ -101,6 +118,8 @@ func (b *Buffer) Refs(qid string) []planner.Ref {
 // (their relative order is unknowable), labeled with the true advantage
 // class. maxSteps normalizes the step-status feature.
 func (b *Buffer) Samples(maxSteps int) []aam.Sample {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var out []aam.Sample
 	for _, qid := range b.order {
 		plans := b.byQuery[qid]
@@ -143,6 +162,16 @@ type Config struct {
 	// rollouts whose candidates all enter the AAM selection. More rollouts
 	// widen the candidate set at the cost of optimization time.
 	InferenceRollouts int
+
+	// Workers bounds the episode fan-out of the real, simulated, and
+	// validation phases. Workers <= 1 runs the original sequential loop
+	// (bit-identical to the single-threaded implementation). Workers > 1
+	// partitions episodes round-robin over that many goroutines with
+	// per-worker seeded RNGs: results are deterministic for a fixed worker
+	// count, with episodes inside a phase seeing the execution buffer as of
+	// the phase start (buffer merges happen in episode order at the phase
+	// boundary).
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale training schedule.
@@ -156,6 +185,7 @@ func DefaultConfig() Config {
 		Seed:              1,
 		Agents:            1,
 		InferenceRollouts: 4,
+		Workers:           1,
 	}
 }
 
@@ -169,6 +199,7 @@ type Learner struct {
 	Cfg      Config
 
 	rng     *rand.Rand
+	pool    *runtime.Pool
 	origMap map[string]*planner.PlanEval // cached original plans per query
 
 	// TrainingTime accumulates wall-clock spent in Train.
@@ -189,7 +220,18 @@ func New(w *workload.Workload, planners []*planner.Planner, model *aam.Model, ex
 		Buf:      NewBuffer(),
 		Cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		pool:     runtime.NewPool(cfg.Workers),
 		origMap:  map[string]*planner.PlanEval{},
+	}
+}
+
+// UsePool replaces the learner's episode pool, letting the enclosing runtime
+// own the worker pool shared by training and any other fan-out. The pool's
+// width must equal Config.Workers for the documented determinism contract to
+// hold.
+func (l *Learner) UsePool(p *runtime.Pool) {
+	if p != nil {
+		l.pool = p
 	}
 }
 
@@ -231,7 +273,7 @@ func (l *Learner) Train(progress func(IterStats)) error {
 		st := IterStats{Iter: iter}
 
 		// (a) real-environment episodes to gather executions
-		realTrans, err := l.realPhase(queries)
+		realTrans, err := l.realPhase(queries, iter)
 		if err != nil {
 			return err
 		}
@@ -257,26 +299,9 @@ func (l *Learner) Train(progress func(IterStats)) error {
 				}
 			}
 		} else {
-			var promising []*planner.PlanEval
-			for _, pl := range l.Planners {
-				simEnv := &planner.SimEnv{Model: l.AAM, MaxSteps: pl.Cfg.MaxSteps}
-				var trans []rl.Transition
-				for e := 0; e < l.Cfg.SimPerIter; e++ {
-					q := queries[l.rng.Intn(len(queries))]
-					orig, err := l.original(q)
-					if err != nil {
-						return err
-					}
-					ep, err := pl.RunEpisodeFrom(q, orig, simEnv, l.Buf.Refs(q.ID), true)
-					if err != nil {
-						return err
-					}
-					trans = append(trans, ep.Transitions...)
-					if ep.Final != nil && ep.Final.Step > 0 {
-						promising = append(promising, ep.Final)
-					}
-				}
-				st.PPO = pl.Update(trans)
+			promising, err := l.simPhase(queries, iter, &st)
+			if err != nil {
+				return err
 			}
 			// (d) promising-plan validation
 			if !l.Cfg.DisableValidation {
@@ -292,10 +317,106 @@ func (l *Learner) Train(progress func(IterStats)) error {
 	return nil
 }
 
+// Phase identifiers, mixed into per-worker RNG seeds so each phase of each
+// iteration draws from an independent stream.
+const (
+	phaseReal = iota
+	phaseSim
+)
+
+// phaseSeed derives a worker RNG seed from (base seed, iteration, phase,
+// worker) with splitmix-style mixing, so no two (iter, phase, worker)
+// combinations collide.
+func phaseSeed(base int64, iter, phase, worker int) int64 {
+	z := uint64(base)
+	for _, v := range []uint64{uint64(iter), uint64(phase), uint64(worker)} {
+		z += 0x9e3779b97f4a7c15 + v
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z >> 1)
+}
+
+// episodeJob is one scheduled episode: its agent, query, cached original
+// plan, and the bounty reference set snapshotted at phase start.
+type episodeJob struct {
+	agent int
+	q     *query.Query
+	orig  *planner.PlanEval
+	refs  []planner.Ref
+}
+
+// episodeOut is one episode's result plus every plan it executed (recorded
+// locally so buffer merges can happen in deterministic episode order).
+type episodeOut struct {
+	ep       *planner.EpisodeResult
+	executed []*planner.PlanEval
+	err      error
+}
+
+// buildJobs samples perAgent queries per agent from the main RNG stream,
+// resolves (and caches) the original plans sequentially, and snapshots the
+// episode-bounty references as of the phase start.
+func (l *Learner) buildJobs(queries []*query.Query, perAgent int) ([]episodeJob, error) {
+	jobs := make([]episodeJob, 0, len(l.Planners)*perAgent)
+	for ai := range l.Planners {
+		for e := 0; e < perAgent; e++ {
+			jobs = append(jobs, episodeJob{agent: ai, q: queries[l.rng.Intn(len(queries))]})
+		}
+	}
+	for i := range jobs {
+		orig, err := l.original(jobs[i].q)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i].orig = orig
+	}
+	refsByQ := map[string][]planner.Ref{}
+	for i := range jobs {
+		qid := jobs[i].q.ID
+		if _, ok := refsByQ[qid]; !ok {
+			refsByQ[qid] = l.Buf.Refs(qid)
+		}
+		jobs[i].refs = refsByQ[qid]
+	}
+	return jobs, nil
+}
+
+// runEpisodes fans jobs out over the worker pool. Each worker owns a seeded
+// RNG and processes its (round-robin assigned) jobs in order, so the result
+// set is deterministic for a fixed worker count. makeEnv builds a
+// per-episode environment; record captures executed plans for the ordered
+// post-phase buffer merge.
+func (l *Learner) runEpisodes(jobs []episodeJob, iter, phase int, makeEnv func(record func(*planner.PlanEval)) planner.Environment) []episodeOut {
+	outs := make([]episodeOut, len(jobs))
+	rngs := make([]*rand.Rand, l.pool.Workers())
+	for w := range rngs {
+		rngs[w] = rand.New(rand.NewSource(phaseSeed(l.Cfg.Seed, iter, phase, w)))
+	}
+	l.pool.Run(len(jobs), func(w, i int) {
+		j := jobs[i]
+		var executed []*planner.PlanEval
+		env := makeEnv(func(pe *planner.PlanEval) { executed = append(executed, pe) })
+		ep, err := l.Planners[j.agent].RunEpisodeWithRng(j.q, j.orig, env, j.refs, true, rngs[w])
+		outs[i] = episodeOut{ep: ep, executed: executed, err: err}
+	})
+	return outs
+}
+
 // realPhase runs real-environment episodes on randomly sampled queries and
 // returns the transitions per agent (used directly in the Off-Simulated
 // ablation; otherwise only their side effect — buffer fills — matters).
-func (l *Learner) realPhase(queries []*query.Query) ([][]rl.Transition, error) {
+func (l *Learner) realPhase(queries []*query.Query, iter int) ([][]rl.Transition, error) {
+	if l.Cfg.Workers <= 1 {
+		return l.realPhaseSeq(queries)
+	}
+	return l.realPhasePar(queries, iter)
+}
+
+// realPhaseSeq is the original single-threaded loop, kept verbatim so
+// Workers<=1 stays bit-identical to the sequential implementation.
+func (l *Learner) realPhaseSeq(queries []*query.Query) ([][]rl.Transition, error) {
 	out := make([][]rl.Transition, len(l.Planners))
 	for ai, pl := range l.Planners {
 		env := &planner.RealEnv{Exec: l.Exec, OnExecuted: func(pe *planner.PlanEval) { l.Buf.Add(pe) }}
@@ -315,43 +436,159 @@ func (l *Learner) realPhase(queries []*query.Query) ([][]rl.Transition, error) {
 	return out, nil
 }
 
+func (l *Learner) realPhasePar(queries []*query.Query, iter int) ([][]rl.Transition, error) {
+	jobs, err := l.buildJobs(queries, l.Cfg.RealPerIter)
+	if err != nil {
+		return nil, err
+	}
+	outs := l.runEpisodes(jobs, iter, phaseReal, func(record func(*planner.PlanEval)) planner.Environment {
+		return &planner.RealEnv{Exec: l.Exec, OnExecuted: record}
+	})
+	out := make([][]rl.Transition, len(l.Planners))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		for _, pe := range o.executed {
+			l.Buf.Add(pe)
+		}
+		out[jobs[i].agent] = append(out[jobs[i].agent], o.ep.Transitions...)
+	}
+	return out, nil
+}
+
+// simPhase runs simulated episodes (AAM as reward indicator) and one PPO
+// update per agent, returning the promising plans found.
+func (l *Learner) simPhase(queries []*query.Query, iter int, st *IterStats) ([]*planner.PlanEval, error) {
+	if l.Cfg.Workers <= 1 {
+		return l.simPhaseSeq(queries, st)
+	}
+	return l.simPhasePar(queries, iter, st)
+}
+
+// simPhaseSeq is the original single-threaded loop, kept verbatim so
+// Workers<=1 stays bit-identical to the sequential implementation.
+func (l *Learner) simPhaseSeq(queries []*query.Query, st *IterStats) ([]*planner.PlanEval, error) {
+	var promising []*planner.PlanEval
+	for _, pl := range l.Planners {
+		simEnv := &planner.SimEnv{Model: l.AAM, MaxSteps: pl.Cfg.MaxSteps}
+		var trans []rl.Transition
+		for e := 0; e < l.Cfg.SimPerIter; e++ {
+			q := queries[l.rng.Intn(len(queries))]
+			orig, err := l.original(q)
+			if err != nil {
+				return nil, err
+			}
+			ep, err := pl.RunEpisodeFrom(q, orig, simEnv, l.Buf.Refs(q.ID), true)
+			if err != nil {
+				return nil, err
+			}
+			trans = append(trans, ep.Transitions...)
+			if ep.Final != nil && ep.Final.Step > 0 {
+				promising = append(promising, ep.Final)
+			}
+		}
+		st.PPO = pl.Update(trans)
+	}
+	return promising, nil
+}
+
+func (l *Learner) simPhasePar(queries []*query.Query, iter int, st *IterStats) ([]*planner.PlanEval, error) {
+	jobs, err := l.buildJobs(queries, l.Cfg.SimPerIter)
+	if err != nil {
+		return nil, err
+	}
+	outs := l.runEpisodes(jobs, iter, phaseSim, func(func(*planner.PlanEval)) planner.Environment {
+		return &planner.SimEnv{Model: l.AAM, MaxSteps: l.Planners[0].Cfg.MaxSteps}
+	})
+	var promising []*planner.PlanEval
+	trans := make([][]rl.Transition, len(l.Planners))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		trans[jobs[i].agent] = append(trans[jobs[i].agent], o.ep.Transitions...)
+		if o.ep.Final != nil && o.ep.Final.Step > 0 {
+			promising = append(promising, o.ep.Final)
+		}
+	}
+	for ai, pl := range l.Planners {
+		st.PPO = pl.Update(trans[ai])
+	}
+	return promising, nil
+}
+
 // validate executes up to ValidatePerIter distinct promising plans under the
-// dynamic timeout and adds the results to the buffer.
+// dynamic timeout and adds the results to the buffer. With Workers > 1 the
+// selected plans execute in parallel; selection order and buffer merges stay
+// deterministic.
 func (l *Learner) validate(promising []*planner.PlanEval) int {
 	l.rng.Shuffle(len(promising), func(i, j int) { promising[i], promising[j] = promising[j], promising[i] })
-	n := 0
+	if l.Cfg.Workers <= 1 {
+		n := 0
+		for _, pe := range promising {
+			if n >= l.Cfg.ValidatePerIter {
+				break
+			}
+			if pe.HasLatency() {
+				continue
+			}
+			res := l.Exec.Execute(pe.CP, l.validateTimeout(pe))
+			pe.Latency = res.LatencyMs
+			pe.TimedOut = res.TimedOut
+			l.Buf.Add(pe)
+			n++
+		}
+		return n
+	}
+	var selected []*planner.PlanEval
 	for _, pe := range promising {
-		if n >= l.Cfg.ValidatePerIter {
+		if len(selected) >= l.Cfg.ValidatePerIter {
 			break
 		}
 		if pe.HasLatency() {
 			continue
 		}
-		orig := l.origMap[pe.Q.ID]
-		timeout := 0.0
-		if orig != nil {
-			timeout = orig.Latency * l.Planners[0].Cfg.TimeoutFactor
-		}
-		res := l.Exec.Execute(pe.CP, timeout)
-		pe.Latency = res.LatencyMs
-		pe.TimedOut = res.TimedOut
-		l.Buf.Add(pe)
-		n++
+		selected = append(selected, pe)
 	}
-	return n
+	results := make([]exec.Result, len(selected))
+	l.pool.Run(len(selected), func(_, i int) {
+		results[i] = l.Exec.Execute(selected[i].CP, l.validateTimeout(selected[i]))
+	})
+	for i, pe := range selected {
+		pe.Latency = results[i].LatencyMs
+		pe.TimedOut = results[i].TimedOut
+		l.Buf.Add(pe)
+	}
+	return len(selected)
+}
+
+// validateTimeout computes the dynamic validation timeout (1.5× the original
+// plan's latency, 0 = none when the original is unknown).
+func (l *Learner) validateTimeout(pe *planner.PlanEval) float64 {
+	if orig := l.origMap[pe.Q.ID]; orig != nil {
+		return orig.Latency * l.Planners[0].Cfg.TimeoutFactor
+	}
+	return 0
 }
 
 // Optimize doctors one query at inference time. Every agent generates its
 // candidate sequences in the simulated environment — one greedy episode plus
 // InferenceRollouts−1 stochastic ones, widening the candidate pool the way
 // the paper's multi-agent mode does — and the AAM selects the estimated-best
-// plan in temporal order. The original plan is always a candidate, so FOSS
-// never does worse than its own selector believes.
+// plan in temporal order (one batched state-network pass over the pool). The
+// original plan is always a candidate, so FOSS never does worse than its own
+// selector believes.
+//
+// Optimize is safe for concurrent use (while no training runs): stochastic
+// rollouts draw from an RNG seeded by the query fingerprint, so the result
+// for a query is deterministic regardless of request interleaving.
 func (l *Learner) Optimize(q *query.Query) (*planner.PlanEval, error) {
 	rollouts := l.Cfg.InferenceRollouts
 	if rollouts < 1 {
 		rollouts = 1
 	}
+	rng := rand.New(rand.NewSource(int64(q.Fingerprint()>>1) ^ l.Cfg.Seed))
 	maxSteps := l.Planners[0].Cfg.MaxSteps
 	var pool []*planner.PlanEval
 	seen := map[string]bool{}
@@ -370,7 +607,7 @@ func (l *Learner) Optimize(q *query.Query) (*planner.PlanEval, error) {
 			return nil, err
 		}
 		for r := 0; r < rollouts; r++ {
-			ep, err := pl.RunEpisodeFrom(q, orig, simEnv, nil, r > 0)
+			ep, err := pl.RunEpisodeWithRng(q, orig, simEnv, nil, r > 0, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -394,6 +631,8 @@ func (e errorString) Error() string { return string(e) }
 // execution seen during training (used by the Fig. 7/8 analyses).
 func (l *Learner) KnownBest() map[string]*planner.PlanEval {
 	out := map[string]*planner.PlanEval{}
+	l.Buf.mu.Lock()
+	defer l.Buf.mu.Unlock()
 	for qid, plans := range l.Buf.byQuery {
 		for _, pe := range plans {
 			if pe.TimedOut {

@@ -1,0 +1,195 @@
+package nn
+
+import "math"
+
+// Batched building blocks: ops that let several independent sequences share
+// one forward pass. A batch of plans is stacked row-wise into a single
+// [ΣSeq, dim] tensor; the dense layers (projections, layer norms, MLPs) run
+// once over the stacked rows, while attention is evaluated per contiguous
+// block so no cross-sequence mixing (and no quadratic blow-up over the
+// combined sequence) occurs. Row-wise ops make every batched result
+// bit-identical to the corresponding sequential forward.
+
+// Rows extracts the contiguous row range [start, start+n) of a 2-D tensor as
+// an [n, cols] tensor.
+func Rows(a *Tensor, start, n int) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: Rows expects a 2-D tensor")
+	}
+	rows, cols := a.Shape[0], a.Shape[1]
+	if start < 0 || start+n > rows {
+		panic("nn: Rows out of range")
+	}
+	d := make([]float64, n*cols)
+	copy(d, a.Data[start*cols:(start+n)*cols])
+	out := newResult("rows", d, []int{n, cols}, a)
+	if out.parents != nil {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[start*cols+i] += out.Grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// ConcatRows stacks 2-D tensors with equal column counts along dimension 0.
+// Unlike VStack (which requires single-row inputs) the inputs may have any
+// number of rows each.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("nn: ConcatRows of nothing")
+	}
+	cols := ts[0].Shape[1]
+	total := 0
+	for _, t := range ts {
+		if len(t.Shape) != 2 || t.Shape[1] != cols {
+			panic("nn: ConcatRows column mismatch")
+		}
+		total += t.Shape[0]
+	}
+	d := make([]float64, total*cols)
+	off := 0
+	for _, t := range ts {
+		copy(d[off:off+len(t.Data)], t.Data)
+		off += len(t.Data)
+	}
+	out := newResult("concatrows", d, []int{total, cols}, ts...)
+	if out.parents != nil {
+		out.backFn = func() {
+			off := 0
+			for _, t := range ts {
+				if t.RequiresGrad || t.parents != nil {
+					t.ensureGrad()
+					for i := range t.Data {
+						t.Grad[i] += out.Grad[off+i]
+					}
+				}
+				off += len(t.Data)
+			}
+		}
+	}
+	return out
+}
+
+// SegmentMean averages consecutive row segments of a [ΣSeq, cols] tensor:
+// segment i covers lengths[i] rows, and the result is [len(lengths), cols].
+// Rows are summed in order, so segment i's output is bit-identical to
+// RowsMean over that segment alone.
+func SegmentMean(a *Tensor, lengths []int) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: SegmentMean expects a 2-D tensor")
+	}
+	cols := a.Shape[1]
+	total := 0
+	for _, n := range lengths {
+		total += n
+	}
+	if total != a.Shape[0] {
+		panic("nn: SegmentMean lengths do not cover the tensor rows")
+	}
+	d := make([]float64, len(lengths)*cols)
+	start := 0
+	for s, n := range lengths {
+		cnt := float64(n)
+		if cnt == 0 {
+			cnt = 1
+		}
+		for r := start; r < start+n; r++ {
+			for j := 0; j < cols; j++ {
+				d[s*cols+j] += a.Data[r*cols+j]
+			}
+		}
+		for j := 0; j < cols; j++ {
+			d[s*cols+j] /= cnt
+		}
+		start += n
+	}
+	out := newResult("segmentmean", d, []int{len(lengths), cols}, a)
+	if out.parents != nil {
+		out.backFn = func() {
+			a.ensureGrad()
+			start := 0
+			for s, n := range lengths {
+				cnt := float64(n)
+				if cnt == 0 {
+					cnt = 1
+				}
+				for r := start; r < start+n; r++ {
+					for j := 0; j < cols; j++ {
+						a.Grad[r*cols+j] += out.Grad[s*cols+j] / cnt
+					}
+				}
+				start += n
+			}
+		}
+	}
+	return out
+}
+
+// Block describes one independent sequence inside a row-stacked batch: rows
+// [Start, Start+N) belong to it, with its own N×N attention mask (nil =
+// full attention within the block).
+type Block struct {
+	Start int
+	N     int
+	Mask  []bool
+}
+
+// Blocks builds contiguous block descriptors from per-sequence lengths and
+// masks.
+func Blocks(lengths []int, masks [][]bool) []Block {
+	bs := make([]Block, len(lengths))
+	start := 0
+	for i, n := range lengths {
+		var m []bool
+		if masks != nil {
+			m = masks[i]
+		}
+		bs[i] = Block{Start: start, N: n, Mask: m}
+		start += n
+	}
+	return bs
+}
+
+// ForwardBlocks computes masked self-attention independently within each
+// block of the row-stacked input x [ΣSeq, dim], sharing the Q/K/V/output
+// projection matmuls across blocks. Attention never crosses block
+// boundaries, and each block's output rows are bit-identical to Forward on
+// that block alone.
+func (m *MultiHeadAttention) ForwardBlocks(x *Tensor, blocks []Block) *Tensor {
+	dim := x.Shape[1]
+	dh := dim / m.Heads
+	q := m.WQ.Forward(x)
+	k := m.WK.Forward(x)
+	v := m.WV.Forward(x)
+	scale := 1 / math.Sqrt(float64(dh))
+	outBlocks := make([]*Tensor, len(blocks))
+	for bi, b := range blocks {
+		qb := Rows(q, b.Start, b.N)
+		kb := Rows(k, b.Start, b.N)
+		vb := Rows(v, b.Start, b.N)
+		heads := make([]*Tensor, m.Heads)
+		for h := 0; h < m.Heads; h++ {
+			qh := Cols(qb, h*dh, dh)
+			kh := Cols(kb, h*dh, dh)
+			vh := Cols(vb, h*dh, dh)
+			scores := Scale(MatMul(qh, TransposeT(kh)), scale)
+			if b.Mask != nil {
+				scores = MaskedFill(scores, b.Mask, -1e9)
+			}
+			heads[h] = MatMul(Softmax(scores), vh)
+		}
+		outBlocks[bi] = Concat(heads...)
+	}
+	return m.WO.Forward(ConcatRows(outBlocks...))
+}
+
+// ForwardBlocks applies the encoder block to a row-stacked batch: layer
+// norms and the feed-forward MLP run over all rows at once, attention per
+// block.
+func (t *TransformerLayer) ForwardBlocks(x *Tensor, blocks []Block) *Tensor {
+	h := Add(x, t.Attn.ForwardBlocks(t.LN1.Forward(x), blocks))
+	return Add(h, t.FF2.Forward(ReLU(t.FF1.Forward(t.LN2.Forward(h)))))
+}

@@ -200,8 +200,17 @@ func (p *Planner) RunEpisode(q *query.Query, env Environment, refs []Ref, sample
 }
 
 // RunEpisodeFrom is RunEpisode starting from a pre-planned original plan
-// (lets callers cache the original).
+// (lets callers cache the original). Stochastic actions draw from the
+// agent's own RNG, so concurrent callers must use RunEpisodeWithRng.
 func (p *Planner) RunEpisodeFrom(q *query.Query, orig *PlanEval, env Environment, refs []Ref, sample bool) (*EpisodeResult, error) {
+	return p.RunEpisodeWithRng(q, orig, env, refs, sample, p.Agent.Rng)
+}
+
+// RunEpisodeWithRng is RunEpisodeFrom with an explicit RNG for action
+// sampling. Episodes only read the agent's networks (forward passes), so any
+// number of episodes may run concurrently for the same agent as long as each
+// has its own RNG and no optimizer step runs meanwhile.
+func (p *Planner) RunEpisodeWithRng(q *query.Query, orig *PlanEval, env Environment, refs []Ref, sample bool, rng *rand.Rand) (*EpisodeResult, error) {
 	maxSteps := p.Cfg.MaxSteps
 	// Dynamic timeout needs the original latency in the real environment.
 	env.Prepare(orig, 0)
@@ -231,7 +240,7 @@ func (p *Planner) RunEpisodeFrom(q *query.Query, orig *PlanEval, env Environment
 		var actionIdx int
 		var logp float64
 		if sample {
-			actionIdx, logp = p.Agent.Policy.Sample(p.Agent.Rng, sv, mask)
+			actionIdx, logp = p.Agent.Policy.Sample(rng, sv, mask)
 		} else {
 			actionIdx = p.Agent.Policy.Greedy(sv, mask)
 			logp = 0
@@ -323,16 +332,29 @@ func (p *Planner) Update(trans []rl.Transition) rl.Stats {
 }
 
 // SelectBest applies the paper's temporal selection: walk the candidate
-// sequence in generation order keeping the AAM-estimated best.
+// sequence in generation order keeping the AAM-estimated best. All candidate
+// state vectors are produced by one batched state-network pass, so the
+// comparison chain costs N−1 cheap pairwise head evaluations instead of
+// 2(N−1) full forwards.
 func SelectBest(model *aam.Model, cands []*PlanEval, maxSteps int) *PlanEval {
 	if len(cands) == 0 {
 		return nil
 	}
-	best := cands[0]
-	for _, c := range cands[1:] {
-		if model.Score(best.Enc, c.Enc, best.StepStatus(maxSteps), c.StepStatus(maxSteps)) > 0 {
-			best = c
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	encs := make([]*planenc.Encoded, len(cands))
+	steps := make([]float64, len(cands))
+	for i, c := range cands {
+		encs[i] = c.Enc
+		steps[i] = c.StepStatus(maxSteps)
+	}
+	sv := model.StatesBatch(encs, steps)
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if model.ScoreStates(sv, best, i) > 0 {
+			best = i
 		}
 	}
-	return best
+	return cands[best]
 }

@@ -228,6 +228,23 @@ func (q *Query) SQL() string {
 	return b.String()
 }
 
+// Fingerprint returns a stable hash of the query's structure (tables, join
+// predicates, filters — everything that determines its plan space). Two
+// structurally identical queries share a fingerprint regardless of ID, which
+// is what plan caches key on.
+func (q *Query) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range []byte(q.SQL()) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
 // Validate checks structural sanity: aliases unique and resolvable, join
 // predicates and filters referencing declared aliases.
 func (q *Query) Validate() error {

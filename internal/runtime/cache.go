@@ -1,0 +1,115 @@
+package runtime
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+	Capacity  int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// LRU is a thread-safe least-recently-used cache with hit/miss/eviction
+// counters. The zero capacity means "disabled": every Get misses and Put is
+// a no-op, so callers never need to special-case an absent cache.
+type LRU[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[uint64]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type lruEntry[V any] struct {
+	key uint64
+	val V
+}
+
+// NewLRU creates an LRU holding at most capacity entries.
+func NewLRU[V any](capacity int) *LRU[V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU[V]{cap: capacity, ll: list.New(), items: map[uint64]*list.Element{}}
+}
+
+// Get returns the cached value for key and whether it was present, promoting
+// the entry to most-recently-used.
+func (c *LRU[V]) Get(key uint64) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes an entry, evicting the least-recently-used one
+// when over capacity.
+func (c *LRU[V]) Put(key uint64, val V) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+		c.evictions++
+	}
+}
+
+// Invalidate drops every entry (counters are preserved). Called whenever the
+// models behind the cached plans change, i.e. after training.
+func (c *LRU[V]) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = map[uint64]*list.Element{}
+}
+
+// Len returns the current entry count.
+func (c *LRU[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *LRU[V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.cap,
+	}
+}

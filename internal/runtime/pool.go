@@ -1,0 +1,56 @@
+// Package runtime is the concurrency layer of FOSS: a deterministic bounded
+// worker pool used by the training loop's episode fan-out, an LRU plan cache
+// keyed by query fingerprint, and a Runtime that arbitrates between the
+// exclusive training path and the shared, cached serving path. It sits below
+// core (which wires it to the learner) and above the model layers, and
+// deliberately knows nothing about training itself — only how to run work
+// deterministically in parallel and how to serve plans fast.
+package runtime
+
+import "sync"
+
+// Pool is a bounded worker pool with a deterministic job→worker assignment:
+// job j always runs on worker j mod W, and each worker processes its jobs in
+// increasing order. With any per-worker state seeded from the worker id
+// (e.g. RNG streams), a Run's outcome depends only on W and the jobs — never
+// on goroutine scheduling.
+type Pool struct {
+	workers int
+}
+
+// NewPool creates a pool of the given width (clamped to at least 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes jobs 0..n-1 across the pool and blocks until all complete.
+// Worker w runs jobs w, w+W, w+2W, ... in that order. A single-worker pool
+// runs every job inline on the calling goroutine.
+func (p *Pool) Run(n int, fn func(worker, job int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		for j := 0; j < n; j++ {
+			fn(0, j)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers && w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < n; j += p.workers {
+				fn(w, j)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+package runtime
+
+import (
+	"sync"
+
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+)
+
+// Backend produces an optimized plan for a query. The learner implements it;
+// the indirection keeps this package free of training-loop dependencies.
+type Backend interface {
+	Optimize(q *query.Query) (*planner.PlanEval, error)
+}
+
+// Config sizes the runtime.
+type Config struct {
+	// Workers bounds the episode/request fan-out. <=1 means sequential.
+	Workers int
+	// CacheSize is the plan-cache capacity in entries; 0 disables caching.
+	CacheSize int
+}
+
+// DefaultConfig returns a serving-oriented runtime configuration.
+func DefaultConfig() Config {
+	return Config{Workers: 1, CacheSize: 256}
+}
+
+// Runtime owns the worker pool and the plan cache, and arbitrates between
+// the exclusive training path and the shared serving path: any number of
+// Optimize calls may run concurrently (model forwards are read-only), while
+// Exclusive (training, weight loading) waits for in-flight requests and
+// blocks new ones. Cached plans are keyed by query fingerprint and
+// invalidated whenever the models change.
+type Runtime struct {
+	cfg     Config
+	pool    *Pool
+	cache   *LRU[*planner.PlanEval]
+	backend Backend
+
+	// mu is the train/serve arbiter: Optimize holds it shared, Exclusive
+	// holds it exclusively.
+	mu sync.RWMutex
+}
+
+// New assembles a runtime over a plan-producing backend.
+func New(cfg Config, backend Backend) *Runtime {
+	return &Runtime{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers),
+		cache:   NewLRU[*planner.PlanEval](cfg.CacheSize),
+		backend: backend,
+	}
+}
+
+// Pool returns the shared worker pool.
+func (r *Runtime) Pool() *Pool { return r.pool }
+
+// Optimize returns the chosen plan for the query, serving from the plan
+// cache when possible. The boolean reports a cache hit. Safe for concurrent
+// use.
+func (r *Runtime) Optimize(q *query.Query) (*planner.PlanEval, bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	key := q.Fingerprint()
+	if pe, ok := r.cache.Get(key); ok {
+		return pe, true, nil
+	}
+	pe, err := r.backend.Optimize(q)
+	if err != nil {
+		return nil, false, err
+	}
+	r.cache.Put(key, pe)
+	return pe, false, nil
+}
+
+// Exclusive runs fn with the serving path quiesced (no Optimize in flight)
+// and invalidates the plan cache afterwards, since fn is assumed to have
+// changed the models the cached plans were chosen by.
+func (r *Runtime) Exclusive(fn func() error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := fn()
+	r.cache.Invalidate()
+	return err
+}
+
+// CacheStats snapshots the plan-cache counters.
+func (r *Runtime) CacheStats() CacheStats { return r.cache.Stats() }
+
+// InvalidateCache drops all cached plans (e.g. after loading a snapshot
+// outside Exclusive).
+func (r *Runtime) InvalidateCache() { r.cache.Invalidate() }

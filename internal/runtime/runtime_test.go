@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+)
+
+func TestPoolRunsEveryJobOnItsWorker(t *testing.T) {
+	p := NewPool(3)
+	var mu sync.Mutex
+	workerOf := map[int]int{}
+	p.Run(17, func(w, j int) {
+		mu.Lock()
+		workerOf[j] = w
+		mu.Unlock()
+	})
+	if len(workerOf) != 17 {
+		t.Fatalf("ran %d jobs, want 17", len(workerOf))
+	}
+	for j, w := range workerOf {
+		if w != j%3 {
+			t.Fatalf("job %d ran on worker %d, want %d", j, w, j%3)
+		}
+	}
+}
+
+func TestPoolWorkerProcessesJobsInOrder(t *testing.T) {
+	p := NewPool(4)
+	var mu sync.Mutex
+	seq := map[int][]int{}
+	p.Run(23, func(w, j int) {
+		mu.Lock()
+		seq[w] = append(seq[w], j)
+		mu.Unlock()
+	})
+	for w, jobs := range seq {
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i] <= jobs[i-1] {
+				t.Fatalf("worker %d ran jobs out of order: %v", w, jobs)
+			}
+		}
+	}
+}
+
+func TestPoolSingleWorkerRunsInline(t *testing.T) {
+	p := NewPool(0) // clamps to 1
+	if p.Workers() != 1 {
+		t.Fatalf("width %d", p.Workers())
+	}
+	order := []int{}
+	p.Run(5, func(w, j int) { order = append(order, j) }) // no lock: must be inline
+	for i, j := range order {
+		if i != j {
+			t.Fatalf("inline order broken: %v", order)
+		}
+	}
+}
+
+func TestLRUHitMissEvict(t *testing.T) {
+	c := NewLRU[int](2)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, 10)
+	c.Put(2, 20)
+	if v, ok := c.Get(1); !ok || v != 10 {
+		t.Fatalf("get 1 = %v %v", v, ok)
+	}
+	c.Put(3, 30) // evicts 2 (1 was just promoted)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("evicted entry still present")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("newest entry missing")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", st.HitRate())
+	}
+}
+
+func TestLRUInvalidate(t *testing.T) {
+	c := NewLRU[string](4)
+	c.Put(7, "x")
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatal("invalidate left entries")
+	}
+	if _, ok := c.Get(7); ok {
+		t.Fatal("invalidated entry still served")
+	}
+}
+
+func TestLRUZeroCapacityDisabled(t *testing.T) {
+	c := NewLRU[int](0)
+	c.Put(1, 1)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+type countingBackend struct {
+	calls atomic.Int64
+}
+
+func (b *countingBackend) Optimize(q *query.Query) (*planner.PlanEval, error) {
+	b.calls.Add(1)
+	return &planner.PlanEval{Q: q}, nil
+}
+
+func testQuery(i int) *query.Query {
+	return &query.Query{
+		ID:     fmt.Sprintf("q%d", i),
+		Tables: []query.TableRef{{Table: fmt.Sprintf("t%d", i), Alias: "a"}},
+	}
+}
+
+func TestRuntimeCachesByFingerprint(t *testing.T) {
+	b := &countingBackend{}
+	rt := New(Config{Workers: 2, CacheSize: 8}, b)
+
+	q := testQuery(1)
+	if _, hit, err := rt.Optimize(q); err != nil || hit {
+		t.Fatalf("first call: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := rt.Optimize(q); err != nil || !hit {
+		t.Fatalf("second call: hit=%v err=%v", hit, err)
+	}
+	// A structurally identical query with a different ID also hits.
+	q2 := testQuery(1)
+	q2.ID = "other"
+	if _, hit, _ := rt.Optimize(q2); !hit {
+		t.Fatal("structurally identical query missed the cache")
+	}
+	if b.calls.Load() != 1 {
+		t.Fatalf("backend called %d times, want 1", b.calls.Load())
+	}
+}
+
+func TestRuntimeExclusiveInvalidatesCache(t *testing.T) {
+	b := &countingBackend{}
+	rt := New(Config{Workers: 1, CacheSize: 8}, b)
+	q := testQuery(2)
+	rt.Optimize(q)
+	if err := rt.Exclusive(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := rt.Optimize(q); hit {
+		t.Fatal("cache served a stale plan after Exclusive")
+	}
+	if b.calls.Load() != 2 {
+		t.Fatalf("backend called %d times, want 2", b.calls.Load())
+	}
+}
+
+func TestRuntimeConcurrentOptimize(t *testing.T) {
+	b := &countingBackend{}
+	rt := New(Config{Workers: 4, CacheSize: 32}, b)
+	queries := make([]*query.Query, 8)
+	for i := range queries {
+		queries[i] = testQuery(i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, _, err := rt.Optimize(queries[(g+i)%len(queries)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := rt.CacheStats()
+	if st.Hits+st.Misses != 400 {
+		t.Fatalf("lookups %d, want 400", st.Hits+st.Misses)
+	}
+	if st.Hits < 300 {
+		t.Fatalf("unexpectedly few hits: %+v", st)
+	}
+}

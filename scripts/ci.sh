@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's verification pipeline.
+#
+#   vet, build, race-enabled tests, the Workers determinism checks, and (on
+#   multi-core machines) the parallel-training speedup measurement.
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick skips the race detector and the speedup bench.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+if [[ $quick -eq 1 ]]; then
+  echo "== go test (quick) =="
+  go test ./...
+else
+  echo "== go test -race =="
+  go test -race ./...
+fi
+
+echo "== determinism: Workers=1 vs sequential, parallel replay =="
+# TestWorkersZeroAndOneIdentical: Workers<=1 selects the sequential path.
+# TestParallelTrainingDeterministic: two Workers=3 runs must be bit-identical.
+go test -count=1 -run 'TestWorkersZeroAndOneIdentical|TestParallelTrainingDeterministic' ./internal/core/
+
+if [[ $quick -eq 0 ]]; then
+  ncpu=$(nproc 2>/dev/null || echo 1)
+  if [[ "$ncpu" -ge 4 ]]; then
+    echo "== parallel training speedup (workers=1 vs workers=4) =="
+    go test -run xxx -bench 'BenchmarkTrainParallel/workers=(1|4)$' -benchtime 3x . | tee /tmp/foss_bench.txt
+    awk '
+      /workers=1/ { base = $3 }
+      /workers=4/ { par = $3 }
+      END {
+        if (base > 0 && par > 0) {
+          ratio = base / par
+          printf "speedup workers=4 vs workers=1: %.2fx\n", ratio
+          if (ratio < 1.5) { print "FAIL: speedup below 1.5x"; exit 1 }
+        }
+      }' /tmp/foss_bench.txt
+  else
+    echo "== skipping speedup check: only $ncpu CPU(s) available (needs >= 4) =="
+  fi
+fi
+
+echo "CI OK"
