@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci ci-quick bench clean
+.PHONY: all build test race vet ci ci-quick bench bench-all clean
 
 all: build
 
@@ -24,7 +24,13 @@ ci:
 ci-quick:
 	scripts/ci.sh --quick
 
+# Perf snapshot: parallel-training + online-serving benchmarks, written to
+# BENCH_2.json (see scripts/bench.sh; BENCHTIME=3x make bench for longer runs).
 bench:
+	scripts/bench.sh
+
+# Every benchmark in the repo, one iteration each (paper tables/figures).
+bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 clean:

@@ -12,6 +12,7 @@ import (
 	"github.com/foss-db/foss/internal/aam"
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/experiments"
+	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -48,6 +49,58 @@ func BenchmarkTrainParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServeOnline measures one full online doctor-loop turn
+// (Serve → Execute → Record) on a trained system with the plan cache warm
+// and drift triggers disabled: the steady-state serving cost of the online
+// subsystem, reported per request.
+func BenchmarkServeOnline(b *testing.B) {
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.35})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	cfg.PlanCache = 256
+	cfg.Learner.Iterations = 1
+	cfg.Learner.RealPerIter = 6
+	cfg.Learner.SimPerIter = 20
+	cfg.Learner.ValidatePerIter = 6
+	cfg.Learner.InferenceRollouts = 2
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Train(nil); err != nil {
+		b.Fatal(err)
+	}
+	err = sys.EnableOnline(service.Config{
+		// thresholds no serving pattern can trip: the bench isolates the
+		// request path from retraining
+		Detector:          service.DetectorConfig{Window: 32, Threshold: 1e12, MinSamples: 32, NoveltyFrac: 0},
+		Cooldown:          1 << 30,
+		RetrainIterations: 1,
+		Background:        true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := w.Train
+	// Warmup: one pass fills the plan cache and the expert-latency cache so
+	// the timed loop (which may be a single iteration under -benchtime 1x)
+	// measures steady state, not first-touch misses.
+	for _, q := range queries {
+		if _, _, err := sys.ServeStep(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.ServeStep(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,11 +1,15 @@
 // Command fossd trains FOSS on one workload and evaluates it against the
 // expert optimizer on the train/test splits. Training fans episode
 // collection out over -workers goroutines; evaluation serves queries
-// concurrently through the runtime's cached optimize path.
+// concurrently through the runtime's cached optimize path. With -online it
+// then runs the online doctor loop over a drifting query stream: feedback
+// ingestion, drift-aware background retraining, and zero-downtime model
+// hot-swap, reported against a frozen copy of the offline model.
 //
 // Usage:
 //
 //	fossd -workload job -scale 0.5 -iters 6 -sim 120 -real 30 -validate 30 -workers 4
+//	fossd -workload job -scale 0.5 -iters 4 -online -drift selectivity -sync-retrain
 package main
 
 import (
@@ -51,6 +55,17 @@ func main() {
 		workers     = flag.Int("workers", 1, "training episode fan-out; 1 (default) is the sequential reproducible baseline — trained models depend on this value, so raise it only when wall-clock matters more than cross-machine comparability")
 		evalWorkers = flag.Int("eval-workers", defaultWorkers(), "evaluation request fan-out (plan choices are per-query deterministic, so this never changes results)")
 		cacheSize   = flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
+
+		online       = flag.Bool("online", false, "after training, run the online doctor loop over a drift scenario (feedback ingestion, drift-aware background retraining, zero-downtime hot-swap)")
+		drift        = flag.String("drift", "selectivity", "drift scenario for -online: template-mix | selectivity | novel-template")
+		driftSeed    = flag.Int64("drift-seed", 7, "drift scenario seed")
+		preLen       = flag.Int("pre", 40, "queries served before the distribution shift")
+		postLen      = flag.Int("post", 80, "queries served after the distribution shift")
+		window       = flag.Int("window", 16, "drift detector rolling window (records)")
+		threshold    = flag.Float64("threshold", 1.1, "mean regression-vs-expert ratio that signals drift")
+		noveltyFrac  = flag.Float64("novelty", 0.5, "novel-fingerprint window fraction that signals drift (0 disables)")
+		retrainIters = flag.Int("retrain-iters", 2, "learner iterations per background retrain")
+		syncRetrain  = flag.Bool("sync-retrain", false, "retrain synchronously inside Record (deterministic) instead of in the background")
 	)
 	flag.Parse()
 
@@ -149,6 +164,26 @@ func main() {
 	if *diag {
 		fmt.Println("--- test candidate diagnosis ---")
 		diagnose(sys, w.Test)
+	}
+
+	if *online {
+		fmt.Println("--- online doctor loop ---")
+		frozen := buildFrozen(sys)
+		err := runOnline(sys, frozen, w, onlineOpts{
+			kind:         *drift,
+			driftSeed:    *driftSeed,
+			pre:          *preLen,
+			post:         *postLen,
+			window:       *window,
+			threshold:    *threshold,
+			noveltyFrac:  *noveltyFrac,
+			retrainIters: *retrainIters,
+			sync:         *syncRetrain,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "online:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("training time: %s\n", sys.TrainingTime().Truncate(time.Millisecond))
 }

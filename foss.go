@@ -23,10 +23,23 @@
 //	_ = sys.Train(nil)
 //	plan, optTime, _ := sys.Optimize(w.Test[0])
 //	latency := sys.Execute(plan)
+//
+// Online doctor loop (the paper's self-learned doctor kept learning after
+// deployment — drift-aware background retraining with zero-downtime model
+// hot-swap):
+//
+//	_ = sys.EnableOnline(foss.DefaultOnlineConfig())
+//	for _, q := range liveQueries {
+//		res, _ := sys.Serve(q)              // lock-free w.r.t. retraining
+//		lat := sys.Execute(res.Eval.CP)
+//		_ = sys.Record(q, res.Eval, lat)    // feedback -> buffer -> drift -> retrain
+//	}
+//	fmt.Println(sys.OnlineStats())          // drift/retrain/swap counters
 package foss
 
 import (
 	"github.com/foss-db/foss/internal/core"
+	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -57,3 +70,39 @@ func LoadWorkload(name string, opts WorkloadOptions) (*Workload, error) {
 
 // WorkloadNames lists the available benchmarks.
 func WorkloadNames() []string { return workload.Names() }
+
+// OnlineConfig re-exports the online doctor loop configuration
+// (System.EnableOnline).
+type OnlineConfig = service.Config
+
+// OnlineStats re-exports the loop's counters (System.OnlineStats).
+type OnlineStats = service.Stats
+
+// ServeResult re-exports one served request (System.Serve).
+type ServeResult = service.Result
+
+// DriftDetectorConfig re-exports the rolling drift-detector tuning.
+type DriftDetectorConfig = service.DetectorConfig
+
+// DefaultOnlineConfig returns the serving-oriented loop configuration:
+// 32-record rolling window, 1.15 mean regression threshold, 60% novelty
+// fraction, background retraining.
+func DefaultOnlineConfig() OnlineConfig { return service.DefaultConfig() }
+
+// DriftKind re-exports the drift scenario kinds ("template-mix",
+// "selectivity", "novel-template").
+type DriftKind = workload.DriftKind
+
+// DriftOptions re-exports drift scenario generation options.
+type DriftOptions = workload.DriftOptions
+
+// DriftScenario re-exports a generated two-phase drifted query stream.
+type DriftScenario = workload.DriftScenario
+
+// LoadDrift generates a deterministic drift scenario over a loaded workload.
+func LoadDrift(w *Workload, kind DriftKind, opts DriftOptions) (*DriftScenario, error) {
+	return workload.Drift(w, kind, opts)
+}
+
+// DriftKinds lists the available drift scenario kinds.
+func DriftKinds() []DriftKind { return workload.DriftKinds() }

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"github.com/foss-db/foss/internal/aam"
@@ -18,6 +19,7 @@ import (
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/runtime"
+	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -78,7 +80,12 @@ type System struct {
 	// Optimize) against the exclusive training path.
 	RT *runtime.Runtime
 
-	trainTime time.Duration
+	// online is the doctor loop façade, set by EnableOnline.
+	online *service.Loop
+
+	// trainTime accumulates wall-clock spent training, in nanoseconds;
+	// atomic because background retrains write it while serving code reads.
+	trainTime atomic.Int64
 }
 
 // New builds a FOSS system over a loaded workload.
@@ -158,12 +165,29 @@ func New(w *workload.Workload, cfg Config) (*System, error) {
 func (s *System) Train(progress func(learner.IterStats)) error {
 	start := time.Now()
 	err := s.RT.Exclusive(func() error { return s.Learner.Train(progress) })
-	s.trainTime += time.Since(start)
+	s.trainTime.Add(int64(time.Since(start)))
 	return err
 }
 
-// TrainingTime reports cumulative wall-clock spent in Train.
-func (s *System) TrainingTime() time.Duration { return s.trainTime }
+// TrainOn runs incremental training over an explicit query set (the online
+// service retrains on recently served queries this way) with the serving
+// path quiesced; iterations overrides the configured schedule when positive.
+func (s *System) TrainOn(queries []*query.Query, iterations int, progress func(learner.IterStats)) error {
+	start := time.Now()
+	err := s.RT.Exclusive(func() error { return s.Learner.TrainOn(queries, iterations, progress) })
+	s.trainTime.Add(int64(time.Since(start)))
+	return err
+}
+
+// TrainingTime reports cumulative wall-clock spent in Train/TrainOn.
+func (s *System) TrainingTime() time.Duration { return time.Duration(s.trainTime.Load()) }
+
+// Buffer exposes the learner's execution buffer (feedback ingestion point of
+// the online loop).
+func (s *System) Buffer() *learner.Buffer { return s.Learner.Buf }
+
+// CacheStats snapshots the serving path's plan-cache counters.
+func (s *System) CacheStats() runtime.CacheStats { return s.RT.CacheStats() }
 
 // Optimize returns FOSS's chosen plan for the query along with the
 // optimization time (model inference + hint completions), mirroring the
@@ -177,12 +201,24 @@ func (s *System) Optimize(q *query.Query) (*plan.CP, time.Duration, error) {
 
 // OptimizeCached is Optimize exposing whether the plan came from the cache.
 func (s *System) OptimizeCached(q *query.Query) (*plan.CP, bool, time.Duration, error) {
+	pe, hit, d, err := s.OptimizeEval(q)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	return pe.CP, hit, d, nil
+}
+
+// OptimizeEval is OptimizeCached returning the full evaluated candidate
+// (plan, encoding, edit step) instead of just the complete plan — the online
+// service records executed-plan feedback against it. The returned PlanEval
+// may be shared with the plan cache: treat it as read-only.
+func (s *System) OptimizeEval(q *query.Query) (*planner.PlanEval, bool, time.Duration, error) {
 	start := time.Now()
 	pe, hit, err := s.RT.Optimize(q)
 	if err != nil {
 		return nil, false, 0, err
 	}
-	return pe.CP, hit, time.Since(start), nil
+	return pe, hit, time.Since(start), nil
 }
 
 // ExpertPlan exposes the traditional optimizer's plan (the baseline).

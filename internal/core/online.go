@@ -1,0 +1,77 @@
+package core
+
+// Online doctor façade: EnableOnline builds the blue/green replica pair and
+// the service loop; Serve/Record/ServeStep run the paper's
+// Optimize → Execute → Record cycle with drift-aware background retraining
+// and zero-downtime model hot-swap. See internal/service for the protocol.
+
+import (
+	"fmt"
+
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/service"
+)
+
+// EnableOnline turns this (typically already trained) system into the active
+// replica of an online doctor loop. A standby replica is built over the same
+// workload and configuration, the trained weights and execution buffer are
+// mirrored onto it, and the drift detector is seeded with the training
+// split's fingerprints.
+func (s *System) EnableOnline(cfg service.Config) error {
+	if s.online != nil {
+		return fmt.Errorf("core: online loop already enabled")
+	}
+	standby, err := s.Clone()
+	if err != nil {
+		return fmt.Errorf("core: build standby replica: %w", err)
+	}
+	// The standby learns from the same accumulated experience: seed its
+	// buffer with the active replica's executions (entries are immutable
+	// once latency is set, so sharing them is safe).
+	for _, pe := range s.Learner.Buf.All() {
+		standby.Learner.Buf.Add(pe)
+	}
+	s.online = service.New(cfg, s, standby, s.W.Train)
+	return nil
+}
+
+// Online returns the service loop, or nil before EnableOnline.
+func (s *System) Online() *service.Loop { return s.online }
+
+// Serve optimizes one query through the online loop's active replica —
+// lock-free with respect to background retraining and hot-swaps. EnableOnline
+// must have been called.
+func (s *System) Serve(q *query.Query) (service.Result, error) {
+	if s.online == nil {
+		return service.Result{}, fmt.Errorf("core: Serve before EnableOnline")
+	}
+	return s.online.Serve(q)
+}
+
+// Record feeds one executed plan's observed latency back into the loop:
+// buffer ingestion, drift detection, and (possibly) a background retrain.
+func (s *System) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) error {
+	if s.online == nil {
+		return fmt.Errorf("core: Record before EnableOnline")
+	}
+	s.online.Record(q, pe, latencyMs)
+	return nil
+}
+
+// ServeStep runs one full doctor-loop turn (Serve, Execute, Record),
+// returning the serve result and the observed latency.
+func (s *System) ServeStep(q *query.Query) (service.Result, float64, error) {
+	if s.online == nil {
+		return service.Result{}, 0, fmt.Errorf("core: ServeStep before EnableOnline")
+	}
+	return s.online.Step(q)
+}
+
+// OnlineStats snapshots the loop's counters (zero value before EnableOnline).
+func (s *System) OnlineStats() service.Stats {
+	if s.online == nil {
+		return service.Stats{}
+	}
+	return s.online.Stats()
+}

@@ -71,6 +71,25 @@ func (s *System) load(data []byte) error {
 	return nil
 }
 
+// Clone builds a fresh System over the same workload and configuration with
+// the trained weights mirrored in. Execution buffer, plan cache, and RNG
+// streams start fresh — callers that need shared experience copy the buffer
+// themselves (as EnableOnline does).
+func (s *System) Clone() (*System, error) {
+	c, err := New(s.W, s.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: clone: %w", err)
+	}
+	blob, err := s.Save()
+	if err != nil {
+		return nil, fmt.Errorf("core: clone snapshot: %w", err)
+	}
+	if err := c.Load(blob); err != nil {
+		return nil, fmt.Errorf("core: clone load: %w", err)
+	}
+	return c, nil
+}
+
 // agentModule adapts an agent (state network + policy heads) to nn.Module.
 type agentModule struct {
 	a interface {

@@ -58,6 +58,19 @@ func (b *Buffer) Add(pe *planner.PlanEval) {
 	b.byQuery[qid] = append(b.byQuery[qid], pe)
 }
 
+// All returns every stored execution in deterministic insertion order. The
+// online service uses it to seed a standby replica's buffer with the active
+// replica's accumulated experience.
+func (b *Buffer) All() []*planner.PlanEval {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []*planner.PlanEval
+	for _, qid := range b.order {
+		out = append(out, b.byQuery[qid]...)
+	}
+	return out
+}
+
 // Size returns the total number of executions stored.
 func (b *Buffer) Size() int {
 	b.mu.Lock()
@@ -202,6 +215,11 @@ type Learner struct {
 	pool    *runtime.Pool
 	origMap map[string]*planner.PlanEval // cached original plans per query
 
+	// iterBase offsets the per-phase RNG seeds across repeated Train/TrainOn
+	// calls so an online retrain never replays the worker streams of an
+	// earlier run.
+	iterBase int
+
 	// TrainingTime accumulates wall-clock spent in Train.
 	TrainingTime time.Duration
 }
@@ -263,17 +281,33 @@ type IterStats struct {
 	Validated   int
 }
 
-// Train runs the full loop. progress may be nil.
+// Train runs the full loop over the workload's train split. progress may be
+// nil.
 func (l *Learner) Train(progress func(IterStats)) error {
+	return l.TrainOn(l.W.Train, 0, progress)
+}
+
+// TrainOn runs the training loop over an explicit query set — the online
+// service retrains on recently served queries this way, adapting the models
+// to the live distribution rather than the offline train split. iterations
+// overrides Cfg.Iterations when positive (incremental refreshes use a shorter
+// schedule than the offline run). progress may be nil.
+func (l *Learner) TrainOn(queries []*query.Query, iterations int, progress func(IterStats)) error {
 	start := time.Now()
 	defer func() { l.TrainingTime += time.Since(start) }()
 
-	queries := l.W.Train
-	for iter := 0; iter < l.Cfg.Iterations; iter++ {
+	if len(queries) == 0 {
+		return errorString("learner: no queries to train on")
+	}
+	iters := l.Cfg.Iterations
+	if iterations > 0 {
+		iters = iterations
+	}
+	for iter := 0; iter < iters; iter++ {
 		st := IterStats{Iter: iter}
 
 		// (a) real-environment episodes to gather executions
-		realTrans, err := l.realPhase(queries, iter)
+		realTrans, err := l.realPhase(queries, l.iterBase+iter)
 		if err != nil {
 			return err
 		}
@@ -299,7 +333,7 @@ func (l *Learner) Train(progress func(IterStats)) error {
 				}
 			}
 		} else {
-			promising, err := l.simPhase(queries, iter, &st)
+			promising, err := l.simPhase(queries, l.iterBase+iter, &st)
 			if err != nil {
 				return err
 			}
@@ -314,6 +348,7 @@ func (l *Learner) Train(progress func(IterStats)) error {
 			progress(st)
 		}
 	}
+	l.iterBase += iters
 	return nil
 }
 

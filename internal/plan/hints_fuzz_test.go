@@ -1,0 +1,102 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fuzzICP derives a structurally valid ICP from fuzz inputs: n tables
+// (clamped to 2..9), a join order permuted by permSeed, and methods decoded
+// from methodBits two bits at a time.
+func fuzzICP(n uint8, methodBits uint32, permSeed uint64) ICP {
+	tables := 2 + int(n)%8
+	order := make([]string, tables)
+	for i := range order {
+		order[i] = fmt.Sprintf("a%d", i)
+	}
+	// Fisher-Yates driven by a splitmix-style stream: deterministic in
+	// permSeed, covers every permutation as the fuzzer explores.
+	s := permSeed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := tables - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	methods := make([]JoinMethod, tables-1)
+	for i := range methods {
+		methods[i] = JoinMethod((methodBits >> (2 * i)) % uint32(NumJoinMethods))
+	}
+	return ICP{Order: order, Methods: methods}
+}
+
+// FuzzHintsRoundTrip: every structurally valid ICP must survive
+// FormatHints → ParseHints bit-for-bit. The online service replays plans
+// through this textual steering surface, so the round-trip is load-bearing.
+func FuzzHintsRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint32(0), uint64(0))
+	f.Add(uint8(2), uint32(0b011011), uint64(42))
+	f.Add(uint8(7), uint32(0xffffffff), uint64(7))
+	f.Add(uint8(255), uint32(0x2491), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, n uint8, methodBits uint32, permSeed uint64) {
+		icp := fuzzICP(n, methodBits, permSeed)
+		text := icp.FormatHints()
+		parsed, err := ParseHints(text)
+		if err != nil {
+			t.Fatalf("ParseHints(%q) failed on formatter output: %v", text, err)
+		}
+		if !icp.Equal(parsed) {
+			t.Fatalf("round-trip mismatch:\n  in:  %v\n  txt: %s\n  out: %v", icp, text, parsed)
+		}
+		// a second trip through the formatter must be a fixed point
+		if again := parsed.FormatHints(); again != text {
+			t.Fatalf("formatter not a fixed point: %q vs %q", text, again)
+		}
+	})
+}
+
+// FuzzParseHints throws arbitrary text at the parser: it must never panic,
+// and anything it accepts must re-format and re-parse stably.
+func FuzzParseHints(f *testing.F) {
+	f.Add("/*+ Leading(((a b) c)) HashJoin(a b) NestLoop(a b c) */")
+	f.Add("/*+ Leading(a) */")
+	f.Add("/*+ */")
+	f.Add("Leading((a b)")
+	f.Add("/*+ MergeJoin(a b) */")
+	f.Add("/*+ Leading((a a)) */")
+	f.Add("garbage (((")
+	f.Fuzz(func(t *testing.T, text string) {
+		icp, err := ParseHints(text)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(icp.Order) == 0 {
+			t.Fatalf("ParseHints(%q) accepted an ICP with no join order", text)
+		}
+		if len(icp.Methods) != len(icp.Order)-1 {
+			t.Fatalf("ParseHints(%q): %d methods for %d tables", text, len(icp.Methods), len(icp.Order))
+		}
+		seen := map[string]bool{}
+		for _, a := range icp.Order {
+			if seen[a] || strings.TrimSpace(a) == "" {
+				t.Fatalf("ParseHints(%q) accepted duplicate/empty alias %q", text, a)
+			}
+			seen[a] = true
+		}
+		// accepted input must survive the canonical round-trip
+		canon := icp.FormatHints()
+		again, err := ParseHints(canon)
+		if err != nil {
+			t.Fatalf("re-parse of canonical %q failed: %v", canon, err)
+		}
+		if !icp.Equal(again) {
+			t.Fatalf("canonical round-trip mismatch for %q: %v vs %v", text, icp, again)
+		}
+	})
+}

@@ -12,6 +12,10 @@ type CacheStats struct {
 	Evictions uint64
 	Size      int
 	Capacity  int
+	// Epoch counts invalidations: every entry currently cached was inserted
+	// at this epoch, so a serving layer that bumps the epoch on model swaps
+	// can prove no plan outlives the model that chose it.
+	Epoch uint64
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -32,7 +36,7 @@ type LRU[V any] struct {
 	ll    *list.List
 	items map[uint64]*list.Element
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, epoch uint64
 }
 
 type lruEntry[V any] struct {
@@ -85,13 +89,22 @@ func (c *LRU[V]) Put(key uint64, val V) {
 	}
 }
 
-// Invalidate drops every entry (counters are preserved). Called whenever the
-// models behind the cached plans change, i.e. after training.
+// Invalidate drops every entry and advances the epoch (hit/miss counters are
+// preserved). Called whenever the models behind the cached plans change, i.e.
+// after training or a model hot-swap.
 func (c *LRU[V]) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = map[uint64]*list.Element{}
+	c.epoch++
+}
+
+// Epoch returns the invalidation count.
+func (c *LRU[V]) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // Len returns the current entry count.
@@ -111,5 +124,6 @@ func (c *LRU[V]) Stats() CacheStats {
 		Evictions: c.evictions,
 		Size:      c.ll.Len(),
 		Capacity:  c.cap,
+		Epoch:     c.epoch,
 	}
 }

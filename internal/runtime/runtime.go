@@ -88,6 +88,10 @@ func (r *Runtime) Exclusive(fn func() error) error {
 // CacheStats snapshots the plan-cache counters.
 func (r *Runtime) CacheStats() CacheStats { return r.cache.Stats() }
 
+// CacheEpoch returns the plan cache's invalidation count: every currently
+// cached plan was chosen by the models live at this epoch.
+func (r *Runtime) CacheEpoch() uint64 { return r.cache.Epoch() }
+
 // InvalidateCache drops all cached plans (e.g. after loading a snapshot
 // outside Exclusive).
 func (r *Runtime) InvalidateCache() { r.cache.Invalidate() }

@@ -99,6 +99,44 @@ func TestLRUInvalidate(t *testing.T) {
 	}
 }
 
+// TestLRUEpochAdvancesOnInvalidate: the epoch is the hot-swap staleness
+// proof — it must count every invalidation and nothing else.
+func TestLRUEpochAdvancesOnInvalidate(t *testing.T) {
+	c := NewLRU[string](4)
+	if c.Epoch() != 0 {
+		t.Fatalf("fresh cache epoch %d", c.Epoch())
+	}
+	c.Put(1, "x")
+	c.Get(1)
+	if c.Epoch() != 0 {
+		t.Fatal("get/put must not advance the epoch")
+	}
+	c.Invalidate()
+	c.Invalidate()
+	if c.Epoch() != 2 {
+		t.Fatalf("epoch %d after two invalidations", c.Epoch())
+	}
+	if st := c.Stats(); st.Epoch != 2 {
+		t.Fatalf("stats epoch %d", st.Epoch)
+	}
+}
+
+// TestRuntimeCacheEpoch: Exclusive (train/load) must bump the runtime's
+// cache epoch so serving layers can label plan generations.
+func TestRuntimeCacheEpoch(t *testing.T) {
+	rt := New(Config{Workers: 1, CacheSize: 8}, &countingBackend{})
+	if rt.CacheEpoch() != 0 {
+		t.Fatalf("fresh runtime epoch %d", rt.CacheEpoch())
+	}
+	if err := rt.Exclusive(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rt.InvalidateCache()
+	if rt.CacheEpoch() != 2 {
+		t.Fatalf("epoch %d after Exclusive + InvalidateCache", rt.CacheEpoch())
+	}
+}
+
 func TestLRUZeroCapacityDisabled(t *testing.T) {
 	c := NewLRU[int](0)
 	c.Put(1, 1)

@@ -1,0 +1,422 @@
+// Package service runs FOSS as an online, self-improving doctor: the full
+// Optimize → Execute → Record loop of the paper's framing, kept learning
+// after deployment. Executed-plan feedback flows back into the learner's
+// execution buffer; a rolling regression-vs-expert drift detector decides
+// when the serving model has fallen behind the workload; and retraining
+// happens in the background on a standby replica that is then published by
+// an atomic pointer swap — serving never blocks on training and never sees a
+// half-updated model.
+//
+// # Hot-swap protocol
+//
+// The loop owns two replicas in blue/green rotation:
+//
+//  1. Serve reads the active replica through an atomic pointer. Requests
+//     take the replica's shared (RLock) serving path; no Loop-level lock is
+//     on the request path.
+//  2. Drift triggers retraining on the standby replica, which has no
+//     traffic: its exclusive train lock is uncontended, so the retrain
+//     blocks nobody. Recorded feedback keeps flowing into both replicas'
+//     buffers meanwhile.
+//  3. When retraining finishes, the standby is published by a single atomic
+//     store with a bumped epoch. Its plan cache was invalidated when its
+//     training lock released, so every post-swap plan is chosen (and cached)
+//     by the new model: a cache hit at epoch e always matches a miss at
+//     epoch e.
+//  4. In-flight requests on the demoted replica drain under its RLock and
+//     finish on the old-but-consistent model. The demoted replica then has
+//     the new weights copied in (its exclusive lock waits for exactly those
+//     stragglers) and becomes the next standby.
+//
+// The package talks to replicas through the small Replica interface; core
+// wires two *core.System instances in and re-exports the loop as
+// System.Serve / System.Record.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/foss-db/foss/internal/learner"
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/runtime"
+)
+
+// Replica is the surface the loop needs from one doctor instance. Two
+// instances over the same workload form the blue/green pair; *core.System
+// implements it.
+type Replica interface {
+	// OptimizeEval serves one query through the replica's cached, shared-
+	// locked path, returning the full evaluated candidate and a cache-hit
+	// flag.
+	OptimizeEval(q *query.Query) (*planner.PlanEval, bool, time.Duration, error)
+	// TrainOn runs incremental training over the query set under the
+	// replica's exclusive lock; its plan cache is invalidated afterwards.
+	TrainOn(queries []*query.Query, iterations int, progress func(learner.IterStats)) error
+	// Save / Load snapshot and restore the learned weights (Load quiesces
+	// the replica's serving path while weights are copied).
+	Save() ([]byte, error)
+	Load(data []byte) error
+	// ExpertPlan returns the traditional optimizer's plan, the drift
+	// detector's latency baseline.
+	ExpertPlan(q *query.Query) (*plan.CP, time.Duration, error)
+	// Execute runs a plan and returns its latency in milliseconds.
+	Execute(cp *plan.CP) float64
+	// Buffer exposes the replica's execution buffer for feedback ingestion.
+	Buffer() *learner.Buffer
+	// CacheStats snapshots the replica's plan-cache counters.
+	CacheStats() runtime.CacheStats
+}
+
+// Config tunes the online loop.
+type Config struct {
+	Detector DetectorConfig
+
+	// Cooldown is the minimum number of recorded executions between retrain
+	// triggers, preventing swap thrash while a fresh model warms its window.
+	Cooldown int
+	// RetrainIterations is the learner schedule per background retrain
+	// (incremental: much shorter than the offline run).
+	RetrainIterations int
+	// RetrainQueries caps how many distinct recent queries a retrain uses
+	// (the most recently served ones win).
+	RetrainQueries int
+	// Background runs retraining on its own goroutine. Synchronous mode
+	// (false) retrains inside the Record call that tripped the detector —
+	// deterministic, used by tests and reproducibility runs.
+	Background bool
+}
+
+// DefaultConfig returns a serving-oriented configuration.
+func DefaultConfig() Config {
+	return Config{
+		Detector: DetectorConfig{
+			Window:      32,
+			Threshold:   1.15,
+			MinSamples:  16,
+			NoveltyFrac: 0.6,
+		},
+		Cooldown:          32,
+		RetrainIterations: 2,
+		RetrainQueries:    48,
+		Background:        true,
+	}
+}
+
+// Result is one served request.
+type Result struct {
+	// Eval is the chosen candidate (plan, encoding, step) — hand it back to
+	// Record together with the observed latency.
+	Eval *planner.PlanEval
+	// Epoch identifies the model generation that chose the plan; it bumps on
+	// every hot-swap.
+	Epoch uint64
+	// CacheHit reports whether the plan came from the active replica's cache.
+	CacheHit bool
+	// OptTime is the optimization time (model inference + hint completion).
+	OptTime time.Duration
+}
+
+// Stats snapshots the loop's counters.
+type Stats struct {
+	Epoch         uint64 // current model generation (starts at 1)
+	Served        uint64
+	CacheHits     uint64
+	Recorded      uint64
+	Drifts        uint64 // detector firings that triggered a retrain
+	Retrains      uint64 // retrains started
+	Swaps         uint64 // hot-swaps completed
+	RetrainErrors uint64
+	ExpertErrors  uint64 // expert-baseline failures (those records feed a neutral ratio)
+	Retraining    bool
+	WindowMean    float64 // rolling mean regression ratio
+	WindowNovel   float64 // rolling novel-fingerprint fraction
+}
+
+// Loop is the online doctor service over a blue/green replica pair.
+type Loop struct {
+	cfg Config
+	det *Detector
+
+	active atomic.Pointer[slot]
+
+	// mu guards the standby replica, the recent-query ring, the expert
+	// latency cache, and the cooldown counter. Never taken by Serve.
+	mu           sync.Mutex
+	standby      Replica
+	recent       []*query.Query
+	recentSet    map[uint64]bool
+	expertLat    map[uint64]float64
+	sinceRetrain int
+
+	retraining atomic.Bool
+	wg         sync.WaitGroup
+
+	served, cacheHits, recorded atomic.Uint64
+	drifts, retrains, swaps     atomic.Uint64
+	retrainErrors, expertErrors atomic.Uint64
+}
+
+// slot pairs a replica with the epoch it was published at.
+type slot struct {
+	r     Replica
+	epoch uint64
+}
+
+// New assembles a loop over an active/standby replica pair. known seeds the
+// detector's fingerprint set (typically the training split). The active
+// replica should carry the trained models; the standby must mirror them
+// (core.EnableOnline handles the initial sync).
+func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
+	if cfg.Cooldown < 1 {
+		cfg.Cooldown = 1
+	}
+	if cfg.RetrainIterations < 1 {
+		cfg.RetrainIterations = 1
+	}
+	if cfg.RetrainQueries < 1 {
+		cfg.RetrainQueries = 48
+	}
+	fps := make([]uint64, 0, len(known))
+	for _, q := range known {
+		fps = append(fps, q.Fingerprint())
+	}
+	lp := &Loop{
+		cfg:       cfg,
+		det:       NewDetector(cfg.Detector, fps),
+		standby:   standby,
+		recentSet: map[uint64]bool{},
+		expertLat: map[uint64]float64{},
+	}
+	lp.active.Store(&slot{r: active, epoch: 1})
+	return lp
+}
+
+// Serve optimizes one query on the active replica. It never blocks on
+// retraining or swaps: the only synchronization on this path is the active
+// replica's shared serving lock and atomic pointer loads. A request that a
+// hot-swap overtakes mid-flight (the demoted replica may already carry the
+// freshly mirrored weights by the time the request acquires its read lock)
+// is re-served on the new active, so Result.Epoch always identifies the
+// model generation that actually chose the plan.
+func (lp *Loop) Serve(q *query.Query) (Result, error) {
+	for {
+		s := lp.active.Load()
+		pe, hit, d, err := s.r.OptimizeEval(q)
+		if err != nil {
+			return Result{}, err
+		}
+		if lp.active.Load() != s {
+			// a swap landed while this request was in flight; swaps are rare
+			// (cooldown-gated), so the retry loop terminates in practice
+			// after one extra pass
+			continue
+		}
+		lp.served.Add(1)
+		if hit {
+			lp.cacheHits.Add(1)
+		}
+		return Result{Eval: pe, Epoch: s.epoch, CacheHit: hit, OptTime: d}, nil
+	}
+}
+
+// Record ingests one executed plan: the query, the candidate Serve returned,
+// and the latency observed when it ran. The execution lands in both
+// replicas' buffers (so the next retrain learns from it), feeds the drift
+// detector, and — when the window signals drift past the cooldown — triggers
+// a retrain.
+func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) {
+	if q == nil || pe == nil || latencyMs <= 0 {
+		return
+	}
+	fp := q.Fingerprint()
+
+	// Resolve the replica pair under mu: the swap updates the active pointer
+	// and the standby field inside the same critical section, so this
+	// snapshot can never see the demoted replica on both sides (which would
+	// leave the newly promoted model without the feedback).
+	lp.mu.Lock()
+	s := lp.active.Load()
+	bufs := []*learner.Buffer{s.r.Buffer()}
+	if lp.standby != nil {
+		bufs = append(bufs, lp.standby.Buffer())
+	}
+	lp.noteRecent(q, fp)
+	lp.sinceRetrain++
+	ready := lp.sinceRetrain >= lp.cfg.Cooldown
+	lp.mu.Unlock()
+
+	// The cached PlanEval is shared by concurrent readers: feedback gets its
+	// own copies, one per buffer, with the observed latency filled in.
+	for _, buf := range bufs {
+		fb := *pe
+		fb.Latency = latencyMs
+		fb.TimedOut = false
+		buf.Add(&fb)
+	}
+
+	expert := lp.expertLatency(s.r, q, fp)
+
+	ratio := 1.0
+	if expert > 0 {
+		ratio = latencyMs / expert
+	}
+	sig := lp.det.Observe(fp, ratio)
+	lp.recorded.Add(1)
+
+	if sig.Drift && ready {
+		lp.triggerRetrain()
+	}
+}
+
+// Step runs one full doctor-loop turn: Serve, Execute on the active replica,
+// Record. It returns the serve result and the observed latency.
+func (lp *Loop) Step(q *query.Query) (Result, float64, error) {
+	res, err := lp.Serve(q)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	lat := lp.active.Load().r.Execute(res.Eval.CP)
+	lp.Record(q, res.Eval, lat)
+	return res, lat, nil
+}
+
+// Wait blocks until every in-flight background retrain has finished
+// (including its hot-swap and weight mirroring).
+func (lp *Loop) Wait() { lp.wg.Wait() }
+
+// Active returns the replica currently serving (for evaluation harnesses).
+func (lp *Loop) Active() Replica { return lp.active.Load().r }
+
+// Epoch returns the current model generation.
+func (lp *Loop) Epoch() uint64 { return lp.active.Load().epoch }
+
+// Stats snapshots the counters.
+func (lp *Loop) Stats() Stats {
+	win := lp.det.WindowState()
+	return Stats{
+		Epoch:         lp.active.Load().epoch,
+		Served:        lp.served.Load(),
+		CacheHits:     lp.cacheHits.Load(),
+		Recorded:      lp.recorded.Load(),
+		Drifts:        lp.drifts.Load(),
+		Retrains:      lp.retrains.Load(),
+		Swaps:         lp.swaps.Load(),
+		RetrainErrors: lp.retrainErrors.Load(),
+		ExpertErrors:  lp.expertErrors.Load(),
+		Retraining:    lp.retraining.Load(),
+		WindowMean:    win.Mean,
+		WindowNovel:   win.NovelFrac,
+	}
+}
+
+// expertLatency returns (computing and caching on first use) the traditional
+// optimizer's latency for the query — the drift detector's baseline. Failures
+// are counted but not cached, so a transient error does not permanently pin
+// the query's regression ratio at neutral.
+func (lp *Loop) expertLatency(r Replica, q *query.Query, fp uint64) float64 {
+	lp.mu.Lock()
+	if lat, ok := lp.expertLat[fp]; ok {
+		lp.mu.Unlock()
+		return lat
+	}
+	lp.mu.Unlock()
+	// Plan + execute outside the lock: both are read-only on shared state.
+	cp, _, err := r.ExpertPlan(q)
+	if err != nil {
+		lp.expertErrors.Add(1)
+		return 0
+	}
+	lat := r.Execute(cp)
+	lp.mu.Lock()
+	lp.expertLat[fp] = lat
+	lp.mu.Unlock()
+	return lat
+}
+
+// noteRecent tracks the distinct recently served queries, newest last,
+// bounded by RetrainQueries. Caller holds mu.
+func (lp *Loop) noteRecent(q *query.Query, fp uint64) {
+	if lp.recentSet[fp] {
+		return
+	}
+	lp.recentSet[fp] = true
+	lp.recent = append(lp.recent, q)
+	if len(lp.recent) > lp.cfg.RetrainQueries {
+		drop := lp.recent[0]
+		lp.recent = append(lp.recent[:0], lp.recent[1:]...)
+		delete(lp.recentSet, drop.Fingerprint())
+	}
+}
+
+// triggerRetrain starts (at most) one retrain; concurrent triggers collapse.
+func (lp *Loop) triggerRetrain() {
+	if !lp.retraining.CompareAndSwap(false, true) {
+		return
+	}
+	lp.drifts.Add(1)
+	lp.retrains.Add(1)
+	if lp.cfg.Background {
+		lp.wg.Add(1)
+		go func() {
+			defer lp.wg.Done()
+			lp.retrain()
+		}()
+	} else {
+		lp.retrain()
+	}
+}
+
+// retrain runs the incremental schedule on the standby, hot-swaps it in, and
+// mirrors the new weights onto the demoted replica.
+func (lp *Loop) retrain() {
+	defer lp.retraining.Store(false)
+
+	lp.mu.Lock()
+	standby := lp.standby
+	queries := append([]*query.Query(nil), lp.recent...)
+	lp.mu.Unlock()
+	if standby == nil || len(queries) == 0 {
+		return
+	}
+
+	if err := standby.TrainOn(queries, lp.cfg.RetrainIterations, nil); err != nil {
+		lp.retrainErrors.Add(1)
+		return
+	}
+
+	// Publish: one atomic store; Serve never waits. The standby's cache was
+	// invalidated when TrainOn's exclusive section ended, so the new epoch
+	// starts cold — no plan chosen by the old weights can be served again.
+	old := lp.active.Load()
+	lp.mu.Lock()
+	lp.active.Store(&slot{r: standby, epoch: old.epoch + 1})
+	lp.standby = old.r
+	lp.sinceRetrain = 0
+	lp.mu.Unlock()
+	lp.swaps.Add(1)
+	lp.det.Reset()
+
+	// Mirror the fresh weights onto the demoted replica so the next retrain
+	// starts from the generation being served. Load's exclusive lock waits
+	// only for that replica's draining in-flight requests.
+	blob, err := standby.Save()
+	if err != nil {
+		lp.retrainErrors.Add(1)
+		return
+	}
+	if err := old.r.Load(blob); err != nil {
+		lp.retrainErrors.Add(1)
+	}
+}
+
+// String renders the counters compactly (fossd's -online output).
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"epoch=%d served=%d cacheHits=%d recorded=%d drifts=%d retrains=%d swaps=%d errs=%d expertErrs=%d windowMean=%.3f windowNovel=%.2f",
+		s.Epoch, s.Served, s.CacheHits, s.Recorded, s.Drifts, s.Retrains, s.Swaps, s.RetrainErrors, s.ExpertErrors, s.WindowMean, s.WindowNovel)
+}

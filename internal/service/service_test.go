@@ -1,0 +1,289 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/foss-db/foss/internal/learner"
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/runtime"
+)
+
+// fq builds a distinct tiny query; v differentiates fingerprints.
+func fq(v int64) *query.Query {
+	return &query.Query{
+		ID:       fmt.Sprintf("q%d", v),
+		Template: "t",
+		Tables:   []query.TableRef{{Table: "a", Alias: "a"}},
+		Filters:  []query.Filter{{Alias: "a", Col: "c", Op: query.Eq, Val: v}},
+	}
+}
+
+// fakeReplica is a scripted Replica: constant per-query latencies, counted
+// train/save/load calls, optional train delay for overlap tests.
+type fakeReplica struct {
+	name       string
+	buf        *learner.Buffer
+	trainDelay time.Duration
+
+	trains atomic.Int64
+	saves  atomic.Int64
+	loads  atomic.Int64
+	serves atomic.Int64
+}
+
+func newFake(name string) *fakeReplica {
+	return &fakeReplica{name: name, buf: learner.NewBuffer()}
+}
+
+func (f *fakeReplica) OptimizeEval(q *query.Query) (*planner.PlanEval, bool, time.Duration, error) {
+	f.serves.Add(1)
+	return &planner.PlanEval{Q: q, Latency: math.NaN()}, false, time.Microsecond, nil
+}
+
+func (f *fakeReplica) TrainOn(qs []*query.Query, iterations int, _ func(learner.IterStats)) error {
+	if f.trainDelay > 0 {
+		time.Sleep(f.trainDelay)
+	}
+	f.trains.Add(1)
+	return nil
+}
+
+func (f *fakeReplica) Save() ([]byte, error) { f.saves.Add(1); return []byte(f.name), nil }
+func (f *fakeReplica) Load([]byte) error     { f.loads.Add(1); return nil }
+
+func (f *fakeReplica) ExpertPlan(q *query.Query) (*plan.CP, time.Duration, error) {
+	return &plan.CP{}, time.Microsecond, nil
+}
+func (f *fakeReplica) Execute(cp *plan.CP) float64    { return 10 }
+func (f *fakeReplica) Buffer() *learner.Buffer        { return f.buf }
+func (f *fakeReplica) CacheStats() runtime.CacheStats { return runtime.CacheStats{} }
+
+func syncConfig() Config {
+	return Config{
+		Detector:          DetectorConfig{Window: 4, Threshold: 1.2, MinSamples: 4, NoveltyFrac: 0},
+		Cooldown:          1,
+		RetrainIterations: 1,
+		RetrainQueries:    16,
+		Background:        false,
+	}
+}
+
+// TestDetectorRegression: the window must fire only once MinSamples are in
+// and the mean ratio crosses the threshold.
+func TestDetectorRegression(t *testing.T) {
+	d := NewDetector(DetectorConfig{Window: 4, Threshold: 1.5, MinSamples: 3}, nil)
+	if sig := d.Observe(1, 9.0); sig.Drift {
+		t.Fatal("drift before MinSamples")
+	}
+	if sig := d.Observe(2, 9.0); sig.Drift {
+		t.Fatal("drift before MinSamples")
+	}
+	sig := d.Observe(3, 9.0)
+	if !sig.Drift || sig.Reason != "regression" {
+		t.Fatalf("expected regression drift, got %+v", sig)
+	}
+	d.Reset()
+	if st := d.WindowState(); st.Mean != 0 {
+		t.Fatalf("window survived reset: %+v", st)
+	}
+	// healthy ratios never fire
+	for i := 0; i < 10; i++ {
+		if sig := d.Observe(uint64(100+i), 1.0); sig.Drift {
+			t.Fatalf("healthy window drifted: %+v", sig)
+		}
+	}
+}
+
+// TestDetectorRollingEviction: old observations must leave the window.
+func TestDetectorRollingEviction(t *testing.T) {
+	d := NewDetector(DetectorConfig{Window: 2, Threshold: 1.5, MinSamples: 2}, nil)
+	d.Observe(1, 10)
+	d.Observe(2, 10)
+	// two healthy observations push both spikes out
+	d.Observe(3, 1)
+	sig := d.Observe(4, 1)
+	if sig.Drift {
+		t.Fatalf("evicted spikes still drifting: %+v", sig)
+	}
+	if math.Abs(sig.Mean-1) > 1e-12 {
+		t.Fatalf("window mean %v after eviction, want 1", sig.Mean)
+	}
+}
+
+// TestDetectorNovelty: unseen fingerprints signal drift even at healthy
+// latencies; known fingerprints never do.
+func TestDetectorNovelty(t *testing.T) {
+	d := NewDetector(DetectorConfig{Window: 4, Threshold: 2, MinSamples: 4, NoveltyFrac: 0.5}, []uint64{1, 2})
+	d.Observe(1, 1)
+	d.Observe(2, 1)
+	d.Observe(3, 1) // novel
+	sig := d.Observe(4, 1)
+	if !sig.Drift || sig.Reason != "novelty" {
+		t.Fatalf("expected novelty drift, got %+v", sig)
+	}
+	// second pass: 3 and 4 are now known, so the same stream stays quiet
+	d.Reset()
+	d.Observe(1, 1)
+	d.Observe(2, 1)
+	d.Observe(3, 1)
+	if sig := d.Observe(4, 1); sig.Drift {
+		t.Fatalf("re-seen fingerprints drifted: %+v", sig)
+	}
+}
+
+// TestLoopSwapsOnRegression drives the full synchronous cycle: sustained
+// regression → retrain on the standby → atomic promotion with an epoch bump
+// → weight mirroring onto the demoted replica.
+func TestLoopSwapsOnRegression(t *testing.T) {
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(syncConfig(), blue, green, nil)
+
+	if lp.Epoch() != 1 || lp.Active() != Replica(blue) {
+		t.Fatal("blue must serve at epoch 1")
+	}
+	for i := int64(0); i < 4; i++ {
+		res, err := lp.Serve(fq(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Epoch != 1 {
+			t.Fatalf("pre-swap epoch %d", res.Epoch)
+		}
+		lp.Record(fq(i), res.Eval, 100) // expert executes at 10 → ratio 10
+	}
+	st := lp.Stats()
+	if st.Swaps != 1 || st.Retrains != 1 || st.Drifts != 1 {
+		t.Fatalf("expected one drift/retrain/swap, got %+v", st)
+	}
+	if lp.Epoch() != 2 || lp.Active() != Replica(green) {
+		t.Fatalf("green must serve at epoch 2 (epoch=%d)", lp.Epoch())
+	}
+	if green.trains.Load() != 1 {
+		t.Fatalf("standby trained %d times, want 1", green.trains.Load())
+	}
+	if green.saves.Load() != 1 || blue.loads.Load() != 1 {
+		t.Fatalf("weights not mirrored onto demoted replica: saves=%d loads=%d",
+			green.saves.Load(), blue.loads.Load())
+	}
+	// the drift window must restart clean after the swap
+	if win := lp.det.WindowState(); win.Mean != 0 {
+		t.Fatalf("detector window survived the swap: %+v", win)
+	}
+	// feedback reached both buffers
+	if blue.buf.Size() == 0 || green.buf.Size() == 0 {
+		t.Fatalf("feedback missing from a buffer: blue=%d green=%d", blue.buf.Size(), green.buf.Size())
+	}
+}
+
+// TestLoopCooldown: a second drift inside the cooldown must not retrain.
+func TestLoopCooldown(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Cooldown = 8
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(cfg, blue, green, nil)
+
+	record := func(n int, base int64) {
+		for i := int64(0); i < int64(n); i++ {
+			res, err := lp.Serve(fq(base + i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp.Record(fq(base+i), res.Eval, 100)
+		}
+	}
+	record(8, 0)
+	if st := lp.Stats(); st.Swaps != 1 {
+		t.Fatalf("first drift did not swap: %+v", st)
+	}
+	// regressions keep coming but the cooldown holds
+	record(7, 100)
+	if st := lp.Stats(); st.Swaps != 1 {
+		t.Fatalf("swap thrash inside cooldown: %+v", st)
+	}
+	record(1, 200)
+	if st := lp.Stats(); st.Swaps != 2 {
+		t.Fatalf("cooldown expiry did not allow the second retrain: %+v", st)
+	}
+}
+
+// TestServeNeverBlocksDuringRetrain holds a slow background retrain open and
+// requires Serve traffic to keep flowing through it (run with -race: this is
+// also the concurrency soak for the swap protocol).
+func TestServeNeverBlocksDuringRetrain(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Background = true
+	blue, green := newFake("blue"), newFake("green")
+	green.trainDelay = 150 * time.Millisecond
+	lp := New(cfg, blue, green, nil)
+
+	for i := int64(0); i < 4; i++ {
+		res, err := lp.Serve(fq(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp.Record(fq(i), res.Eval, 100)
+	}
+	// the background retrain is now sleeping inside TrainOn
+	var during atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(0); i < 50; i++ {
+				res, err := lp.Serve(fq(1000 + i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Eval == nil {
+					t.Error("nil plan during retrain")
+					return
+				}
+				if lp.Stats().Retraining {
+					during.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	lp.Wait()
+	if during.Load() == 0 {
+		t.Fatal("no request overlapped the retrain window; the soak proved nothing")
+	}
+	if st := lp.Stats(); st.Swaps != 1 || st.RetrainErrors != 0 {
+		t.Fatalf("background retrain did not complete cleanly: %+v", st)
+	}
+	if lp.Epoch() != 2 {
+		t.Fatalf("epoch %d after background swap, want 2", lp.Epoch())
+	}
+}
+
+// TestLoopStep: the convenience turn serves, executes, and records.
+func TestLoopStep(t *testing.T) {
+	blue, green := newFake("blue"), newFake("green")
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100 // never drift
+	lp := New(cfg, blue, green, nil)
+	res, lat, err := lp.Step(fq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 10 {
+		t.Fatalf("latency %v, want the fake's 10", lat)
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("epoch %d", res.Epoch)
+	}
+	st := lp.Stats()
+	if st.Served != 1 || st.Recorded != 1 {
+		t.Fatalf("counters %+v", st)
+	}
+}

@@ -1,0 +1,345 @@
+package workload
+
+// Drift scenarios: deterministic serving-distribution shifts over a loaded
+// benchmark, giving the online doctor loop something to adapt to. Three kinds
+// mirror how production query mixes move under the feet of a learned
+// optimizer:
+//
+//   - template-mix: the serving mix rotates from one half of the query
+//     templates to the other (a product launch changes which reports run);
+//   - selectivity: the same templates keep arriving but their parameters
+//     shift into the popular/unpopular data slices where the traditional
+//     estimator errs the most (a marketing push makes everyone query the
+//     newest titles);
+//   - novel-template: structurally new query shapes — leaf-dropped variants
+//     of existing templates — are injected alongside the familiar mix (a new
+//     dashboard ships).
+//
+// All generation is pure function of (workload, kind, options): the same seed
+// always yields the same query stream.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/foss-db/foss/internal/engine/stats"
+	"github.com/foss-db/foss/internal/query"
+)
+
+// DriftKind names a deterministic serving-distribution shift scenario.
+type DriftKind string
+
+// The three drift scenario kinds.
+const (
+	DriftTemplateMix   DriftKind = "template-mix"
+	DriftSelectivity   DriftKind = "selectivity"
+	DriftNovelTemplate DriftKind = "novel-template"
+)
+
+// DriftKinds lists the available scenario kinds.
+func DriftKinds() []DriftKind {
+	return []DriftKind{DriftTemplateMix, DriftSelectivity, DriftNovelTemplate}
+}
+
+// DriftOptions controls scenario generation.
+type DriftOptions struct {
+	Seed    int64
+	PreLen  int // queries before the shift
+	PostLen int // queries after the shift
+}
+
+func (o DriftOptions) normalized() DriftOptions {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.PreLen <= 0 {
+		o.PreLen = 60
+	}
+	if o.PostLen <= 0 {
+		o.PostLen = 60
+	}
+	return o
+}
+
+// DriftScenario is a two-phase query stream: Pre draws from the workload's
+// steady-state distribution, Post from the shifted one.
+type DriftScenario struct {
+	Kind DriftKind
+	Pre  []*query.Query
+	Post []*query.Query
+}
+
+// Stream returns the full serving sequence, Pre followed by Post.
+func (s *DriftScenario) Stream() []*query.Query {
+	out := make([]*query.Query, 0, len(s.Pre)+len(s.Post))
+	out = append(out, s.Pre...)
+	out = append(out, s.Post...)
+	return out
+}
+
+// ShiftAt returns the stream index where the distribution shifts.
+func (s *DriftScenario) ShiftAt() int { return len(s.Pre) }
+
+// TemplateHistogram counts queries per template name.
+func TemplateHistogram(qs []*query.Query) map[string]int {
+	h := map[string]int{}
+	for _, q := range qs {
+		h[q.Template]++
+	}
+	return h
+}
+
+// Drift builds the named scenario over a loaded workload. Every generated
+// query is validated against the workload's catalog before it is returned.
+func Drift(w *Workload, kind DriftKind, opts DriftOptions) (*DriftScenario, error) {
+	opts = opts.normalized()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var s *DriftScenario
+	var err error
+	switch kind {
+	case DriftTemplateMix:
+		s, err = driftTemplateMix(w, rng, opts)
+	case DriftSelectivity:
+		s, err = driftSelectivity(w, rng, opts)
+	case DriftNovelTemplate:
+		s, err = driftNovelTemplate(w, rng, opts)
+	default:
+		return nil, fmt.Errorf("workload: unknown drift kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range s.Stream() {
+		if err := validateAgainst(q, w); err != nil {
+			return nil, fmt.Errorf("workload: drift %s: %w", kind, err)
+		}
+	}
+	return s, nil
+}
+
+// validateAgainst checks a generated query structurally and against the
+// workload's catalog (the non-panicking sibling of mustValidate, since drift
+// generation is library API).
+func validateAgainst(q *query.Query, w *Workload) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for _, t := range q.Tables {
+		tab, ok := w.DB.Tables[t.Table]
+		if !ok {
+			return fmt.Errorf("query %s references unknown table %s", q.ID, t.Table)
+		}
+		cols := map[string]bool{}
+		for _, c := range tab.Meta.Columns {
+			cols[c.Name] = true
+		}
+		for _, f := range q.Filters {
+			if f.Alias == t.Alias && !cols[f.Col] {
+				return fmt.Errorf("query %s filters unknown column %s.%s", q.ID, t.Table, f.Col)
+			}
+		}
+	}
+	if !q.Connected() {
+		return fmt.Errorf("query %s has a disconnected join graph", q.ID)
+	}
+	return nil
+}
+
+// groupByTemplate partitions queries by template, with template names in
+// sorted order for determinism.
+func groupByTemplate(qs []*query.Query) ([]string, map[string][]*query.Query) {
+	by := map[string][]*query.Query{}
+	for _, q := range qs {
+		by[q.Template] = append(by[q.Template], q)
+	}
+	names := make([]string, 0, len(by))
+	for n := range by {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, by
+}
+
+// sampleFrom draws n queries uniformly (with replacement) from the pool.
+func sampleFrom(rng *rand.Rand, pool []*query.Query, n int) []*query.Query {
+	out := make([]*query.Query, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pool[rng.Intn(len(pool))])
+	}
+	return out
+}
+
+// driftTemplateMix serves one half of the templates pre-shift and the other
+// half post-shift.
+func driftTemplateMix(w *Workload, rng *rand.Rand, opts DriftOptions) (*DriftScenario, error) {
+	names, by := groupByTemplate(w.Train)
+	if len(names) < 2 {
+		return nil, fmt.Errorf("template-mix drift needs >= 2 templates, have %d", len(names))
+	}
+	half := len(names) / 2
+	var poolA, poolB []*query.Query
+	for _, n := range names[:half] {
+		poolA = append(poolA, by[n]...)
+	}
+	for _, n := range names[half:] {
+		poolB = append(poolB, by[n]...)
+	}
+	return &DriftScenario{
+		Kind: DriftTemplateMix,
+		Pre:  sampleFrom(rng, poolA, opts.PreLen),
+		Post: sampleFrom(rng, poolB, opts.PostLen),
+	}, nil
+}
+
+// driftSelectivity keeps the template mix but re-parameterizes post-shift
+// filters into the extreme data slices — range predicates move to the top or
+// bottom decile of each column's domain, exactly where the correlated data
+// makes single-column histograms misestimate the hardest.
+func driftSelectivity(w *Workload, rng *rand.Rand, opts DriftOptions) (*DriftScenario, error) {
+	pre := sampleFrom(rng, w.Train, opts.PreLen)
+	post := make([]*query.Query, 0, opts.PostLen)
+	for i := 0; i < opts.PostLen; i++ {
+		base := w.Train[rng.Intn(len(w.Train))]
+		post = append(post, shiftSelectivity(w, base, rng, i))
+	}
+	return &DriftScenario{Kind: DriftSelectivity, Pre: pre, Post: post}, nil
+}
+
+// shiftSelectivity clones a query with its range filters pushed into extreme
+// deciles of the filtered column's domain (taken from the stats catalog).
+// Equality and membership filters are left alone: they bind dimension keys
+// whose domains are tiny.
+func shiftSelectivity(w *Workload, base *query.Query, rng *rand.Rand, idx int) *query.Query {
+	q := cloneQuery(base)
+	q.ID = fmt.Sprintf("%s_sel%d", base.ID, idx)
+	for i, f := range q.Filters {
+		cs := columnStats(w, base, f.Alias, f.Col)
+		if cs == nil {
+			continue
+		}
+		span := cs.Max - cs.Min
+		if span < 10 {
+			continue
+		}
+		jitter := rng.Int63n(span/20 + 1)
+		switch f.Op {
+		case query.Gt, query.Ge:
+			// top decile: the popular/recent slice, where true join fanout is
+			// far above the histogram's average (underestimation regime)
+			q.Filters[i].Val = cs.Min + span*17/20 + jitter
+		case query.Lt, query.Le:
+			// bottom decile: the near-dead slice, where the histogram prices
+			// full average fanout that never materializes (overestimation)
+			q.Filters[i].Val = cs.Min + span*3/20 - jitter
+		case query.Between:
+			lo := cs.Min + span*16/20 + jitter
+			q.Filters[i].Val = lo
+			q.Filters[i].Hi = lo + span/10
+		}
+	}
+	return q
+}
+
+// driftNovelTemplate injects structurally new query shapes: leaf-dropped
+// variants of existing templates, mixed 50/50 with the familiar stream.
+func driftNovelTemplate(w *Workload, rng *rand.Rand, opts DriftOptions) (*DriftScenario, error) {
+	pre := sampleFrom(rng, w.Train, opts.PreLen)
+	// Deterministic novel pool: every train query that admits a leaf drop.
+	var novel []*query.Query
+	for _, base := range w.Train {
+		if v := dropLeafVariant(base); v != nil {
+			novel = append(novel, v)
+		}
+	}
+	if len(novel) == 0 {
+		return nil, fmt.Errorf("novel-template drift: no query admits a leaf drop")
+	}
+	post := make([]*query.Query, 0, opts.PostLen)
+	for i := 0; i < opts.PostLen; i++ {
+		if i%2 == 0 {
+			post = append(post, novel[rng.Intn(len(novel))])
+		} else {
+			post = append(post, w.Train[rng.Intn(len(w.Train))])
+		}
+	}
+	return &DriftScenario{Kind: DriftNovelTemplate, Pre: pre, Post: post}, nil
+}
+
+// dropLeafVariant derives a novel template from a query by removing one
+// degree-1 alias from its join graph (plus the joins and filters touching
+// it), keeping the result connected, >= 3 tables, and still filtered. Returns
+// nil when no alias qualifies.
+func dropLeafVariant(base *query.Query) *query.Query {
+	if base.NumTables() <= 3 {
+		return nil
+	}
+	degree := map[string]int{}
+	for _, j := range base.Joins {
+		degree[j.LA]++
+		degree[j.RA]++
+	}
+	for i := len(base.Tables) - 1; i >= 0; i-- {
+		alias := base.Tables[i].Alias
+		if degree[alias] != 1 {
+			continue
+		}
+		q := cloneQuery(base)
+		q.ID = base.ID + "_novel"
+		q.Template = "novel:" + base.Template
+		q.Tables = append(q.Tables[:i:i], q.Tables[i+1:]...)
+		var joins []query.JoinPred
+		for _, j := range base.Joins {
+			if !j.Touches(alias) {
+				joins = append(joins, j)
+			}
+		}
+		q.Joins = joins
+		var filters []query.Filter
+		for _, f := range base.Filters {
+			if f.Alias != alias {
+				filters = append(filters, f)
+			}
+		}
+		if len(filters) == 0 {
+			continue // an unfiltered join star would dominate the stream
+		}
+		q.Filters = filters
+		if !q.Connected() {
+			continue
+		}
+		return q
+	}
+	return nil
+}
+
+// cloneQuery deep-copies a query so scenario mutations never alias the
+// workload's own instances.
+func cloneQuery(q *query.Query) *query.Query {
+	c := &query.Query{
+		ID:       q.ID,
+		Template: q.Template,
+		Tables:   append([]query.TableRef(nil), q.Tables...),
+		Joins:    append([]query.JoinPred(nil), q.Joins...),
+		Filters:  append([]query.Filter(nil), q.Filters...),
+	}
+	for i, f := range c.Filters {
+		if f.Set != nil {
+			c.Filters[i].Set = append([]int64(nil), f.Set...)
+		}
+	}
+	return c
+}
+
+// columnStats resolves the stats entry for alias.col in the query, or nil.
+func columnStats(w *Workload, q *query.Query, alias, col string) *stats.ColumnStats {
+	table := q.TableOf(alias)
+	if table == "" {
+		return nil
+	}
+	ts := w.Stats.Table(table)
+	if ts == nil {
+		return nil
+	}
+	return ts.Cols[col]
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/foss-db/foss/internal/query"
+)
+
+// driftSQLs renders a scenario's full stream for equality comparison.
+func driftSQLs(s *DriftScenario) []string {
+	var out []string
+	for _, q := range s.Stream() {
+		out = append(out, q.ID+"|"+q.SQL())
+	}
+	return out
+}
+
+// TestDriftScenarios is the table-driven sweep: every kind on every
+// benchmark must generate, validate against the catalog, be deterministic
+// per seed, respond to the seed, and actually shift the distribution.
+func TestDriftScenarios(t *testing.T) {
+	opts := DriftOptions{Seed: 7, PreLen: 40, PostLen: 40}
+	for _, name := range Names() {
+		w, err := Load(name, Options{Seed: 1, Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainFP := map[uint64]bool{}
+		for _, q := range w.Train {
+			trainFP[q.Fingerprint()] = true
+		}
+		for _, kind := range DriftKinds() {
+			t.Run(name+"/"+string(kind), func(t *testing.T) {
+				s, err := Drift(w, kind, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(s.Pre) != opts.PreLen || len(s.Post) != opts.PostLen {
+					t.Fatalf("lengths %d/%d, want %d/%d", len(s.Pre), len(s.Post), opts.PreLen, opts.PostLen)
+				}
+				if s.ShiftAt() != opts.PreLen {
+					t.Fatalf("ShiftAt %d, want %d", s.ShiftAt(), opts.PreLen)
+				}
+
+				// Catalog validity: Drift validates internally, but assert the
+				// invariants here too so a regression names the query.
+				for _, q := range s.Stream() {
+					if err := q.Validate(); err != nil {
+						t.Fatalf("invalid query: %v", err)
+					}
+					if !q.Connected() {
+						t.Fatalf("query %s disconnected", q.ID)
+					}
+					for _, tr := range q.Tables {
+						if _, ok := w.DB.Tables[tr.Table]; !ok {
+							t.Fatalf("query %s references unknown table %s", q.ID, tr.Table)
+						}
+					}
+				}
+
+				// Deterministic per seed: regeneration is bit-identical.
+				again, err := Drift(w, kind, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, b := driftSQLs(s), driftSQLs(again)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("stream[%d] differs across identical seeds:\n%s\n%s", i, a[i], b[i])
+					}
+				}
+
+				// The seed must matter.
+				other, err := Drift(w, kind, DriftOptions{Seed: 8, PreLen: 40, PostLen: 40})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := driftSQLs(other)
+				same := 0
+				for i := range a {
+					if a[i] == c[i] {
+						same++
+					}
+				}
+				if same == len(a) {
+					t.Fatal("seed has no effect on the drift stream")
+				}
+
+				// The distribution must actually shift.
+				switch kind {
+				case DriftTemplateMix, DriftNovelTemplate:
+					preH, postH := TemplateHistogram(s.Pre), TemplateHistogram(s.Post)
+					if histogramsEqual(preH, postH) {
+						t.Fatal("template histogram identical pre/post shift")
+					}
+					if kind == DriftTemplateMix {
+						// mix shift: the two phases share no template at all
+						for tpl := range preH {
+							if postH[tpl] > 0 {
+								t.Fatalf("template %s served in both phases of a mix shift", tpl)
+							}
+						}
+					}
+					if kind == DriftNovelTemplate {
+						novel := 0
+						for tpl, n := range postH {
+							if len(tpl) > 6 && tpl[:6] == "novel:" {
+								novel += n
+							}
+						}
+						if novel == 0 {
+							t.Fatal("no novel templates injected post-shift")
+						}
+					}
+				case DriftSelectivity:
+					// same templates, new parameters: post fingerprints must
+					// leave the training distribution
+					fresh := 0
+					for _, q := range s.Post {
+						if !trainFP[q.Fingerprint()] {
+							fresh++
+						}
+					}
+					if fresh == 0 {
+						t.Fatal("selectivity shift produced no unseen fingerprints")
+					}
+					preH, postH := TemplateHistogram(s.Pre), TemplateHistogram(s.Post)
+					if len(preH) == 0 || len(postH) == 0 {
+						t.Fatal("empty histograms")
+					}
+				}
+			})
+		}
+	}
+}
+
+func histogramsEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDriftUnknownKind rejects kinds the generator does not know.
+func TestDriftUnknownKind(t *testing.T) {
+	w, err := Load("job", Options{Seed: 1, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drift(w, DriftKind("bogus"), DriftOptions{}); err == nil {
+		t.Fatal("expected error for unknown drift kind")
+	}
+}
+
+// TestDropLeafVariant covers the novel-template derivation directly: the
+// variant must lose exactly one degree-1 alias and stay connected/filtered.
+func TestDropLeafVariant(t *testing.T) {
+	w, err := Load("job", Options{Seed: 1, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := 0
+	for _, base := range w.Train {
+		v := dropLeafVariant(base)
+		if v == nil {
+			continue
+		}
+		derived++
+		if v.NumTables() != base.NumTables()-1 {
+			t.Fatalf("%s: variant has %d tables, base %d", base.ID, v.NumTables(), base.NumTables())
+		}
+		if len(v.Filters) == 0 {
+			t.Fatalf("%s: variant lost every filter", base.ID)
+		}
+		if !v.Connected() {
+			t.Fatalf("%s: variant disconnected", base.ID)
+		}
+		if v.Template == base.Template {
+			t.Fatalf("%s: variant kept template name", base.ID)
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("%s: %v", base.ID, err)
+		}
+		// the base query must be untouched by derivation
+		if err := base.Validate(); err != nil {
+			t.Fatalf("%s mutated: %v", base.ID, err)
+		}
+	}
+	if derived < 10 {
+		t.Fatalf("only %d/%d train queries admit a leaf drop", derived, len(w.Train))
+	}
+	_ = query.Query{}
+}

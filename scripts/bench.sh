@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — the repository's perf snapshot: runs the parallel-training and
+# online-serving benchmarks and emits a machine-readable BENCH_2.json.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=3x scripts/bench.sh   # more iterations per benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+benchtime="${BENCHTIME:-1x}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench TrainParallel|ServeOnline (benchtime=$benchtime) =="
+go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline' \
+  -benchtime "$benchtime" . | tee "$tmp"
+
+awk -v arch="$(uname -m)" -v ncpu="$(nproc 2>/dev/null || echo 1)" \
+    -v benchtime="$benchtime" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    rows = rows sep sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", name, $2, $3)
+    sep = ",\n"
+  }
+  END {
+    if (rows == "") { print "no benchmark rows parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"schema\": \"foss-bench/1\",\n"
+    printf "  \"pr\": 2,\n"
+    printf "  \"arch\": \"%s\",\n", arch
+    printf "  \"cpus\": %s,\n", ncpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n%s\n  ]\n", rows
+    printf "}\n"
+  }' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -31,9 +31,17 @@ echo "== determinism: Workers=1 vs sequential, parallel replay =="
 # TestParallelTrainingDeterministic: two Workers=3 runs must be bit-identical.
 go test -count=1 -run 'TestWorkersZeroAndOneIdentical|TestParallelTrainingDeterministic' ./internal/core/
 
+echo "== determinism: online loop replay =="
+# TestOnlineRunDeterministic: two full drift-adapt runs must be bit-identical.
+go test -count=1 -run 'TestOnlineRunDeterministic' ./internal/core/
+
 if [[ $quick -eq 0 ]]; then
   ncpu=$(nproc 2>/dev/null || echo 1)
   if [[ "$ncpu" -ge 4 ]]; then
+    echo "== perf snapshot (BENCH_2.json) =="
+    # Hardware-gated like the speedup check: on weak runners the numbers are
+    # noise; run `make bench` manually to refresh the snapshot anywhere.
+    scripts/bench.sh
     echo "== parallel training speedup (workers=1 vs workers=4) =="
     go test -run xxx -bench 'BenchmarkTrainParallel/workers=(1|4)$' -benchtime 3x . | tee /tmp/foss_bench.txt
     awk '
@@ -47,7 +55,7 @@ if [[ $quick -eq 0 ]]; then
         }
       }' /tmp/foss_bench.txt
   else
-    echo "== skipping speedup check: only $ncpu CPU(s) available (needs >= 4) =="
+    echo "== skipping bench snapshot + speedup check: only $ncpu CPU(s) available (needs >= 4) =="
   fi
 fi
 
