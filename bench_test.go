@@ -5,6 +5,7 @@
 package foss_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -102,6 +103,61 @@ func BenchmarkServeOnline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeBatch measures batched doctor inference on a trained system
+// with the plan cache disabled (every request does real model work): "seq"
+// serves a fixed 16-query set one ServeContext at a time, "batch" serves the
+// same set through one ServeBatch call whose candidates share a single
+// stacked AAM scoring pass. Identical work per op — compare ns/op directly
+// for the batching win.
+func BenchmarkServeBatch(b *testing.B) {
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.35})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	cfg.PlanCache = 0 // measure inference, not cache hits
+	cfg.Learner.Iterations = 1
+	cfg.Learner.RealPerIter = 6
+	cfg.Learner.SimPerIter = 20
+	cfg.Learner.ValidatePerIter = 6
+	cfg.Learner.InferenceRollouts = 2
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Train(nil); err != nil {
+		b.Fatal(err)
+	}
+	err = sys.EnableOnline(service.Config{
+		Detector:   service.DetectorConfig{Window: 32, Threshold: 1e12, MinSamples: 32},
+		Cooldown:   1 << 30,
+		Background: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	queries := w.Train[:16]
+
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if _, err := sys.ServeContext(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.ServeBatch(ctx, queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTableI_JOB regenerates the JOB column of Table I (all six

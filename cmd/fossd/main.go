@@ -10,15 +10,22 @@
 //
 //	fossd -workload job -scale 0.5 -iters 6 -sim 120 -real 30 -validate 30 -workers 4
 //	fossd -workload job -scale 0.5 -iters 4 -online -drift selectivity -sync-retrain
+//	fossd -workload job -backend gaussim -iters 4
+//	fossd -workload job -iters 4 -serve-http :8475
+//
+// With -serve-http the trained doctor stays up as a JSON HTTP service
+// (POST /v1/optimize, POST /v1/feedback, GET /v1/stats) until interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	goruntime "runtime"
 	"time"
 
+	"github.com/foss-db/foss/internal/backend"
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/learner"
 	"github.com/foss-db/foss/internal/metrics"
@@ -55,6 +62,8 @@ func main() {
 		workers     = flag.Int("workers", 1, "training episode fan-out; 1 (default) is the sequential reproducible baseline — trained models depend on this value, so raise it only when wall-clock matters more than cross-machine comparability")
 		evalWorkers = flag.Int("eval-workers", defaultWorkers(), "evaluation request fan-out (plan choices are per-query deterministic, so this never changes results)")
 		cacheSize   = flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
+		backendName = flag.String("backend", "selinger", "optimizer backend: selinger | gaussim")
+		serveHTTP   = flag.String("serve-http", "", "after training, serve the doctor as a JSON HTTP service on this address (e.g. :8475)")
 
 		online       = flag.Bool("online", false, "after training, run the online doctor loop over a drift scenario (feedback ingestion, drift-aware background retraining, zero-downtime hot-swap)")
 		drift        = flag.String("drift", "selectivity", "drift scenario for -online: template-mix | selectivity | novel-template")
@@ -89,14 +98,20 @@ func main() {
 	cfg.Learner.SimPerIter = *simEp
 	cfg.Learner.ValidatePerIter = *validate
 	cfg.Learner.InferenceRollouts = *rollouts
-	sys, err := core.New(w, cfg)
+	be, err := backend.New(*backendName, w.DB, w.Stats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "backend:", err)
+		os.Exit(1)
+	}
+	sys, err := core.New(w, cfg, core.WithBackend(be))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "new:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("runtime: workers=%d eval-workers=%d cache=%d\n", *workers, *evalWorkers, *cacheSize)
+	fmt.Printf("runtime: backend=%s workers=%d eval-workers=%d cache=%d\n", be.Name(), *workers, *evalWorkers, *cacheSize)
 
-	err = sys.Train(func(st learner.IterStats) {
+	ctx := context.Background()
+	err = sys.TrainContext(ctx, func(st learner.IterStats) {
 		fmt.Printf("iter %d: buffer=%d aamLoss=%.3f aamAcc=%.2f ppoKL=%.4f validated=%d elapsed=%s\n",
 			st.Iter, st.BufferSize, st.AAMLoss, st.AAMAccuracy, st.PPO.ApproxKL, st.Validated,
 			time.Since(start).Truncate(time.Second))
@@ -118,7 +133,7 @@ func main() {
 		rows := make([]row, len(qs))
 		pool.Run(len(qs), func(_, i int) {
 			q := qs[i]
-			fcp, _, ot, err := sys.OptimizeCached(q)
+			fcp, _, ot, err := sys.OptimizeCachedContext(ctx, q)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "optimize %s: %v\n", q.ID, err)
 				return
@@ -169,7 +184,7 @@ func main() {
 	if *online {
 		fmt.Println("--- online doctor loop ---")
 		frozen := buildFrozen(sys)
-		err := runOnline(sys, frozen, w, onlineOpts{
+		err := runOnline(ctx, sys, frozen, w, onlineOpts{
 			kind:         *drift,
 			driftSeed:    *driftSeed,
 			pre:          *preLen,
@@ -182,6 +197,18 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "online:", err)
+			os.Exit(1)
+		}
+	}
+	if *serveHTTP != "" {
+		if err := runHTTP(sys, w, *serveHTTP, onlineOpts{
+			window:       *window,
+			threshold:    *threshold,
+			noveltyFrac:  *noveltyFrac,
+			retrainIters: *retrainIters,
+			sync:         *syncRetrain,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "serve-http:", err)
 			os.Exit(1)
 		}
 	}

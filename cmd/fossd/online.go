@@ -7,6 +7,7 @@ package main
 // tail.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -30,7 +31,7 @@ type onlineOpts struct {
 
 // runOnline drives the online doctor loop over a drift scenario and prints
 // segment summaries plus the frozen-model comparison.
-func runOnline(sys *core.System, frozen *core.System, w *workload.Workload, o onlineOpts) error {
+func runOnline(ctx context.Context, sys *core.System, frozen *core.System, w *workload.Workload, o onlineOpts) error {
 	scen, err := workload.Drift(w, workload.DriftKind(o.kind), workload.DriftOptions{
 		Seed: o.driftSeed, PreLen: o.pre, PostLen: o.post,
 	})
@@ -60,7 +61,7 @@ func runOnline(sys *core.System, frozen *core.System, w *workload.Workload, o on
 	firstSwap := -1
 	start := time.Now()
 	for i, q := range stream {
-		_, lat, err := sys.ServeStep(q)
+		_, lat, err := sys.ServeStepContext(ctx, q)
 		if err != nil {
 			return fmt.Errorf("serve %s: %w", q.ID, err)
 		}
@@ -92,7 +93,7 @@ func runOnline(sys *core.System, frozen *core.System, w *workload.Workload, o on
 	if frozen != nil {
 		frozenSum, onlineSum := 0.0, 0.0
 		for i := shift; i < len(stream); i++ {
-			cp, _, err := frozen.Optimize(stream[i])
+			cp, _, err := frozen.OptimizeContext(ctx, stream[i])
 			if err != nil {
 				return err
 			}

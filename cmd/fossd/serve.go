@@ -1,0 +1,78 @@
+package main
+
+// The -serve-http mode: keep the trained doctor up as a JSON HTTP service so
+// the online loop can take traffic from outside the process.
+//
+//	curl -s localhost:8475/v1/optimize -d '{"query_id": "1_1", "execute": true}'
+//	curl -s localhost:8475/v1/feedback -d '{"serve_id": "s1", "latency_ms": 42.5}'
+//	curl -s localhost:8475/v1/stats
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/foss-db/foss/internal/core"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/workload"
+)
+
+// runHTTP enables the online loop (unless -online already did) and serves
+// the wire surface until SIGINT/SIGTERM.
+func runHTTP(sys *core.System, w *workload.Workload, addr string, o onlineOpts) error {
+	if sys.Online() == nil {
+		err := sys.EnableOnline(service.Config{
+			Detector: service.DetectorConfig{
+				Window:      o.window,
+				Threshold:   o.threshold,
+				MinSamples:  o.window / 2,
+				NoveltyFrac: o.noveltyFrac,
+			},
+			Cooldown:          o.window,
+			RetrainIterations: o.retrainIters,
+			RetrainQueries:    2 * o.window,
+			Background:        !o.sync,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	byID := map[string]*query.Query{}
+	for _, q := range w.All() {
+		byID[q.ID] = q
+	}
+	handler := service.NewHTTPServer(sys.Online(), service.HTTPOptions{
+		Resolve: func(id string) *query.Query { return byID[id] },
+	})
+	srv := &http.Server{Addr: addr, Handler: handler}
+
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nshutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		close(done)
+	}()
+
+	fmt.Printf("serving HTTP on %s (backend=%s, %d known query ids)\n", addr, sys.BackendName(), len(byID))
+	fmt.Println("  POST /v1/optimize   {\"query_id\": \"...\"} | {\"query_ids\": [...]} | inline specs; add \"execute\": true for a full doctor-loop turn")
+	fmt.Println("  POST /v1/feedback   {\"serve_id\": \"...\", \"latency_ms\": ...}")
+	fmt.Println("  GET  /v1/stats")
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	<-done
+	sys.Online().Wait() // drain any in-flight background retrain
+	fmt.Printf("final online stats: %s\n", sys.OnlineStats())
+	return nil
+}

@@ -1,6 +1,9 @@
 // Ablation runs a miniature maxsteps sweep (the paper's §VI-C1 analysis):
 // larger maxsteps widen the search space per episode but make both the
-// agent's exploration and the AAM's selection harder.
+// agent's exploration and the AAM's selection harder. The sweep runs once
+// per optimizer backend — the paper's cross-DBMS protocol — with each
+// backend's GMRL measured against its own expert on its own latency
+// surface.
 package main
 
 import (
@@ -8,21 +11,25 @@ import (
 	"log"
 	"os"
 
+	"github.com/foss-db/foss/internal/backend"
 	"github.com/foss-db/foss/internal/experiments"
 )
 
 func main() {
-	opts := experiments.Opts{Scale: 0.25, Seed: 1, Fast: true}
-	fmt.Println("mini maxsteps sweep on JOB (fast budgets):")
-	for _, ab := range []experiments.AblationName{
-		experiments.Maxsteps2, experiments.Maxsteps3,
-		experiments.Maxsteps4, experiments.Maxsteps5,
-	} {
-		row, _, err := experiments.RunAblation(os.Stdout, "job", ab, opts, false)
-		if err != nil {
-			log.Fatal(err)
+	for _, be := range backend.Names() {
+		opts := experiments.Opts{Scale: 0.25, Seed: 1, Fast: true, Backend: be}
+		fmt.Printf("mini maxsteps sweep on JOB, backend=%s (expert baseline: %s):\n",
+			be, experiments.ExpertName(be))
+		for _, ab := range []experiments.AblationName{
+			experiments.Maxsteps2, experiments.Maxsteps3,
+			experiments.Maxsteps4, experiments.Maxsteps5,
+		} {
+			row, _, err := experiments.RunAblation(os.Stdout, "job", ab, opts, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-20s trainTime=%6.1fs optTime=%7.2fms GMRL=%.3f\n",
+				row.Config, row.TrainTimeSec, row.OptTimeMs, row.GMRL)
 		}
-		fmt.Printf("  %-20s trainTime=%6.1fs optTime=%7.2fms GMRL=%.3f\n",
-			row.Config, row.TrainTimeSec, row.OptTimeMs, row.GMRL)
 	}
 }

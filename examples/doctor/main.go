@@ -11,16 +11,21 @@
 // detector notices, a retrain runs against the live feedback, and the
 // refreshed model is hot-swapped in — after which the shifted tail runs
 // faster than a frozen copy of the same model ever would.
+//
+// Part three ports the doctor to a second hospital: the same machinery
+// trains over the gaussim backend (a hash-centric engine with different
+// cost-model error), whose expert leaves different latency on the table —
+// and the doctor recovers it there too.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"github.com/foss-db/foss/internal/aam"
+	"github.com/foss-db/foss/internal/backend"
 	"github.com/foss-db/foss/internal/core"
-	"github.com/foss-db/foss/internal/engine/exec"
-	"github.com/foss-db/foss/internal/optimizer"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/workload"
@@ -31,8 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := optimizer.New(w.DB, w.Stats)
-	ex := exec.New(w.DB)
+	be := backend.NewSelinger(w.DB, w.Stats)
 
 	// Scan the workload for the best single-override win: the 1b pattern.
 	type win struct {
@@ -43,11 +47,11 @@ func main() {
 	}
 	var best win
 	for _, q := range w.All() {
-		cp, err := opt.Plan(q)
+		cp, err := be.Plan(q)
 		if err != nil {
 			continue
 		}
-		origLat := ex.Execute(cp, 0).LatencyMs
+		origLat := be.Execute(cp, 0).LatencyMs
 		icp, err := plan.Extract(cp)
 		if err != nil {
 			continue
@@ -59,11 +63,11 @@ func main() {
 			if err != nil {
 				continue
 			}
-			hcp, err := opt.HintedPlan(q, next)
+			hcp, err := be.HintedPlan(q, next)
 			if err != nil {
 				continue
 			}
-			res := ex.Execute(hcp, origLat*1.5)
+			res := be.Execute(hcp, origLat*1.5)
 			if res.TimedOut {
 				continue
 			}
@@ -88,6 +92,9 @@ func main() {
 
 	fmt.Println("\n--- part two: the doctor stays on call ---")
 	onlineDemo(w)
+
+	fmt.Println("\n--- part three: the doctor changes hospitals ---")
+	portabilityDemo(w)
 }
 
 // onlineDemo trains a small FOSS system, then runs the online loop over a
@@ -106,8 +113,9 @@ func onlineDemo(w *workload.Workload) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	fmt.Println("training offline...")
-	if err := sys.Train(nil); err != nil {
+	if err := sys.TrainContext(ctx, nil); err != nil {
 		log.Fatal(err)
 	}
 
@@ -141,11 +149,11 @@ func onlineDemo(w *workload.Workload) {
 	var onlineSum, frozenSum float64
 	var lastSwaps uint64
 	for i, q := range scen.Stream() {
-		_, lat, err := sys.ServeStep(q)
+		_, lat, err := sys.ServeStepContext(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cp, _, err := frozen.Optimize(q)
+		cp, _, err := frozen.OptimizeContext(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -167,4 +175,49 @@ func onlineDemo(w *workload.Workload) {
 	fmt.Printf("shifted tail, online model: %8.2fms mean (%.2fx)\n",
 		onlineSum/n, (frozenSum/n)/(onlineSum/n))
 	fmt.Println("\nthe doctor that keeps learning beats the doctor that graduated.")
+}
+
+// portabilityDemo trains the identical doctor machinery over the gaussim
+// backend — the openGauss-flavored engine whose cost model errs in different
+// directions — and shows it repairing that engine's regret too.
+func portabilityDemo(w *workload.Workload) {
+	ctx := context.Background()
+	cfg := core.DefaultConfig()
+	cfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	cfg.Learner.Iterations = 2
+	cfg.Learner.RealPerIter = 8
+	cfg.Learner.SimPerIter = 30
+	cfg.Learner.ValidatePerIter = 8
+	cfg.Learner.InferenceRollouts = 2
+
+	for _, name := range backend.Names() {
+		be, err := backend.New(name, w.DB, w.Stats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := core.New(w, cfg, core.WithBackend(be))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("training the doctor over %q...\n", name)
+		if err := sys.TrainContext(ctx, nil); err != nil {
+			log.Fatal(err)
+		}
+		var expertMs, fossMs float64
+		plans, _, err := sys.OptimizeBatch(ctx, w.Test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, cp := range plans {
+			ecp, _, err := sys.ExpertPlan(w.Test[i])
+			if err != nil {
+				continue
+			}
+			expertMs += sys.Execute(ecp)
+			fossMs += sys.Execute(cp)
+		}
+		fmt.Printf("  %-9s test split: expert %8.1f ms -> doctored %8.1f ms (%.2fx)\n",
+			name, expertMs, fossMs, expertMs/fossMs)
+	}
+	fmt.Println("\nsame doctor, different hospitals: the steering layer is backend-portable.")
 }

@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"log"
 
+	"github.com/foss-db/foss/internal/backend"
 	"github.com/foss-db/foss/internal/baselines/bao"
-	"github.com/foss-db/foss/internal/engine/exec"
 	"github.com/foss-db/foss/internal/optimizer"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/workload"
@@ -22,26 +22,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := optimizer.New(w.DB, w.Stats)
-	ex := exec.New(w.DB)
+	// The backend API: Plan/HintedPlan/Execute are the contract every engine
+	// implements; coarse hinting is a Selinger-specific capability.
+	be := backend.NewSelinger(w.DB, w.Stats)
 
 	fmt.Printf("%-8s %10s %12s %12s %9s\n", "query", "expert", "bestCoarse", "bestFine(2)", "gap")
 	totalCoarse, totalFine := 0.0, 0.0
 	for _, q := range w.Train[:12] {
-		cp, err := opt.Plan(q)
+		cp, err := be.Plan(q)
 		if err != nil {
 			continue
 		}
-		origLat := ex.Execute(cp, 0).LatencyMs
+		origLat := be.Execute(cp, 0).LatencyMs
 
 		// Coarse: best of Bao's five hint sets.
 		bestCoarse := origLat
 		for _, h := range bao.DefaultHintSets() {
-			hcp, err := opt.PlanWithConfig(q, optimizer.Config{DisabledJoins: h.Disabled})
+			hcp, err := be.PlanCoarse(q, optimizer.Config{DisabledJoins: h.Disabled})
 			if err != nil {
 				continue
 			}
-			if r := ex.Execute(hcp, origLat*2); !r.TimedOut && r.LatencyMs < bestCoarse {
+			if r := be.Execute(hcp, origLat*2); !r.TimedOut && r.LatencyMs < bestCoarse {
 				bestCoarse = r.LatencyMs
 			}
 		}
@@ -58,8 +59,8 @@ func main() {
 			if err != nil {
 				continue
 			}
-			if hcp, err := opt.HintedPlan(q, next1); err == nil {
-				if r := ex.Execute(hcp, origLat*1.5); !r.TimedOut && r.LatencyMs < bestFine {
+			if hcp, err := be.HintedPlan(q, next1); err == nil {
+				if r := be.Execute(hcp, origLat*1.5); !r.TimedOut && r.LatencyMs < bestFine {
 					bestFine = r.LatencyMs
 				}
 			}
@@ -68,11 +69,11 @@ func main() {
 				if err != nil {
 					continue
 				}
-				hcp, err := opt.HintedPlan(q, next2)
+				hcp, err := be.HintedPlan(q, next2)
 				if err != nil {
 					continue
 				}
-				if r := ex.Execute(hcp, origLat*1.5); !r.TimedOut && r.LatencyMs < bestFine {
+				if r := be.Execute(hcp, origLat*1.5); !r.TimedOut && r.LatencyMs < bestFine {
 					bestFine = r.LatencyMs
 				}
 			}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -29,8 +30,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	fmt.Println("training FOSS on JOB...")
-	if err := sys.Train(func(st learner.IterStats) {
+	if err := sys.TrainContext(ctx, func(st learner.IterStats) {
 		fmt.Printf("  iter %d: buffer=%d aamAcc=%.2f validated=%d\n",
 			st.Iter, st.BufferSize, st.AAMAccuracy, st.Validated)
 	}); err != nil {
@@ -50,7 +52,7 @@ func main() {
 	} {
 		var fossRes, pgRes []metrics.QueryResult
 		for _, q := range split.qs {
-			fcp, ot, err := sys.Optimize(q)
+			fcp, ot, err := sys.OptimizeContext(ctx, q)
 			if err != nil {
 				continue
 			}

@@ -1,7 +1,9 @@
-// Quickstart: load a benchmark, train FOSS briefly, and doctor one query.
+// Quickstart: load a benchmark, train FOSS briefly, and doctor one query —
+// then doctor a whole batch in one call.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -9,6 +11,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Generate the JOB-like benchmark at quarter scale (fast to build).
 	w, err := foss.LoadWorkload("job", foss.WorkloadOptions{Seed: 1, Scale: 0.25})
 	if err != nil {
@@ -16,6 +20,7 @@ func main() {
 	}
 	fmt.Printf("loaded %s: %d rows, %d train / %d test queries\n",
 		w.Name, w.DB.TotalRows(), len(w.Train), len(w.Test))
+	fmt.Printf("available backends: %v (this run uses the default)\n", foss.BackendNames())
 
 	cfg := foss.DefaultConfig()
 	cfg.Learner.Iterations = 3
@@ -27,7 +32,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("training FOSS (3 short iterations)...")
-	if err := sys.Train(nil); err != nil {
+	if err := sys.TrainContext(ctx, nil); err != nil {
 		log.Fatal(err)
 	}
 
@@ -38,11 +43,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	doctored, optTime, err := sys.Optimize(q)
+	doctored, optTime, err := sys.OptimizeContext(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nexpert plan (simulated %.1f ms):\n%s", sys.Execute(expert), expert)
 	fmt.Printf("\nFOSS plan (simulated %.1f ms, optimized in %v):\n%s",
 		sys.Execute(doctored), optTime.Truncate(1e6), doctored)
+
+	// Batched serving: every query's candidates share one stacked AAM
+	// scoring pass — the per-query plans are bit-identical to one-at-a-time
+	// Optimize calls.
+	batch := w.Test
+	plans, batchTime, err := sys.OptimizeBatch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fossMs, expertMs float64
+	for i, cp := range plans {
+		fossMs += sys.Execute(cp)
+		if ecp, _, err := sys.ExpertPlan(batch[i]); err == nil {
+			expertMs += sys.Execute(ecp)
+		}
+	}
+	fmt.Printf("\nbatched the %d test queries in %v: expert %.0f ms vs FOSS %.0f ms total\n",
+		len(batch), batchTime.Truncate(1e6), expertMs, fossMs)
 }

@@ -8,6 +8,13 @@
 // indicator of a simulated environment that lets the agent bootstrap on
 // cheap experience.
 //
+// The doctor is backend-generic, mirroring the paper's PostgreSQL and
+// openGauss validation targets: every interaction with the underlying engine
+// goes through the Backend interface (expert plan enumeration, hint-steered
+// replanning, execution), and two backends ship — "selinger" (the default
+// synthetic engine) and "gaussim" (a hash-centric engine with a different
+// cost model and operator preferences).
+//
 // The package bundles everything the paper depends on, implemented in pure
 // Go: a column-store engine with a deterministic latency model, a
 // Selinger-style optimizer with hint steering, histogram statistics with
@@ -16,13 +23,23 @@
 // TPC-DS, Stack), and the four learned-optimizer baselines the paper
 // compares against (Bao, Balsa, Loger, HybridQO).
 //
-// Quick start:
+// Quick start (the context-aware API; the old Optimize(q)/Serve(q)/Train
+// signatures remain as thin deprecated wrappers):
 //
+//	ctx := context.Background()
 //	w, _ := foss.LoadWorkload("job", foss.WorkloadOptions{Seed: 1, Scale: 0.5})
 //	sys, _ := foss.New(w, foss.DefaultConfig())
-//	_ = sys.Train(nil)
-//	plan, optTime, _ := sys.Optimize(w.Test[0])
+//	_ = sys.TrainContext(ctx, nil)
+//	plan, optTime, _ := sys.OptimizeContext(ctx, w.Test[0])
 //	latency := sys.Execute(plan)
+//
+//	// batched serving: one stacked AAM scoring pass across the batch
+//	plans, _, _ := sys.OptimizeBatch(ctx, w.Test)
+//
+// Targeting a different optimizer backend:
+//
+//	be, _ := foss.NewBackend("gaussim", w)
+//	sys, _ := foss.New(w, foss.DefaultConfig(), foss.WithBackend(be))
 //
 // Online doctor loop (the paper's self-learned doctor kept learning after
 // deployment — drift-aware background retraining with zero-downtime model
@@ -30,15 +47,24 @@
 //
 //	_ = sys.EnableOnline(foss.DefaultOnlineConfig())
 //	for _, q := range liveQueries {
-//		res, _ := sys.Serve(q)              // lock-free w.r.t. retraining
+//		res, _ := sys.ServeContext(ctx, q)    // lock-free w.r.t. retraining
 //		lat := sys.Execute(res.Eval.CP)
-//		_ = sys.Record(q, res.Eval, lat)    // feedback -> buffer -> drift -> retrain
+//		_ = sys.Record(q, res.Eval, lat)      // feedback -> buffer -> drift -> retrain
 //	}
-//	fmt.Println(sys.OnlineStats())          // drift/retrain/swap counters
+//	fmt.Println(sys.OnlineStats())            // drift/retrain/swap counters
+//
+// The same loop is reachable over the wire: cmd/fossd -serve-http exposes
+// /v1/optimize, /v1/feedback, and /v1/stats as a JSON HTTP service (see
+// internal/service and the README's endpoint reference).
+//
+// Failures are classified by sentinel errors (ErrNoPlan, ErrNotOnline, ...)
+// that errors.Is recognizes through every wrapping layer.
 package foss
 
 import (
+	"github.com/foss-db/foss/internal/backend"
 	"github.com/foss-db/foss/internal/core"
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/workload"
 )
@@ -55,12 +81,41 @@ type Workload = workload.Workload
 // WorkloadOptions re-exports workload generation options.
 type WorkloadOptions = workload.Options
 
+// Backend re-exports the pluggable optimizer-backend contract: a backend
+// supplies schema and statistics, enumerates its native expert plan,
+// completes hint-steered replans, and executes plans for observed latency.
+// The doctor above it is backend-generic.
+type Backend = backend.Backend
+
+// Option re-exports the functional options accepted by New.
+type Option = core.Option
+
+// WithBackend builds the system over an explicit backend instead of the
+// default Selinger engine.
+func WithBackend(b Backend) Option { return core.WithBackend(b) }
+
+// WithWorkers overrides Config.Workers.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithPlanCache overrides Config.PlanCache.
+func WithPlanCache(entries int) Option { return core.WithPlanCache(entries) }
+
 // DefaultConfig returns the paper-mirroring configuration at repository
 // scale.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// New assembles a FOSS system over a loaded workload.
-func New(w *Workload, cfg Config) (*System, error) { return core.New(w, cfg) }
+// New assembles a FOSS system over a loaded workload. Functional options
+// select the backend and override serving-oriented tunables.
+func New(w *Workload, cfg Config, opts ...Option) (*System, error) { return core.New(w, cfg, opts...) }
+
+// NewBackend constructs a registered backend ("selinger", "gaussim") over a
+// loaded workload's data and statistics.
+func NewBackend(name string, w *Workload) (Backend, error) {
+	return backend.New(name, w.DB, w.Stats)
+}
+
+// BackendNames lists the registered backends.
+func BackendNames() []string { return backend.Names() }
 
 // LoadWorkload generates one of the three benchmarks: "job", "tpcds",
 // "stack".
@@ -71,6 +126,17 @@ func LoadWorkload(name string, opts WorkloadOptions) (*Workload, error) {
 // WorkloadNames lists the available benchmarks.
 func WorkloadNames() []string { return workload.Names() }
 
+// Sentinel errors of the public API; match with errors.Is.
+var (
+	ErrBadConfig       = fosserr.ErrBadConfig
+	ErrUnknownWorkload = fosserr.ErrUnknownWorkload
+	ErrUnknownBackend  = fosserr.ErrUnknownBackend
+	ErrNoPlan          = fosserr.ErrNoPlan
+	ErrNoCandidate     = fosserr.ErrNoCandidate
+	ErrNotOnline       = fosserr.ErrNotOnline
+	ErrBackendMismatch = fosserr.ErrBackendMismatch
+)
+
 // OnlineConfig re-exports the online doctor loop configuration
 // (System.EnableOnline).
 type OnlineConfig = service.Config
@@ -78,11 +144,25 @@ type OnlineConfig = service.Config
 // OnlineStats re-exports the loop's counters (System.OnlineStats).
 type OnlineStats = service.Stats
 
-// ServeResult re-exports one served request (System.Serve).
+// ServeResult re-exports one served request (System.ServeContext).
 type ServeResult = service.Result
 
 // DriftDetectorConfig re-exports the rolling drift-detector tuning.
 type DriftDetectorConfig = service.DetectorConfig
+
+// HTTPOptions re-exports the wire-surface configuration (NewHTTPServer).
+type HTTPOptions = service.HTTPOptions
+
+// NewHTTPServer exposes a system's online loop as the JSON HTTP service
+// (/v1/optimize, /v1/feedback, /v1/stats). EnableOnline must have been
+// called.
+func NewHTTPServer(sys *System, opts HTTPOptions) (*service.HTTPServer, error) {
+	lp := sys.Online()
+	if lp == nil {
+		return nil, ErrNotOnline
+	}
+	return service.NewHTTPServer(lp, opts), nil
+}
 
 // DefaultOnlineConfig returns the serving-oriented loop configuration:
 // 32-record rolling window, 1.15 mean regression threshold, 60% novelty

@@ -1,0 +1,473 @@
+package core_test
+
+// Cross-backend contract tests for the Backend redesign:
+//
+//   - TestSelingerGoldenBitIdentical replays the exact pre-refactor run
+//     captured in testdata/golden_selinger.txt and requires bit-identical
+//     plans and latencies — the proof that extracting the Backend interface
+//     changed nothing for the default engine.
+//   - TestCrossBackendParity drives the full train→serve→record doctor loop
+//     over every registered backend behind the same interface.
+//   - TestOptimizeBatchMatchesSingle pins the batched serving path to the
+//     sequential one, per backend.
+//   - TestSetBackendCacheIsolation proves a live backend swap can never
+//     serve a plan completed by the previous backend.
+//   - TestServeBatchCancellation (-race) proves an in-flight ServeBatch
+//     returns promptly once its deadline passes.
+//   - TestHTTPRoundTripRealSystem runs the wire surface over a genuinely
+//     trained system: /v1/optimize → /v1/feedback → /v1/stats.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/foss-db/foss/internal/aam"
+	"github.com/foss-db/foss/internal/backend"
+	"github.com/foss-db/foss/internal/core"
+	"github.com/foss-db/foss/internal/fosserr"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/workload"
+)
+
+// tinyConfig is the fast cross-backend training budget.
+func tinyConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	cfg.Learner.Iterations = 1
+	cfg.Learner.RealPerIter = 6
+	cfg.Learner.SimPerIter = 20
+	cfg.Learner.ValidatePerIter = 6
+	cfg.Learner.InferenceRollouts = 2
+	return cfg
+}
+
+// TestSelingerGoldenBitIdentical reruns the run captured before the Backend
+// refactor (same workload, seed, and schedule) and compares every chosen
+// plan and latency bit-for-bit against the stored trace.
+func TestSelingerGoldenBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is a full small training run")
+	}
+	f, err := os.Open("testdata/golden_selinger.txt")
+	if err != nil {
+		t.Fatalf("golden trace missing: %v", err)
+	}
+	defer f.Close()
+
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Learner.Iterations = 2
+	cfg.Learner.RealPerIter = 8
+	cfg.Learner.SimPerIter = 40
+	cfg.Learner.ValidatePerIter = 8
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sys.TrainContext(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sys.BackendName() != "selinger" {
+		t.Fatalf("default backend is %q", sys.BackendName())
+	}
+
+	got := map[string]string{}
+	var bufLine string
+	for _, q := range w.Test {
+		pe, _, _, err := sys.OptimizeEvalContext(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecp, _, err := sys.ExpertPlan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[q.ID] = fmt.Sprintf("%s icp=%q lat=%x expert=%x",
+			q.ID, pe.ICP.Key(), sys.Execute(pe.CP), sys.Execute(ecp))
+	}
+	bufLine = fmt.Sprintf("buffer=%d", sys.Learner.Buf.Size())
+
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "workload=") {
+			continue
+		}
+		lines++
+		if strings.HasPrefix(line, "buffer=") {
+			if bufLine != line {
+				t.Errorf("execution buffer diverged: got %s, golden %s", bufLine, line)
+			}
+			continue
+		}
+		qid := strings.Fields(line)[0]
+		if got[qid] != line {
+			t.Errorf("query %s diverged from pre-refactor behavior:\n  got    %s\n  golden %s", qid, got[qid], line)
+		}
+	}
+	if lines < 10 {
+		t.Fatalf("golden trace suspiciously short (%d lines)", lines)
+	}
+}
+
+// TestCrossBackendParity: every registered backend completes the full
+// train→serve→record doctor loop behind the same interface, with plausible
+// counters and executable plans.
+func TestCrossBackendParity(t *testing.T) {
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, name := range backend.Names() {
+		t.Run(name, func(t *testing.T) {
+			be, err := backend.New(name, w.DB, w.Stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tinyConfig()
+			cfg.PlanCache = 32
+			sys, err := core.New(w, cfg, core.WithBackend(be))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sys.BackendName() != name {
+				t.Fatalf("BackendName %q, want %q", sys.BackendName(), name)
+			}
+			if err := sys.TrainContext(ctx, nil); err != nil {
+				t.Fatalf("train on %s: %v", name, err)
+			}
+			if sys.Learner.Buf.Size() == 0 {
+				t.Fatal("training filled no execution buffer")
+			}
+			err = sys.EnableOnline(service.Config{
+				Detector:          service.DetectorConfig{Window: 8, Threshold: 1e12, MinSamples: 8},
+				Cooldown:          4,
+				RetrainIterations: 1,
+				Background:        false,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range w.Train[:10] {
+				res, lat, err := sys.ServeStepContext(ctx, q)
+				if err != nil {
+					t.Fatalf("serve %s on %s: %v", q.ID, name, err)
+				}
+				if res.Eval == nil || res.Eval.CP == nil || lat <= 0 {
+					t.Fatalf("implausible serve result on %s: %+v lat=%v", name, res, lat)
+				}
+			}
+			st := sys.OnlineStats()
+			if st.Served != 10 || st.Recorded != 10 {
+				t.Fatalf("loop counters on %s: %+v", name, st)
+			}
+			// repeated queries must hit the (backend-keyed) plan cache
+			if _, err := sys.ServeContext(ctx, w.Train[0]); err != nil {
+				t.Fatal(err)
+			}
+			if cs := sys.CacheStats(); cs.Hits == 0 {
+				t.Fatalf("no cache hits after repeat serving on %s: %+v", name, cs)
+			}
+		})
+	}
+}
+
+// TestOptimizeBatchMatchesSingle: the batched inference path must be
+// bit-identical to per-query optimization on every backend.
+func TestOptimizeBatchMatchesSingle(t *testing.T) {
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, name := range backend.Names() {
+		t.Run(name, func(t *testing.T) {
+			be, err := backend.New(name, w.DB, w.Stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := core.New(w, tinyConfig(), core.WithBackend(be))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.TrainContext(ctx, nil); err != nil {
+				t.Fatal(err)
+			}
+			qs := w.Test
+			batched, _, _, err := sys.OptimizeEvalBatch(ctx, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				pe, _, _, err := sys.OptimizeEvalContext(ctx, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !pe.ICP.Equal(batched[i].ICP) {
+					t.Fatalf("%s/%s: batch chose %q, single chose %q", name, q.ID, batched[i].ICP.Key(), pe.ICP.Key())
+				}
+				if bl, sl := sys.Execute(batched[i].CP), sys.Execute(pe.CP); bl != sl {
+					t.Fatalf("%s/%s: batch latency %v != single %v", name, q.ID, bl, sl)
+				}
+			}
+		})
+	}
+}
+
+// TestSetBackendCacheIsolation: swapping backends under a live system must
+// repoint every engine touchpoint and never serve a cached plan across the
+// swap — including a swap back to the original backend.
+func TestSetBackendCacheIsolation(t *testing.T) {
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := tinyConfig()
+	cfg.PlanCache = 64
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainContext(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	q := w.Train[0]
+	if _, hit, _, err := sys.OptimizeCachedContext(ctx, q); err != nil || hit {
+		t.Fatalf("cold serve: hit=%v err=%v", hit, err)
+	}
+	if _, hit, _, err := sys.OptimizeCachedContext(ctx, q); err != nil || !hit {
+		t.Fatalf("warm serve: hit=%v err=%v", hit, err)
+	}
+
+	gau := backend.NewGaussim(w.DB, w.Stats)
+	if err := sys.SetBackend(gau); err != nil {
+		t.Fatal(err)
+	}
+	if sys.BackendName() != "gaussim" || sys.Backend.Name() != "gaussim" {
+		t.Fatalf("backend not swapped: %s/%s", sys.BackendName(), sys.Backend.Name())
+	}
+	pe, hit, _, err := sys.OptimizeEvalContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("plan served across backends after SetBackend")
+	}
+	// the served plan must have been completed by gaussim: hinting its ICP
+	// through gaussim reproduces it, and execution uses gaussim's latency
+	// surface
+	gcp, err := gau.HintedPlan(q, pe.ICP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gau.Execute(gcp, 0).LatencyMs != sys.Execute(pe.CP) {
+		t.Fatal("served plan does not execute on the gaussim surface")
+	}
+
+	// swap back: still no cross-backend serving
+	sel := backend.NewSelinger(w.DB, w.Stats)
+	if err := sys.SetBackend(sel); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _, _ := sys.OptimizeCachedContext(ctx, q); hit {
+		t.Fatal("stale pre-swap plan resurrected after swapping back")
+	}
+
+	// a backend over a different schema is rejected
+	w2, err := workload.Load("tpcds", workload.Options{Seed: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetBackend(backend.NewSelinger(w2.DB, w2.Stats)); !errors.Is(err, fosserr.ErrBackendMismatch) {
+		t.Fatalf("cross-schema swap error = %v, want ErrBackendMismatch", err)
+	}
+	if err := sys.SetBackend(nil); !errors.Is(err, fosserr.ErrBadConfig) {
+		t.Fatalf("nil swap error = %v, want ErrBadConfig", err)
+	}
+
+	// once the online loop exists, swaps are rejected: a drift-triggered
+	// hot-swap would publish the standby replica still wired to the old
+	// backend, silently undoing the swap
+	if err := sys.EnableOnline(service.Config{
+		Detector:   service.DetectorConfig{Window: 8, Threshold: 1e12, MinSamples: 8},
+		Cooldown:   1 << 30,
+		Background: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetBackend(gau); !errors.Is(err, fosserr.ErrBackendMismatch) {
+		t.Fatalf("swap under live online loop = %v, want ErrBackendMismatch", err)
+	}
+}
+
+// TestServeBatchCancellation: an in-flight batched serve must return
+// promptly once the deadline passes, with the context error surfaced and no
+// partial results. Run under -race in CI.
+func TestServeBatchCancellation(t *testing.T) {
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Learner.InferenceRollouts = 4 // make the batch genuinely slow
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainContext(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableOnline(service.Config{
+		Detector:   service.DetectorConfig{Window: 8, Threshold: 1e12, MinSamples: 8},
+		Cooldown:   1 << 30,
+		Background: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deadline mid-batch: the whole train split, cold cache, several
+	// rollouts per query — far more work than 10ms.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := sys.ServeBatch(ctx, w.Train)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("ServeBatch ignored its deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatal("partial results returned after cancellation")
+	}
+	// "promptly": bounded by one in-flight rollout, not the whole batch. A
+	// full batch takes many seconds at this scale; allow generous -race
+	// headroom.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+
+	// an already-expired context short-circuits before any work
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := sys.ServeBatch(done, w.Train); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled err = %v", err)
+	}
+
+	// the loop still serves normally afterwards
+	if _, err := sys.ServeContext(context.Background(), w.Train[0]); err != nil {
+		t.Fatalf("loop wedged after cancellation: %v", err)
+	}
+}
+
+// TestHTTPRoundTripRealSystem drives the wire surface over a genuinely
+// trained system — the curl workflow of fossd -serve-http, in-process.
+func TestHTTPRoundTripRealSystem(t *testing.T) {
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.PlanCache = 32
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainContext(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableOnline(service.Config{
+		Detector:   service.DetectorConfig{Window: 8, Threshold: 1e12, MinSamples: 8},
+		Cooldown:   1 << 30,
+		Background: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*query.Query{}
+	for _, q := range w.All() {
+		byID[q.ID] = q
+	}
+	h := service.NewHTTPServer(sys.Online(), service.HTTPOptions{
+		Resolve: func(id string) *query.Query { return byID[id] },
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	qid := w.Test[0].ID
+	code, row := postJSONT(t, ts.URL+"/v1/optimize", `{"query_id": "`+qid+`", "execute": true}`)
+	if code != http.StatusOK {
+		t.Fatalf("optimize %d: %v", code, row)
+	}
+	lat, _ := row["latency_ms"].(float64)
+	if lat <= 0 {
+		t.Fatalf("server-side execution reported latency %v", row["latency_ms"])
+	}
+	plan, _ := row["plan"].(map[string]any)
+	if plan == nil || plan["icp_key"] == "" {
+		t.Fatalf("no plan in %v", row)
+	}
+
+	// client-side execution path: optimize, then report feedback
+	code, row = postJSONT(t, ts.URL+"/v1/optimize", `{"query_id": "`+qid+`"}`)
+	if code != http.StatusOK || row["cache_hit"] != true {
+		t.Fatalf("repeat optimize %d (cache_hit=%v)", code, row["cache_hit"])
+	}
+	code, fb := postJSONT(t, ts.URL+"/v1/feedback",
+		fmt.Sprintf(`{"serve_id": %q, "latency_ms": %v}`, row["serve_id"], lat))
+	if code != http.StatusOK || fb["recorded"] != true {
+		t.Fatalf("feedback %d: %v", code, fb)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	decodeJSONT(t, resp, &st)
+	if st["backend"] != "selinger" {
+		t.Fatalf("stats backend %v", st["backend"])
+	}
+	if s, _ := st["stats"].(map[string]any); s["Served"].(float64) < 2 || s["Recorded"].(float64) < 2 {
+		t.Fatalf("stats counters %v", s)
+	}
+}
+
+// postJSONT posts a JSON body and decodes the JSON response.
+func postJSONT(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	decodeJSONT(t, resp, &out)
+	return resp.StatusCode, out
+}
+
+func decodeJSONT(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}

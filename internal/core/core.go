@@ -1,19 +1,27 @@
 // Package core assembles the FOSS system: the planner (DRL agent over plan
-// edits), the asymmetric advantage model, the simulated learner, and the
-// traditional optimizer + executor substrate, behind a small Train/Optimize
-// API. The root package foss re-exports this for library users.
+// edits), the asymmetric advantage model, the simulated learner, and a
+// pluggable optimizer backend, behind a context-aware
+// Train/Optimize/Serve API. The root package foss re-exports this for
+// library users.
+//
+// The doctor is backend-generic: every interaction with the underlying
+// engine — expert plan enumeration, hint-steered replanning, execution —
+// goes through backend.Backend, so the same trained doctor machinery runs
+// over the Selinger engine, the gaussim engine, or any future port (the
+// paper validates against PostgreSQL and openGauss the same way).
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"time"
 
 	"github.com/foss-db/foss/internal/aam"
-	"github.com/foss-db/foss/internal/engine/exec"
+	"github.com/foss-db/foss/internal/backend"
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/learner"
-	"github.com/foss-db/foss/internal/optimizer"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/planenc"
 	"github.com/foss-db/foss/internal/planner"
@@ -34,10 +42,10 @@ type Config struct {
 	// deterministically for the fixed worker count.
 	Workers int
 	// PlanCache is the serving-path plan cache capacity in entries (keyed by
-	// query fingerprint, invalidated on Train/Load). 0 — the default —
-	// disables caching, keeping per-query optimization-time measurements
-	// faithful (the experiments harness depends on that); serving deployments
-	// like cmd/fossd opt in.
+	// backend identity × query fingerprint, invalidated on Train/Load). 0 —
+	// the default — disables caching, keeping per-query optimization-time
+	// measurements faithful (the experiments harness depends on that);
+	// serving deployments like cmd/fossd opt in.
 	PlanCache int
 
 	StateNet aam.StateNetConfig
@@ -64,14 +72,43 @@ func DefaultConfig() Config {
 	}
 }
 
-// System is a trained (or trainable) FOSS instance bound to one workload.
+// Option customizes System construction beyond Config — the functional
+// options of the public API.
+type Option func(*options)
+
+type options struct {
+	backend   backend.Backend
+	workers   *int
+	planCache *int
+}
+
+// WithBackend builds the system over an explicit optimizer backend instead
+// of the default Selinger engine.
+func WithBackend(b backend.Backend) Option {
+	return func(o *options) { o.backend = b }
+}
+
+// WithWorkers overrides Config.Workers.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = &n }
+}
+
+// WithPlanCache overrides Config.PlanCache.
+func WithPlanCache(entries int) Option {
+	return func(o *options) { o.planCache = &entries }
+}
+
+// System is a trained (or trainable) FOSS instance bound to one workload
+// and one optimizer backend.
 type System struct {
 	Cfg Config
 	W   *workload.Workload
 
+	// Backend is the optimizer substrate under the doctor. Swap it with
+	// SetBackend; never mutate it directly while serving.
+	Backend backend.Backend
+
 	Enc      *planenc.Encoder
-	Opt      *optimizer.Optimizer
-	Exec     *exec.Executor
 	AAM      *aam.Model
 	Learner  *learner.Learner
 	Planners []*planner.Planner
@@ -88,17 +125,30 @@ type System struct {
 	trainTime atomic.Int64
 }
 
-// New builds a FOSS system over a loaded workload.
-func New(w *workload.Workload, cfg Config) (*System, error) {
+// New builds a FOSS system over a loaded workload. By default it runs over
+// the Selinger backend; pass WithBackend to target another engine.
+func New(w *workload.Workload, cfg Config, opts ...Option) (*System, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers != nil {
+		cfg.Workers = *o.workers
+	}
+	if o.planCache != nil {
+		cfg.PlanCache = *o.planCache
+	}
 	if cfg.MaxSteps < 1 {
-		return nil, fmt.Errorf("core: MaxSteps must be >= 1, got %d", cfg.MaxSteps)
+		return nil, fmt.Errorf("core: MaxSteps must be >= 1, got %d: %w", cfg.MaxSteps, fosserr.ErrBadConfig)
 	}
 	if cfg.Agents < 1 {
 		cfg.Agents = 1
 	}
-	enc := planenc.NewEncoder(w.DB.Schema)
-	opt := optimizer.New(w.DB, w.Stats)
-	ex := exec.New(w.DB)
+	b := o.backend
+	if b == nil {
+		b = backend.NewSelinger(w.DB, w.Stats)
+	}
+	enc := planenc.NewEncoder(b.Schema())
 
 	// Every component gets an independent seeded source: the AAM's weight
 	// init, each agent's weight init, and each agent's action-sampling
@@ -130,7 +180,7 @@ func New(w *workload.Workload, cfg Config) (*System, error) {
 			Cfg:   agentCfg,
 			Space: space,
 			Enc:   enc,
-			Opt:   opt,
+			Opt:   b,
 			Agent: agent,
 		})
 	}
@@ -145,38 +195,95 @@ func New(w *workload.Workload, cfg Config) (*System, error) {
 	sys := &System{
 		Cfg:      cfg,
 		W:        w,
+		Backend:  b,
 		Enc:      enc,
-		Opt:      opt,
-		Exec:     ex,
 		AAM:      model,
 		Planners: planners,
 	}
-	sys.Learner = learner.New(w, planners, model, ex, lCfg)
-	sys.RT = runtime.New(runtime.Config{Workers: cfg.Workers, CacheSize: cfg.PlanCache}, sys.Learner)
+	sys.Learner = learner.New(w, planners, model, b, lCfg)
+	sys.RT = runtime.New(runtime.Config{
+		Workers:   cfg.Workers,
+		CacheSize: cfg.PlanCache,
+		BackendID: b.Name(),
+	}, sys.Learner)
 	// The runtime owns the worker pool; the learner's episode fan-out
 	// borrows it rather than running a pool of its own.
 	sys.Learner.UsePool(sys.RT.Pool())
 	return sys, nil
 }
 
-// Train runs the simulated-learner loop with the serving path quiesced; any
-// cached plans are invalidated afterwards since the models changed. progress
-// may be nil.
-func (s *System) Train(progress func(learner.IterStats)) error {
+// BackendName reports the identity of the backend currently under the
+// doctor.
+func (s *System) BackendName() string { return s.RT.BackendID() }
+
+// SetBackend swaps the optimizer backend under the doctor: the serving path
+// is quiesced, every component that talks to the engine is repointed, and
+// the plan cache is invalidated and rekeyed so no plan completed by the old
+// backend can ever be served from the new one. The learned models carry
+// over — the point of the paper's backend portability — but feedback
+// gathered on the old backend stays in the buffer, so a retrain after a
+// swap blends both engines' experience unless the caller resets it.
+//
+// SetBackend is rejected once EnableOnline has built the blue/green replica
+// pair: the standby replica is wired to the original backend, and a
+// drift-triggered hot-swap would publish it — silently undoing the swap.
+// Swap backends first, then enable the online loop.
+func (s *System) SetBackend(b backend.Backend) error {
+	if b == nil {
+		return fmt.Errorf("core: nil backend: %w", fosserr.ErrBadConfig)
+	}
+	if s.online != nil {
+		return fmt.Errorf("core: cannot swap backends under a live online loop (standby replica still targets %q); swap before EnableOnline: %w",
+			s.Backend.Name(), fosserr.ErrBackendMismatch)
+	}
+	if b.Schema() != s.Backend.Schema() {
+		return fmt.Errorf("core: backend %q serves a different schema: %w", b.Name(), fosserr.ErrBackendMismatch)
+	}
+	return s.RT.Rekey(b.Name(), func() error {
+		s.Backend = b
+		for _, pl := range s.Planners {
+			pl.Opt = b
+		}
+		s.Learner.Exec = b
+		return nil
+	})
+}
+
+// TrainContext runs the simulated-learner loop with the serving path
+// quiesced; any cached plans are invalidated afterwards since the models
+// changed. progress may be nil. Cancellation is honored between episodes; a
+// canceled training run leaves the models mid-schedule but structurally
+// consistent (updates are applied between episodes, never during one).
+func (s *System) TrainContext(ctx context.Context, progress func(learner.IterStats)) error {
 	start := time.Now()
-	err := s.RT.Exclusive(func() error { return s.Learner.Train(progress) })
+	err := s.RT.Exclusive(func() error { return s.Learner.Train(ctx, progress) })
 	s.trainTime.Add(int64(time.Since(start)))
 	return err
 }
 
-// TrainOn runs incremental training over an explicit query set (the online
-// service retrains on recently served queries this way) with the serving
-// path quiesced; iterations overrides the configured schedule when positive.
-func (s *System) TrainOn(queries []*query.Query, iterations int, progress func(learner.IterStats)) error {
+// Train is TrainContext without cancellation.
+//
+// Deprecated: use TrainContext.
+func (s *System) Train(progress func(learner.IterStats)) error {
+	return s.TrainContext(context.Background(), progress)
+}
+
+// TrainOnContext runs incremental training over an explicit query set (the
+// online service retrains on recently served queries this way) with the
+// serving path quiesced; iterations overrides the configured schedule when
+// positive.
+func (s *System) TrainOnContext(ctx context.Context, queries []*query.Query, iterations int, progress func(learner.IterStats)) error {
 	start := time.Now()
-	err := s.RT.Exclusive(func() error { return s.Learner.TrainOn(queries, iterations, progress) })
+	err := s.RT.Exclusive(func() error { return s.Learner.TrainOn(ctx, queries, iterations, progress) })
 	s.trainTime.Add(int64(time.Since(start)))
 	return err
+}
+
+// TrainOn is TrainOnContext without cancellation.
+//
+// Deprecated: use TrainOnContext.
+func (s *System) TrainOn(queries []*query.Query, iterations int, progress func(learner.IterStats)) error {
+	return s.TrainOnContext(context.Background(), queries, iterations, progress)
 }
 
 // TrainingTime reports cumulative wall-clock spent in Train/TrainOn.
@@ -189,42 +296,91 @@ func (s *System) Buffer() *learner.Buffer { return s.Learner.Buf }
 // CacheStats snapshots the serving path's plan-cache counters.
 func (s *System) CacheStats() runtime.CacheStats { return s.RT.CacheStats() }
 
-// Optimize returns FOSS's chosen plan for the query along with the
+// OptimizeContext returns FOSS's chosen plan for the query along with the
 // optimization time (model inference + hint completions), mirroring the
 // paper's "SQL in → execution plan out" measurement. It serves through the
-// runtime: concurrent calls are safe, and repeated queries hit the plan
-// cache.
-func (s *System) Optimize(q *query.Query) (*plan.CP, time.Duration, error) {
-	cp, _, d, err := s.OptimizeCached(q)
+// runtime: concurrent calls are safe, repeated queries hit the plan cache,
+// and cancellation is honored between rollouts.
+func (s *System) OptimizeContext(ctx context.Context, q *query.Query) (*plan.CP, time.Duration, error) {
+	cp, _, d, err := s.OptimizeCachedContext(ctx, q)
 	return cp, d, err
 }
 
-// OptimizeCached is Optimize exposing whether the plan came from the cache.
-func (s *System) OptimizeCached(q *query.Query) (*plan.CP, bool, time.Duration, error) {
-	pe, hit, d, err := s.OptimizeEval(q)
+// Optimize is OptimizeContext without cancellation.
+//
+// Deprecated: use OptimizeContext.
+func (s *System) Optimize(q *query.Query) (*plan.CP, time.Duration, error) {
+	return s.OptimizeContext(context.Background(), q)
+}
+
+// OptimizeCachedContext is OptimizeContext exposing whether the plan came
+// from the cache.
+func (s *System) OptimizeCachedContext(ctx context.Context, q *query.Query) (*plan.CP, bool, time.Duration, error) {
+	pe, hit, d, err := s.OptimizeEvalContext(ctx, q)
 	if err != nil {
 		return nil, false, 0, err
 	}
 	return pe.CP, hit, d, nil
 }
 
-// OptimizeEval is OptimizeCached returning the full evaluated candidate
-// (plan, encoding, edit step) instead of just the complete plan — the online
-// service records executed-plan feedback against it. The returned PlanEval
-// may be shared with the plan cache: treat it as read-only.
-func (s *System) OptimizeEval(q *query.Query) (*planner.PlanEval, bool, time.Duration, error) {
+// OptimizeCached is OptimizeCachedContext without cancellation.
+//
+// Deprecated: use OptimizeCachedContext.
+func (s *System) OptimizeCached(q *query.Query) (*plan.CP, bool, time.Duration, error) {
+	return s.OptimizeCachedContext(context.Background(), q)
+}
+
+// OptimizeEvalContext is OptimizeCachedContext returning the full evaluated
+// candidate (plan, encoding, edit step) instead of just the complete plan —
+// the online service records executed-plan feedback against it. The returned
+// PlanEval may be shared with the plan cache: treat it as read-only.
+func (s *System) OptimizeEvalContext(ctx context.Context, q *query.Query) (*planner.PlanEval, bool, time.Duration, error) {
 	start := time.Now()
-	pe, hit, err := s.RT.Optimize(q)
+	pe, hit, err := s.RT.Optimize(ctx, q)
 	if err != nil {
 		return nil, false, 0, err
 	}
 	return pe, hit, time.Since(start), nil
 }
 
-// ExpertPlan exposes the traditional optimizer's plan (the baseline).
+// OptimizeEval is OptimizeEvalContext without cancellation.
+//
+// Deprecated: use OptimizeEvalContext.
+func (s *System) OptimizeEval(q *query.Query) (*planner.PlanEval, bool, time.Duration, error) {
+	return s.OptimizeEvalContext(context.Background(), q)
+}
+
+// OptimizeEvalBatch doctors a batch of queries in one pass: cache hits
+// resolve immediately and all misses share one batched state-network
+// scoring pass (see learner.OptimizeBatch). out[i] and hits[i] correspond
+// to qs[i]; the duration covers the whole batch. Results are bit-identical
+// to per-query OptimizeEvalContext calls.
+func (s *System) OptimizeEvalBatch(ctx context.Context, qs []*query.Query) ([]*planner.PlanEval, []bool, time.Duration, error) {
+	start := time.Now()
+	pes, hits, err := s.RT.OptimizeBatch(ctx, qs)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return pes, hits, time.Since(start), nil
+}
+
+// OptimizeBatch is OptimizeEvalBatch returning just the complete plans.
+func (s *System) OptimizeBatch(ctx context.Context, qs []*query.Query) ([]*plan.CP, time.Duration, error) {
+	pes, _, d, err := s.OptimizeEvalBatch(ctx, qs)
+	if err != nil {
+		return nil, 0, err
+	}
+	cps := make([]*plan.CP, len(pes))
+	for i, pe := range pes {
+		cps[i] = pe.CP
+	}
+	return cps, d, nil
+}
+
+// ExpertPlan exposes the backend's native cost-based plan (the baseline).
 func (s *System) ExpertPlan(q *query.Query) (*plan.CP, time.Duration, error) {
 	start := time.Now()
-	cp, err := s.Opt.Plan(q)
+	cp, err := s.Backend.Plan(q)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -232,7 +388,7 @@ func (s *System) ExpertPlan(q *query.Query) (*plan.CP, time.Duration, error) {
 }
 
 // Execute runs a plan to completion (no timeout) and returns its simulated
-// latency in milliseconds.
+// latency in milliseconds, as charged by the current backend.
 func (s *System) Execute(cp *plan.CP) float64 {
-	return s.Exec.Execute(cp, 0).LatencyMs
+	return s.Backend.Execute(cp, 0).LatencyMs
 }

@@ -6,8 +6,10 @@ package core
 // and zero-downtime model hot-swap. See internal/service for the protocol.
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/service"
@@ -15,9 +17,9 @@ import (
 
 // EnableOnline turns this (typically already trained) system into the active
 // replica of an online doctor loop. A standby replica is built over the same
-// workload and configuration, the trained weights and execution buffer are
-// mirrored onto it, and the drift detector is seeded with the training
-// split's fingerprints.
+// workload, configuration, and backend; the trained weights and execution
+// buffer are mirrored onto it, and the drift detector is seeded with the
+// training split's fingerprints.
 func (s *System) EnableOnline(cfg service.Config) error {
 	if s.online != nil {
 		return fmt.Errorf("core: online loop already enabled")
@@ -39,33 +41,58 @@ func (s *System) EnableOnline(cfg service.Config) error {
 // Online returns the service loop, or nil before EnableOnline.
 func (s *System) Online() *service.Loop { return s.online }
 
-// Serve optimizes one query through the online loop's active replica —
-// lock-free with respect to background retraining and hot-swaps. EnableOnline
-// must have been called.
-func (s *System) Serve(q *query.Query) (service.Result, error) {
+// ServeContext optimizes one query through the online loop's active replica
+// — lock-free with respect to background retraining and hot-swaps.
+// EnableOnline must have been called (errors.Is(err, foss.ErrNotOnline)
+// otherwise).
+func (s *System) ServeContext(ctx context.Context, q *query.Query) (service.Result, error) {
 	if s.online == nil {
-		return service.Result{}, fmt.Errorf("core: Serve before EnableOnline")
+		return service.Result{}, fmt.Errorf("core: Serve before EnableOnline: %w", fosserr.ErrNotOnline)
 	}
-	return s.online.Serve(q)
+	return s.online.Serve(ctx, q)
+}
+
+// Serve is ServeContext without cancellation.
+//
+// Deprecated: use ServeContext.
+func (s *System) Serve(q *query.Query) (service.Result, error) {
+	return s.ServeContext(context.Background(), q)
+}
+
+// ServeBatch optimizes a batch of queries through the active replica in one
+// pass, sharing the batched AAM scoring across them. out[i] corresponds to
+// qs[i]; all results come from one model generation (a single epoch).
+func (s *System) ServeBatch(ctx context.Context, qs []*query.Query) ([]service.Result, error) {
+	if s.online == nil {
+		return nil, fmt.Errorf("core: ServeBatch before EnableOnline: %w", fosserr.ErrNotOnline)
+	}
+	return s.online.ServeBatch(ctx, qs)
 }
 
 // Record feeds one executed plan's observed latency back into the loop:
 // buffer ingestion, drift detection, and (possibly) a background retrain.
 func (s *System) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) error {
 	if s.online == nil {
-		return fmt.Errorf("core: Record before EnableOnline")
+		return fmt.Errorf("core: Record before EnableOnline: %w", fosserr.ErrNotOnline)
 	}
 	s.online.Record(q, pe, latencyMs)
 	return nil
 }
 
-// ServeStep runs one full doctor-loop turn (Serve, Execute, Record),
+// ServeStepContext runs one full doctor-loop turn (Serve, Execute, Record),
 // returning the serve result and the observed latency.
-func (s *System) ServeStep(q *query.Query) (service.Result, float64, error) {
+func (s *System) ServeStepContext(ctx context.Context, q *query.Query) (service.Result, float64, error) {
 	if s.online == nil {
-		return service.Result{}, 0, fmt.Errorf("core: ServeStep before EnableOnline")
+		return service.Result{}, 0, fmt.Errorf("core: ServeStep before EnableOnline: %w", fosserr.ErrNotOnline)
 	}
-	return s.online.Step(q)
+	return s.online.Step(ctx, q)
+}
+
+// ServeStep is ServeStepContext without cancellation.
+//
+// Deprecated: use ServeStepContext.
+func (s *System) ServeStep(q *query.Query) (service.Result, float64, error) {
+	return s.ServeStepContext(context.Background(), q)
 }
 
 // OnlineStats snapshots the loop's counters (zero value before EnableOnline).

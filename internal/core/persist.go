@@ -71,12 +71,12 @@ func (s *System) load(data []byte) error {
 	return nil
 }
 
-// Clone builds a fresh System over the same workload and configuration with
-// the trained weights mirrored in. Execution buffer, plan cache, and RNG
-// streams start fresh — callers that need shared experience copy the buffer
-// themselves (as EnableOnline does).
+// Clone builds a fresh System over the same workload, configuration, and
+// backend with the trained weights mirrored in. Execution buffer, plan
+// cache, and RNG streams start fresh — callers that need shared experience
+// copy the buffer themselves (as EnableOnline does).
 func (s *System) Clone() (*System, error) {
-	c, err := New(s.W, s.Cfg)
+	c, err := New(s.W, s.Cfg, WithBackend(s.Backend))
 	if err != nil {
 		return nil, fmt.Errorf("core: clone: %w", err)
 	}

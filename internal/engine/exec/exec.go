@@ -47,6 +47,13 @@ func New(db *storage.DB) *Executor {
 	return &Executor{DB: db, Params: cost.TruthParams()}
 }
 
+// NewWithParams creates an executor charging custom cost constants — how a
+// different engine backend (e.g. gaussim) gives the same stored data a
+// different latency surface.
+func NewWithParams(db *storage.DB, p cost.Params) *Executor {
+	return &Executor{DB: db, Params: p}
+}
+
 // Execute runs the plan. timeoutMs <= 0 means no timeout.
 func (e *Executor) Execute(cp *plan.CP, timeoutMs float64) Result {
 	budget := math.Inf(1)

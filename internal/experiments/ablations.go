@@ -91,13 +91,17 @@ func RunAblation(out io.Writer, name string, ab AblationName, opts Opts, curve b
 		return TableIIRow{}, nil, err
 	}
 	cfg := ablationConfig(ab, opts)
-	sys, err := core.New(w, cfg)
+	be, err := opts.NewBackend(w)
+	if err != nil {
+		return TableIIRow{}, nil, err
+	}
+	sys, err := core.New(w, cfg, core.WithBackend(be))
 	if err != nil {
 		return TableIIRow{}, nil, err
 	}
 	m := NewFOSS(sys)
-	pg := NewPostgreSQL(w)
-	expert := Evaluate(pg, w, w.All())
+	pg := NewExpert(ExpertName(opts.Backend), be, w)
+	expert := EvaluateOn(be, pg, w, w.All())
 
 	var points []Fig9Point
 	trainStart := time.Now()
@@ -105,7 +109,7 @@ func RunAblation(out io.Writer, name string, ab AblationName, opts Opts, curve b
 		if !curve {
 			return
 		}
-		res := Evaluate(m, w, w.All())
+		res := EvaluateOn(be, m, w, w.All())
 		points = append(points, Fig9Point{
 			Config:     ab,
 			Iter:       st.Iter,
@@ -117,7 +121,7 @@ func RunAblation(out io.Writer, name string, ab AblationName, opts Opts, curve b
 		return TableIIRow{}, nil, fmt.Errorf("ablation %s: %w", ab, err)
 	}
 
-	res := Evaluate(m, w, w.All())
+	res := EvaluateOn(be, m, w, w.All())
 	meanOpt := 0.0
 	for _, r := range res {
 		meanOpt += r.OptTimeMs

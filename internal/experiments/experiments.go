@@ -8,19 +8,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
+	"github.com/foss-db/foss/internal/backend"
 	"github.com/foss-db/foss/internal/baselines/balsa"
 	"github.com/foss-db/foss/internal/baselines/bao"
 	"github.com/foss-db/foss/internal/baselines/hybridqo"
 	"github.com/foss-db/foss/internal/baselines/loger"
 	"github.com/foss-db/foss/internal/core"
-	"github.com/foss-db/foss/internal/engine/exec"
 	"github.com/foss-db/foss/internal/learner"
 	"github.com/foss-db/foss/internal/metrics"
-	"github.com/foss-db/foss/internal/optimizer"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/workload"
@@ -46,6 +46,25 @@ type Opts struct {
 	Scale float64
 	Seed  int64
 	Fast  bool // reduced training budgets (tests, quick benches)
+	// Backend selects the optimizer backend under evaluation ("" = the
+	// default "selinger"; "gaussim" reruns an experiment on the openGauss-
+	// flavored engine, mirroring the paper's cross-DBMS validation).
+	Backend string
+}
+
+// NewBackend builds the backend an experiment targets.
+func (o Opts) NewBackend(w *workload.Workload) (backend.Backend, error) {
+	return backend.New(o.Backend, w.DB, w.Stats)
+}
+
+// ExpertName names the expert baseline after the engine it fronts, the way
+// the paper does (PostgreSQL for the default engine, openGauss for the
+// port).
+func ExpertName(backendName string) string {
+	if backendName == "gaussim" {
+		return "openGauss"
+	}
+	return "PostgreSQL"
 }
 
 // DefaultOpts is the standard configuration used by cmd/fossbench.
@@ -54,25 +73,31 @@ func DefaultOpts() Opts { return Opts{Scale: 0.5, Seed: 1} }
 // ---- method adapters ----
 
 type pgMethod struct {
-	opt *optimizer.Optimizer
-	ex  *exec.Executor
-	w   *workload.Workload
-	kb  map[string]float64
+	name string
+	be   backend.Backend
+	w    *workload.Workload
+	kb   map[string]float64
 }
 
-// NewPostgreSQL wraps the traditional optimizer as the expert baseline.
+// NewPostgreSQL wraps the default backend's native optimizer as the expert
+// baseline.
 func NewPostgreSQL(w *workload.Workload) Method {
-	return &pgMethod{opt: optimizer.New(w.DB, w.Stats), ex: exec.New(w.DB), w: w, kb: map[string]float64{}}
+	return NewExpert(ExpertName(""), backend.NewSelinger(w.DB, w.Stats), w)
 }
 
-func (p *pgMethod) Name() string                  { return "PostgreSQL" }
+// NewExpert wraps any backend's native optimizer as the expert baseline.
+func NewExpert(name string, be backend.Backend, w *workload.Workload) Method {
+	return &pgMethod{name: name, be: be, w: w, kb: map[string]float64{}}
+}
+
+func (p *pgMethod) Name() string                  { return p.name }
 func (p *pgMethod) Train(func(int)) error         { return nil }
 func (p *pgMethod) TrainingTime() time.Duration   { return 0 }
 func (p *pgMethod) KnownBest() map[string]float64 { return p.kb }
 
 func (p *pgMethod) Plan(q *query.Query) (*plan.CP, time.Duration, error) {
 	start := time.Now()
-	cp, err := p.opt.Plan(q)
+	cp, err := p.be.Plan(q)
 	return cp, time.Since(start), err
 }
 
@@ -86,7 +111,7 @@ func NewFOSS(sys *core.System) Method { return &fossMethod{sys} }
 func (f *fossMethod) Name() string { return "FOSS" }
 
 func (f *fossMethod) Train(onStep func(int)) error {
-	return f.sys.Train(func(st learner.IterStats) {
+	return f.sys.TrainContext(context.Background(), func(st learner.IterStats) {
 		if onStep != nil {
 			onStep(st.Iter)
 		}
@@ -94,7 +119,7 @@ func (f *fossMethod) Train(onStep func(int)) error {
 }
 
 func (f *fossMethod) Plan(q *query.Query) (*plan.CP, time.Duration, error) {
-	return f.sys.Optimize(q)
+	return f.sys.OptimizeContext(context.Background(), q)
 }
 
 func (f *fossMethod) KnownBest() map[string]float64 {
@@ -199,8 +224,13 @@ func BuildMethods(w *workload.Workload, opts Opts) []Method {
 // a guard timeout of 20× the expert latency (counted at the cap if hit),
 // mirroring the paper's TLE handling for runaway learned plans.
 func Evaluate(m Method, w *workload.Workload, qs []*query.Query) []metrics.QueryResult {
-	ex := exec.New(w.DB)
-	expert := optimizer.New(w.DB, w.Stats)
+	return EvaluateOn(backend.NewSelinger(w.DB, w.Stats), m, w, qs)
+}
+
+// EvaluateOn is Evaluate against an explicit backend: plans execute on that
+// backend's latency surface and the runaway guard comes from its own expert
+// plan, so cross-backend comparisons stay apples-to-apples.
+func EvaluateOn(be backend.Backend, m Method, w *workload.Workload, qs []*query.Query) []metrics.QueryResult {
 	var out []metrics.QueryResult
 	for _, q := range qs {
 		cp, ot, err := m.Plan(q)
@@ -208,10 +238,10 @@ func Evaluate(m Method, w *workload.Workload, qs []*query.Query) []metrics.Query
 			continue
 		}
 		guard := 0.0
-		if ecp, err := expert.Plan(q); err == nil {
-			guard = ex.Execute(ecp, 0).LatencyMs * 20
+		if ecp, err := be.Plan(q); err == nil {
+			guard = be.Execute(ecp, 0).LatencyMs * 20
 		}
-		res := ex.Execute(cp, guard)
+		res := be.Execute(cp, guard)
 		lat := res.LatencyMs
 		if res.TimedOut {
 			lat = guard

@@ -1,0 +1,34 @@
+// Package fosserr defines the sentinel errors of the public FOSS API. Every
+// layer wraps these with %w so callers can classify failures with errors.Is
+// regardless of which internal package produced them; the root package foss
+// re-exports them.
+package fosserr
+
+import "errors"
+
+var (
+	// ErrBadConfig reports an invalid system configuration (e.g. MaxSteps < 1).
+	ErrBadConfig = errors.New("foss: invalid configuration")
+
+	// ErrUnknownWorkload reports a workload name outside WorkloadNames().
+	ErrUnknownWorkload = errors.New("foss: unknown workload")
+
+	// ErrUnknownBackend reports a backend name outside BackendNames().
+	ErrUnknownBackend = errors.New("foss: unknown backend")
+
+	// ErrNoPlan reports that a backend could not produce any plan for a query
+	// (empty query, arity over the enumeration limit, malformed hint).
+	ErrNoPlan = errors.New("foss: no plan found")
+
+	// ErrNoCandidate reports that the doctor produced no candidate plan to
+	// select from (should not happen on well-formed queries: the original plan
+	// is always a candidate).
+	ErrNoCandidate = errors.New("foss: no candidate plan produced")
+
+	// ErrNotOnline reports a Serve/Record/ServeBatch call before EnableOnline.
+	ErrNotOnline = errors.New("foss: online loop not enabled")
+
+	// ErrBackendMismatch reports an operation that would cross backend
+	// boundaries, e.g. swapping in a backend over a different schema.
+	ErrBackendMismatch = errors.New("foss: backend mismatch")
+)

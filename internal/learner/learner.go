@@ -10,6 +10,8 @@
 package learner
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -17,6 +19,7 @@ import (
 
 	"github.com/foss-db/foss/internal/aam"
 	"github.com/foss-db/foss/internal/engine/exec"
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/rl"
@@ -205,9 +208,9 @@ func DefaultConfig() Config {
 // Learner owns one FOSS training run.
 type Learner struct {
 	W        *workload.Workload
-	Planners []*planner.Planner // one per agent (shared Enc/Opt, distinct nets)
+	Planners []*planner.Planner // one per agent (shared Enc/backend, distinct nets)
 	AAM      *aam.Model
-	Exec     *exec.Executor
+	Exec     planner.Executor // the backend's execution surface
 	Buf      *Buffer
 	Cfg      Config
 
@@ -225,8 +228,9 @@ type Learner struct {
 }
 
 // New assembles a learner from pre-built components. planners must share the
-// encoder and optimizer; each brings its own agent.
-func New(w *workload.Workload, planners []*planner.Planner, model *aam.Model, ex *exec.Executor, cfg Config) *Learner {
+// encoder and backend; each brings its own agent. ex is the backend's
+// execution surface (any planner.Executor).
+func New(w *workload.Workload, planners []*planner.Planner, model *aam.Model, ex planner.Executor, cfg Config) *Learner {
 	if cfg.Agents < 1 {
 		cfg.Agents = 1
 	}
@@ -282,9 +286,9 @@ type IterStats struct {
 }
 
 // Train runs the full loop over the workload's train split. progress may be
-// nil.
-func (l *Learner) Train(progress func(IterStats)) error {
-	return l.TrainOn(l.W.Train, 0, progress)
+// nil. Cancellation is honored between episodes and iterations.
+func (l *Learner) Train(ctx context.Context, progress func(IterStats)) error {
+	return l.TrainOn(ctx, l.W.Train, 0, progress)
 }
 
 // TrainOn runs the training loop over an explicit query set — the online
@@ -292,22 +296,28 @@ func (l *Learner) Train(progress func(IterStats)) error {
 // to the live distribution rather than the offline train split. iterations
 // overrides Cfg.Iterations when positive (incremental refreshes use a shorter
 // schedule than the offline run). progress may be nil.
-func (l *Learner) TrainOn(queries []*query.Query, iterations int, progress func(IterStats)) error {
+func (l *Learner) TrainOn(ctx context.Context, queries []*query.Query, iterations int, progress func(IterStats)) error {
 	start := time.Now()
 	defer func() { l.TrainingTime += time.Since(start) }()
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(queries) == 0 {
-		return errorString("learner: no queries to train on")
+		return fmt.Errorf("learner: no queries to train on: %w", fosserr.ErrBadConfig)
 	}
 	iters := l.Cfg.Iterations
 	if iterations > 0 {
 		iters = iterations
 	}
 	for iter := 0; iter < iters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		st := IterStats{Iter: iter}
 
 		// (a) real-environment episodes to gather executions
-		realTrans, err := l.realPhase(queries, l.iterBase+iter)
+		realTrans, err := l.realPhase(ctx, queries, l.iterBase+iter)
 		if err != nil {
 			return err
 		}
@@ -333,7 +343,7 @@ func (l *Learner) TrainOn(queries []*query.Query, iterations int, progress func(
 				}
 			}
 		} else {
-			promising, err := l.simPhase(queries, l.iterBase+iter, &st)
+			promising, err := l.simPhase(ctx, queries, l.iterBase+iter, &st)
 			if err != nil {
 				return err
 			}
@@ -423,39 +433,45 @@ func (l *Learner) buildJobs(queries []*query.Query, perAgent int) ([]episodeJob,
 // set is deterministic for a fixed worker count. makeEnv builds a
 // per-episode environment; record captures executed plans for the ordered
 // post-phase buffer merge.
-func (l *Learner) runEpisodes(jobs []episodeJob, iter, phase int, makeEnv func(record func(*planner.PlanEval)) planner.Environment) []episodeOut {
+func (l *Learner) runEpisodes(ctx context.Context, jobs []episodeJob, iter, phase int, makeEnv func(record func(*planner.PlanEval)) planner.Environment) ([]episodeOut, error) {
 	outs := make([]episodeOut, len(jobs))
 	rngs := make([]*rand.Rand, l.pool.Workers())
 	for w := range rngs {
 		rngs[w] = rand.New(rand.NewSource(phaseSeed(l.Cfg.Seed, iter, phase, w)))
 	}
-	l.pool.Run(len(jobs), func(w, i int) {
+	err := l.pool.RunCtx(ctx, len(jobs), func(w, i int) {
 		j := jobs[i]
 		var executed []*planner.PlanEval
 		env := makeEnv(func(pe *planner.PlanEval) { executed = append(executed, pe) })
 		ep, err := l.Planners[j.agent].RunEpisodeWithRng(j.q, j.orig, env, j.refs, true, rngs[w])
 		outs[i] = episodeOut{ep: ep, executed: executed, err: err}
 	})
-	return outs
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
 }
 
 // realPhase runs real-environment episodes on randomly sampled queries and
 // returns the transitions per agent (used directly in the Off-Simulated
 // ablation; otherwise only their side effect — buffer fills — matters).
-func (l *Learner) realPhase(queries []*query.Query, iter int) ([][]rl.Transition, error) {
+func (l *Learner) realPhase(ctx context.Context, queries []*query.Query, iter int) ([][]rl.Transition, error) {
 	if l.Cfg.Workers <= 1 {
-		return l.realPhaseSeq(queries)
+		return l.realPhaseSeq(ctx, queries)
 	}
-	return l.realPhasePar(queries, iter)
+	return l.realPhasePar(ctx, queries, iter)
 }
 
 // realPhaseSeq is the original single-threaded loop, kept verbatim so
 // Workers<=1 stays bit-identical to the sequential implementation.
-func (l *Learner) realPhaseSeq(queries []*query.Query) ([][]rl.Transition, error) {
+func (l *Learner) realPhaseSeq(ctx context.Context, queries []*query.Query) ([][]rl.Transition, error) {
 	out := make([][]rl.Transition, len(l.Planners))
 	for ai, pl := range l.Planners {
 		env := &planner.RealEnv{Exec: l.Exec, OnExecuted: func(pe *planner.PlanEval) { l.Buf.Add(pe) }}
 		for e := 0; e < l.Cfg.RealPerIter; e++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			q := queries[l.rng.Intn(len(queries))]
 			orig, err := l.original(q)
 			if err != nil {
@@ -471,14 +487,17 @@ func (l *Learner) realPhaseSeq(queries []*query.Query) ([][]rl.Transition, error
 	return out, nil
 }
 
-func (l *Learner) realPhasePar(queries []*query.Query, iter int) ([][]rl.Transition, error) {
+func (l *Learner) realPhasePar(ctx context.Context, queries []*query.Query, iter int) ([][]rl.Transition, error) {
 	jobs, err := l.buildJobs(queries, l.Cfg.RealPerIter)
 	if err != nil {
 		return nil, err
 	}
-	outs := l.runEpisodes(jobs, iter, phaseReal, func(record func(*planner.PlanEval)) planner.Environment {
+	outs, err := l.runEpisodes(ctx, jobs, iter, phaseReal, func(record func(*planner.PlanEval)) planner.Environment {
 		return &planner.RealEnv{Exec: l.Exec, OnExecuted: record}
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]rl.Transition, len(l.Planners))
 	for i, o := range outs {
 		if o.err != nil {
@@ -494,21 +513,24 @@ func (l *Learner) realPhasePar(queries []*query.Query, iter int) ([][]rl.Transit
 
 // simPhase runs simulated episodes (AAM as reward indicator) and one PPO
 // update per agent, returning the promising plans found.
-func (l *Learner) simPhase(queries []*query.Query, iter int, st *IterStats) ([]*planner.PlanEval, error) {
+func (l *Learner) simPhase(ctx context.Context, queries []*query.Query, iter int, st *IterStats) ([]*planner.PlanEval, error) {
 	if l.Cfg.Workers <= 1 {
-		return l.simPhaseSeq(queries, st)
+		return l.simPhaseSeq(ctx, queries, st)
 	}
-	return l.simPhasePar(queries, iter, st)
+	return l.simPhasePar(ctx, queries, iter, st)
 }
 
 // simPhaseSeq is the original single-threaded loop, kept verbatim so
 // Workers<=1 stays bit-identical to the sequential implementation.
-func (l *Learner) simPhaseSeq(queries []*query.Query, st *IterStats) ([]*planner.PlanEval, error) {
+func (l *Learner) simPhaseSeq(ctx context.Context, queries []*query.Query, st *IterStats) ([]*planner.PlanEval, error) {
 	var promising []*planner.PlanEval
 	for _, pl := range l.Planners {
 		simEnv := &planner.SimEnv{Model: l.AAM, MaxSteps: pl.Cfg.MaxSteps}
 		var trans []rl.Transition
 		for e := 0; e < l.Cfg.SimPerIter; e++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			q := queries[l.rng.Intn(len(queries))]
 			orig, err := l.original(q)
 			if err != nil {
@@ -528,14 +550,17 @@ func (l *Learner) simPhaseSeq(queries []*query.Query, st *IterStats) ([]*planner
 	return promising, nil
 }
 
-func (l *Learner) simPhasePar(queries []*query.Query, iter int, st *IterStats) ([]*planner.PlanEval, error) {
+func (l *Learner) simPhasePar(ctx context.Context, queries []*query.Query, iter int, st *IterStats) ([]*planner.PlanEval, error) {
 	jobs, err := l.buildJobs(queries, l.Cfg.SimPerIter)
 	if err != nil {
 		return nil, err
 	}
-	outs := l.runEpisodes(jobs, iter, phaseSim, func(func(*planner.PlanEval)) planner.Environment {
+	outs, err := l.runEpisodes(ctx, jobs, iter, phaseSim, func(func(*planner.PlanEval)) planner.Environment {
 		return &planner.SimEnv{Model: l.AAM, MaxSteps: l.Planners[0].Cfg.MaxSteps}
 	})
+	if err != nil {
+		return nil, err
+	}
 	var promising []*planner.PlanEval
 	trans := make([][]rl.Transition, len(l.Planners))
 	for i, o := range outs {
@@ -618,13 +643,28 @@ func (l *Learner) validateTimeout(pe *planner.PlanEval) float64 {
 // Optimize is safe for concurrent use (while no training runs): stochastic
 // rollouts draw from an RNG seeded by the query fingerprint, so the result
 // for a query is deterministic regardless of request interleaving.
-func (l *Learner) Optimize(q *query.Query) (*planner.PlanEval, error) {
+// Cancellation is honored between rollouts.
+func (l *Learner) Optimize(ctx context.Context, q *query.Query) (*planner.PlanEval, error) {
+	pool, err := l.candidates(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	best := planner.SelectBest(l.AAM, pool, l.Planners[0].Cfg.MaxSteps)
+	if best == nil {
+		return nil, errNoCandidate
+	}
+	return best, nil
+}
+
+// candidates generates the deduplicated candidate pool for one query: every
+// agent's greedy episode plus its stochastic rollouts, RNG seeded by the
+// query fingerprint so the pool is independent of request interleaving.
+func (l *Learner) candidates(ctx context.Context, q *query.Query) ([]*planner.PlanEval, error) {
 	rollouts := l.Cfg.InferenceRollouts
 	if rollouts < 1 {
 		rollouts = 1
 	}
 	rng := rand.New(rand.NewSource(int64(q.Fingerprint()>>1) ^ l.Cfg.Seed))
-	maxSteps := l.Planners[0].Cfg.MaxSteps
 	var pool []*planner.PlanEval
 	seen := map[string]bool{}
 	addCands := func(cands []*planner.PlanEval) {
@@ -642,6 +682,9 @@ func (l *Learner) Optimize(q *query.Query) (*planner.PlanEval, error) {
 			return nil, err
 		}
 		for r := 0; r < rollouts; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			ep, err := pl.RunEpisodeWithRng(q, orig, simEnv, nil, r > 0, rng)
 			if err != nil {
 				return nil, err
@@ -649,18 +692,43 @@ func (l *Learner) Optimize(q *query.Query) (*planner.PlanEval, error) {
 			addCands(ep.Candidates)
 		}
 	}
-	best := planner.SelectBest(l.AAM, pool, maxSteps)
-	if best == nil {
-		return nil, errNoCandidate
-	}
-	return best, nil
+	return pool, nil
 }
 
-var errNoCandidate = errorString("learner: no candidate plan produced")
+// OptimizeBatch doctors a batch of queries at once: per-query candidate
+// generation fans out over the worker pool (each query's rollouts stay on
+// their fingerprint-seeded RNG, so results are bit-identical to Optimize
+// regardless of batching or worker count), then ONE batched state-network
+// pass scores every candidate of every query and each query runs its
+// temporal selection over its slice. out[i] corresponds to qs[i].
+// Cancellation is honored between rollouts; on cancellation no partial
+// results are returned.
+func (l *Learner) OptimizeBatch(ctx context.Context, qs []*query.Query) ([]*planner.PlanEval, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pools := make([][]*planner.PlanEval, len(qs))
+	errs := make([]error, len(qs))
+	if err := l.pool.RunCtx(ctx, len(qs), func(_, i int) {
+		pools[i], errs[i] = l.candidates(ctx, qs[i])
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := planner.SelectBestMulti(l.AAM, pools, l.Planners[0].Cfg.MaxSteps)
+	for _, pe := range out {
+		if pe == nil {
+			return nil, errNoCandidate
+		}
+	}
+	return out, nil
+}
 
-type errorString string
-
-func (e errorString) Error() string { return string(e) }
+var errNoCandidate = fmt.Errorf("learner: %w", fosserr.ErrNoCandidate)
 
 // KnownBest returns, for each query id, the lowest-latency non-timeout
 // execution seen during training (used by the Fig. 7/8 analyses).

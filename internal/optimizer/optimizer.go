@@ -22,6 +22,7 @@ import (
 	"github.com/foss-db/foss/internal/engine/cost"
 	"github.com/foss-db/foss/internal/engine/stats"
 	"github.com/foss-db/foss/internal/engine/storage"
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/query"
 )
@@ -43,6 +44,13 @@ type Optimizer struct {
 // New creates an optimizer with the standard (believed) cost constants.
 func New(db *storage.DB, st *stats.Catalog) *Optimizer {
 	return &Optimizer{DB: db, Stats: st, Params: cost.OptimizerParams()}
+}
+
+// NewWithParams creates an optimizer that believes custom cost constants —
+// the planning half of an alternative engine backend whose operator
+// preferences differ from the Selinger defaults.
+func NewWithParams(db *storage.DB, st *stats.Catalog, p cost.Params) *Optimizer {
+	return &Optimizer{DB: db, Stats: st, Params: p}
 }
 
 // scanChoice is the chosen access path for one alias.
@@ -161,10 +169,10 @@ func (o *Optimizer) Plan(q *query.Query) (*plan.CP, error) {
 func (o *Optimizer) PlanWithConfig(q *query.Query, cfg Config) (*plan.CP, error) {
 	n := q.NumTables()
 	if n == 0 {
-		return nil, fmt.Errorf("optimizer: empty query %s", q.ID)
+		return nil, fmt.Errorf("optimizer: empty query %s: %w", q.ID, fosserr.ErrNoPlan)
 	}
 	if n > 20 {
-		return nil, fmt.Errorf("optimizer: %d tables exceeds DP limit", n)
+		return nil, fmt.Errorf("optimizer: %d tables exceeds DP limit: %w", n, fosserr.ErrNoPlan)
 	}
 	aliases := q.Aliases()
 	scans := make([]scanChoice, n)
@@ -173,7 +181,7 @@ func (o *Optimizer) PlanWithConfig(q *query.Query, cfg Config) (*plan.CP, error)
 	}
 	methods := enabledMethods(cfg)
 	if len(methods) == 0 {
-		return nil, fmt.Errorf("optimizer: all join methods disabled")
+		return nil, fmt.Errorf("optimizer: all join methods disabled: %w", fosserr.ErrNoPlan)
 	}
 
 	dp := make(map[uint32]*dpEntry, 1<<uint(n))
@@ -237,7 +245,7 @@ func (o *Optimizer) PlanWithConfig(q *query.Query, cfg Config) (*plan.CP, error)
 			cfg.AllowCrossProducts = true
 			return o.PlanWithConfig(q, cfg)
 		}
-		return nil, fmt.Errorf("optimizer: no plan found for %s", q.ID)
+		return nil, fmt.Errorf("optimizer: no plan found for %s: %w", q.ID, fosserr.ErrNoPlan)
 	}
 	icp := plan.ICP{}
 	for _, i := range e.order {
@@ -263,7 +271,7 @@ func enabledMethods(cfg Config) []plan.JoinMethod {
 func (o *Optimizer) HintedPlan(q *query.Query, icp plan.ICP) (*plan.CP, error) {
 	n := q.NumTables()
 	if len(icp.Order) != n || len(icp.Methods) != n-1 {
-		return nil, fmt.Errorf("optimizer: ICP arity mismatch for %s: %d tables vs %d/%d", q.ID, n, len(icp.Order), len(icp.Methods))
+		return nil, fmt.Errorf("optimizer: ICP arity mismatch for %s: %d tables vs %d/%d: %w", q.ID, n, len(icp.Order), len(icp.Methods), fosserr.ErrNoPlan)
 	}
 	aliases := q.Aliases()
 	pos := map[string]int{}
@@ -276,7 +284,7 @@ func (o *Optimizer) HintedPlan(q *query.Query, icp plan.ICP) (*plan.CP, error) {
 	}
 	for _, a := range icp.Order {
 		if _, ok := pos[a]; !ok {
-			return nil, fmt.Errorf("optimizer: ICP references unknown alias %q", a)
+			return nil, fmt.Errorf("optimizer: ICP references unknown alias %q: %w", a, fosserr.ErrNoPlan)
 		}
 	}
 	return o.buildCP(q, icp, scans, aliases)

@@ -12,12 +12,21 @@ import (
 	"github.com/foss-db/foss/internal/aam"
 	"github.com/foss-db/foss/internal/engine/exec"
 	"github.com/foss-db/foss/internal/nn"
-	"github.com/foss-db/foss/internal/optimizer"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/planenc"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/rl"
 )
+
+// Steering is the slice of an optimizer backend the planner drives: expert
+// plan enumeration (the episode's step-0 state) and hint-steered replanning
+// (the state transition every Swap/Override edit goes through). Both
+// *optimizer.Optimizer and backend.Backend satisfy it, keeping the planner
+// backend-generic.
+type Steering interface {
+	Plan(q *query.Query) (*plan.CP, error)
+	HintedPlan(q *query.Query, icp plan.ICP) (*plan.CP, error)
+}
 
 // PlanEval is one candidate plan in an episode's temporal sequence.
 type PlanEval struct {
@@ -49,9 +58,16 @@ type Environment interface {
 	Adv(l, r *PlanEval, maxSteps int) int
 }
 
-// RealEnv executes candidates in the DBMS executor.
+// Executor is the slice of an optimizer backend that runs plans: execution
+// under a dynamic timeout with observed latency. Both *exec.Executor and
+// backend.Backend satisfy it.
+type Executor interface {
+	Execute(cp *plan.CP, timeoutMs float64) exec.Result
+}
+
+// RealEnv executes candidates in the backend's executor.
 type RealEnv struct {
-	Exec *exec.Executor
+	Exec Executor
 	// OnExecuted, if set, is called after every execution (the learner uses
 	// it to fill the execution buffer).
 	OnExecuted func(pe *PlanEval)
@@ -145,7 +161,7 @@ type Planner struct {
 	Cfg   Config
 	Space plan.Space
 	Enc   *planenc.Encoder
-	Opt   *optimizer.Optimizer
+	Opt   Steering
 	Agent *Agent
 }
 
@@ -357,4 +373,58 @@ func SelectBest(model *aam.Model, cands []*PlanEval, maxSteps int) *PlanEval {
 		}
 	}
 	return cands[best]
+}
+
+// SelectBestMulti applies the temporal selection to many candidate pools at
+// once: every candidate of every pool goes through ONE batched state-network
+// pass, then each pool runs its own pairwise comparison chain over its slice
+// of the shared state matrix. out[i] is bit-identical to
+// SelectBest(model, pools[i], maxSteps) — batching shares the dense matmuls
+// without perturbing any pool's selection.
+func SelectBestMulti(model *aam.Model, pools [][]*PlanEval, maxSteps int) []*PlanEval {
+	out := make([]*PlanEval, len(pools))
+	total := 0
+	for _, pool := range pools {
+		total += len(pool)
+	}
+	if total == 0 {
+		return out
+	}
+	encs := make([]*planenc.Encoded, 0, total)
+	steps := make([]float64, 0, total)
+	offsets := make([]int, len(pools))
+	needBatch := false
+	for pi, pool := range pools {
+		offsets[pi] = len(encs)
+		if len(pool) > 1 {
+			needBatch = true
+		}
+		for _, c := range pool {
+			encs = append(encs, c.Enc)
+			steps = append(steps, c.StepStatus(maxSteps))
+		}
+	}
+	if !needBatch {
+		// every pool is empty or a singleton: no comparison needs the model
+		for pi, pool := range pools {
+			if len(pool) == 1 {
+				out[pi] = pool[0]
+			}
+		}
+		return out
+	}
+	sv := model.StatesBatch(encs, steps)
+	for pi, pool := range pools {
+		if len(pool) == 0 {
+			continue
+		}
+		best := 0
+		for i := 1; i < len(pool); i++ {
+			if model.ScoreStates(sv, offsets[pi]+best, offsets[pi]+i) > 0 {
+				best = i
+			}
+		}
+		out[pi] = pool[best]
+	}
+	return out
 }

@@ -28,39 +28,41 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // LRU is a thread-safe least-recently-used cache with hit/miss/eviction
-// counters. The zero capacity means "disabled": every Get misses and Put is
-// a no-op, so callers never need to special-case an absent cache.
-type LRU[V any] struct {
+// counters, generic over the key so callers can key entries on composite
+// identities (the runtime keys plans on backend × query fingerprint). The
+// zero capacity means "disabled": every Get misses and Put is a no-op, so
+// callers never need to special-case an absent cache.
+type LRU[K comparable, V any] struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List
-	items map[uint64]*list.Element
+	items map[K]*list.Element
 
 	hits, misses, evictions, epoch uint64
 }
 
-type lruEntry[V any] struct {
-	key uint64
+type lruEntry[K comparable, V any] struct {
+	key K
 	val V
 }
 
 // NewLRU creates an LRU holding at most capacity entries.
-func NewLRU[V any](capacity int) *LRU[V] {
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &LRU[V]{cap: capacity, ll: list.New(), items: map[uint64]*list.Element{}}
+	return &LRU[K, V]{cap: capacity, ll: list.New(), items: map[K]*list.Element{}}
 }
 
 // Get returns the cached value for key and whether it was present, promoting
 // the entry to most-recently-used.
-func (c *LRU[V]) Get(key uint64) (V, bool) {
+func (c *LRU[K, V]) Get(key K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		return el.Value.(*lruEntry[V]).val, true
+		return el.Value.(*lruEntry[K, V]).val, true
 	}
 	c.misses++
 	var zero V
@@ -69,22 +71,22 @@ func (c *LRU[V]) Get(key uint64) (V, bool) {
 
 // Put inserts or refreshes an entry, evicting the least-recently-used one
 // when over capacity.
-func (c *LRU[V]) Put(key uint64, val V) {
+func (c *LRU[K, V]) Put(key K, val V) {
 	if c.cap == 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry[V]).val = val
+		el.Value.(*lruEntry[K, V]).val = val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&lruEntry[K, V]{key: key, val: val})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
 		c.evictions++
 	}
 }
@@ -92,30 +94,30 @@ func (c *LRU[V]) Put(key uint64, val V) {
 // Invalidate drops every entry and advances the epoch (hit/miss counters are
 // preserved). Called whenever the models behind the cached plans change, i.e.
 // after training or a model hot-swap.
-func (c *LRU[V]) Invalidate() {
+func (c *LRU[K, V]) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
-	c.items = map[uint64]*list.Element{}
+	c.items = map[K]*list.Element{}
 	c.epoch++
 }
 
 // Epoch returns the invalidation count.
-func (c *LRU[V]) Epoch() uint64 {
+func (c *LRU[K, V]) Epoch() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.epoch
 }
 
 // Len returns the current entry count.
-func (c *LRU[V]) Len() int {
+func (c *LRU[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
 // Stats snapshots the counters.
-func (c *LRU[V]) Stats() CacheStats {
+func (c *LRU[K, V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{

@@ -7,7 +7,10 @@
 // deterministically in parallel and how to serve plans fast.
 package runtime
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Pool is a bounded worker pool with a deterministic job→worker assignment:
 // job j always runs on worker j mod W, and each worker processes its jobs in
@@ -33,14 +36,27 @@ func (p *Pool) Workers() int { return p.workers }
 // Worker w runs jobs w, w+W, w+2W, ... in that order. A single-worker pool
 // runs every job inline on the calling goroutine.
 func (p *Pool) Run(n int, fn func(worker, job int)) {
+	_ = p.RunCtx(context.Background(), n, fn)
+}
+
+// RunCtx is Run honoring cancellation: every worker checks the context
+// before starting each job and stops dispatching once it is done, so an
+// in-flight fan-out returns promptly on deadline (bounded by the longest
+// single job already running). Jobs that were skipped simply never ran —
+// callers that need completeness must treat a non-nil return as "results are
+// partial". Returns ctx.Err() after all workers have drained.
+func (p *Pool) RunCtx(ctx context.Context, n int, fn func(worker, job int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if p.workers == 1 {
 		for j := 0; j < n; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(0, j)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers && w < n; w++ {
@@ -48,9 +64,13 @@ func (p *Pool) Run(n int, fn func(worker, job int)) {
 		go func(w int) {
 			defer wg.Done()
 			for j := w; j < n; j += p.workers {
+				if ctx.Err() != nil {
+					return
+				}
 				fn(w, j)
 			}
 		}(w)
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,16 +1,21 @@
 package runtime
 
 import (
+	"context"
 	"sync"
 
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
 )
 
-// Backend produces an optimized plan for a query. The learner implements it;
+// Source produces optimized plans for queries. The learner implements it;
 // the indirection keeps this package free of training-loop dependencies.
-type Backend interface {
-	Optimize(q *query.Query) (*planner.PlanEval, error)
+// Both methods honor context cancellation.
+type Source interface {
+	Optimize(ctx context.Context, q *query.Query) (*planner.PlanEval, error)
+	// OptimizeBatch doctors many queries with shared batched model inference;
+	// out[i] corresponds to qs[i].
+	OptimizeBatch(ctx context.Context, qs []*query.Query) ([]*planner.PlanEval, error)
 }
 
 // Config sizes the runtime.
@@ -19,6 +24,11 @@ type Config struct {
 	Workers int
 	// CacheSize is the plan-cache capacity in entries; 0 disables caching.
 	CacheSize int
+	// BackendID identifies the optimizer backend the cached plans were
+	// completed by. It is mixed into every cache key, so plans can never be
+	// served across backends — even across a backend swap that reuses this
+	// runtime.
+	BackendID string
 }
 
 // DefaultConfig returns a serving-oriented runtime configuration.
@@ -26,52 +36,118 @@ func DefaultConfig() Config {
 	return Config{Workers: 1, CacheSize: 256}
 }
 
+// cacheKey scopes a cached plan to the backend that produced it.
+type cacheKey struct {
+	backend string
+	fp      uint64
+}
+
 // Runtime owns the worker pool and the plan cache, and arbitrates between
 // the exclusive training path and the shared serving path: any number of
 // Optimize calls may run concurrently (model forwards are read-only), while
-// Exclusive (training, weight loading) waits for in-flight requests and
-// blocks new ones. Cached plans are keyed by query fingerprint and
-// invalidated whenever the models change.
+// Exclusive (training, weight loading, backend swaps) waits for in-flight
+// requests and blocks new ones. Cached plans are keyed by (backend identity,
+// query fingerprint) and invalidated whenever the models change.
 type Runtime struct {
-	cfg     Config
-	pool    *Pool
-	cache   *LRU[*planner.PlanEval]
-	backend Backend
+	cfg    Config
+	pool   *Pool
+	cache  *LRU[cacheKey, *planner.PlanEval]
+	source Source
 
 	// mu is the train/serve arbiter: Optimize holds it shared, Exclusive
-	// holds it exclusively.
-	mu sync.RWMutex
+	// holds it exclusively. It also guards backendID.
+	mu        sync.RWMutex
+	backendID string
 }
 
-// New assembles a runtime over a plan-producing backend.
-func New(cfg Config, backend Backend) *Runtime {
+// New assembles a runtime over a plan-producing source.
+func New(cfg Config, source Source) *Runtime {
 	return &Runtime{
-		cfg:     cfg,
-		pool:    NewPool(cfg.Workers),
-		cache:   NewLRU[*planner.PlanEval](cfg.CacheSize),
-		backend: backend,
+		cfg:       cfg,
+		pool:      NewPool(cfg.Workers),
+		cache:     NewLRU[cacheKey, *planner.PlanEval](cfg.CacheSize),
+		source:    source,
+		backendID: cfg.BackendID,
 	}
 }
 
 // Pool returns the shared worker pool.
 func (r *Runtime) Pool() *Pool { return r.pool }
 
-// Optimize returns the chosen plan for the query, serving from the plan
-// cache when possible. The boolean reports a cache hit. Safe for concurrent
-// use.
-func (r *Runtime) Optimize(q *query.Query) (*planner.PlanEval, bool, error) {
+// BackendID returns the backend identity the cache is currently scoped to.
+func (r *Runtime) BackendID() string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	key := q.Fingerprint()
+	return r.backendID
+}
+
+// Optimize returns the chosen plan for the query, serving from the plan
+// cache when possible. The boolean reports a cache hit. Safe for concurrent
+// use. Cancellation is honored before planning starts and inside the source;
+// a request already blocked behind an exclusive section completes its wait.
+func (r *Runtime) Optimize(ctx context.Context, q *query.Query) (*planner.PlanEval, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	key := cacheKey{backend: r.backendID, fp: q.Fingerprint()}
 	if pe, ok := r.cache.Get(key); ok {
 		return pe, true, nil
 	}
-	pe, err := r.backend.Optimize(q)
+	pe, err := r.source.Optimize(ctx, q)
 	if err != nil {
 		return nil, false, err
 	}
 	r.cache.Put(key, pe)
 	return pe, false, nil
+}
+
+// OptimizeBatch serves a batch of queries in one pass: cache hits are
+// resolved immediately, and all misses go to the source's batched path,
+// which shares one stacked model inference across them. hits[i] reports
+// whether out[i] came from the cache. On error (including cancellation) no
+// partial results are returned.
+func (r *Runtime) OptimizeBatch(ctx context.Context, qs []*query.Query) (out []*planner.PlanEval, hits []bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out = make([]*planner.PlanEval, len(qs))
+	hits = make([]bool, len(qs))
+	// Misses are deduplicated by cache key: a batch carrying the same cold
+	// query N times pays candidate generation once (plan choices are
+	// fingerprint-deterministic, so sharing the result is exact).
+	var missKeys []cacheKey
+	var missQs []*query.Query
+	missIdx := map[cacheKey][]int{}
+	for i, q := range qs {
+		key := cacheKey{backend: r.backendID, fp: q.Fingerprint()}
+		if pe, ok := r.cache.Get(key); ok {
+			out[i], hits[i] = pe, true
+			continue
+		}
+		if _, seen := missIdx[key]; !seen {
+			missKeys = append(missKeys, key)
+			missQs = append(missQs, q)
+		}
+		missIdx[key] = append(missIdx[key], i)
+	}
+	if len(missQs) == 0 {
+		return out, hits, nil
+	}
+	pes, err := r.source.OptimizeBatch(ctx, missQs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, key := range missKeys {
+		for _, i := range missIdx[key] {
+			out[i] = pes[j]
+		}
+		r.cache.Put(key, pes[j])
+	}
+	return out, hits, nil
 }
 
 // Exclusive runs fn with the serving path quiesced (no Optimize in flight)
@@ -83,6 +159,26 @@ func (r *Runtime) Exclusive(fn func() error) error {
 	err := fn()
 	r.cache.Invalidate()
 	return err
+}
+
+// Rekey atomically switches the cache's backend identity (quiescing the
+// serving path), runs fn — the caller's backend-pointer swap — inside the
+// same exclusive section, and invalidates every cached plan. If fn errors
+// the identity and cache are left untouched. Entries cached under the
+// previous backend become doubly unreachable: dropped by the invalidation
+// and, even if one were resurrected, unreachable under the new composite
+// key. fn may be nil.
+func (r *Runtime) Rekey(backendID string, fn func() error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fn != nil {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	r.backendID = backendID
+	r.cache.Invalidate()
+	return nil
 }
 
 // CacheStats snapshots the plan-cache counters.

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -62,7 +63,7 @@ func TestPoolSingleWorkerRunsInline(t *testing.T) {
 }
 
 func TestLRUHitMissEvict(t *testing.T) {
-	c := NewLRU[int](2)
+	c := NewLRU[uint64, int](2)
 	if _, ok := c.Get(1); ok {
 		t.Fatal("hit on empty cache")
 	}
@@ -88,7 +89,7 @@ func TestLRUHitMissEvict(t *testing.T) {
 }
 
 func TestLRUInvalidate(t *testing.T) {
-	c := NewLRU[string](4)
+	c := NewLRU[uint64, string](4)
 	c.Put(7, "x")
 	c.Invalidate()
 	if c.Len() != 0 {
@@ -102,7 +103,7 @@ func TestLRUInvalidate(t *testing.T) {
 // TestLRUEpochAdvancesOnInvalidate: the epoch is the hot-swap staleness
 // proof — it must count every invalidation and nothing else.
 func TestLRUEpochAdvancesOnInvalidate(t *testing.T) {
-	c := NewLRU[string](4)
+	c := NewLRU[uint64, string](4)
 	if c.Epoch() != 0 {
 		t.Fatalf("fresh cache epoch %d", c.Epoch())
 	}
@@ -138,7 +139,7 @@ func TestRuntimeCacheEpoch(t *testing.T) {
 }
 
 func TestLRUZeroCapacityDisabled(t *testing.T) {
-	c := NewLRU[int](0)
+	c := NewLRU[uint64, int](0)
 	c.Put(1, 1)
 	if _, ok := c.Get(1); ok {
 		t.Fatal("disabled cache stored an entry")
@@ -149,9 +150,18 @@ type countingBackend struct {
 	calls atomic.Int64
 }
 
-func (b *countingBackend) Optimize(q *query.Query) (*planner.PlanEval, error) {
+func (b *countingBackend) Optimize(ctx context.Context, q *query.Query) (*planner.PlanEval, error) {
 	b.calls.Add(1)
 	return &planner.PlanEval{Q: q}, nil
+}
+
+func (b *countingBackend) OptimizeBatch(ctx context.Context, qs []*query.Query) ([]*planner.PlanEval, error) {
+	out := make([]*planner.PlanEval, len(qs))
+	for i, q := range qs {
+		b.calls.Add(1)
+		out[i] = &planner.PlanEval{Q: q}
+	}
+	return out, nil
 }
 
 func testQuery(i int) *query.Query {
@@ -166,16 +176,16 @@ func TestRuntimeCachesByFingerprint(t *testing.T) {
 	rt := New(Config{Workers: 2, CacheSize: 8}, b)
 
 	q := testQuery(1)
-	if _, hit, err := rt.Optimize(q); err != nil || hit {
+	if _, hit, err := rt.Optimize(context.Background(), q); err != nil || hit {
 		t.Fatalf("first call: hit=%v err=%v", hit, err)
 	}
-	if _, hit, err := rt.Optimize(q); err != nil || !hit {
+	if _, hit, err := rt.Optimize(context.Background(), q); err != nil || !hit {
 		t.Fatalf("second call: hit=%v err=%v", hit, err)
 	}
 	// A structurally identical query with a different ID also hits.
 	q2 := testQuery(1)
 	q2.ID = "other"
-	if _, hit, _ := rt.Optimize(q2); !hit {
+	if _, hit, _ := rt.Optimize(context.Background(), q2); !hit {
 		t.Fatal("structurally identical query missed the cache")
 	}
 	if b.calls.Load() != 1 {
@@ -187,11 +197,11 @@ func TestRuntimeExclusiveInvalidatesCache(t *testing.T) {
 	b := &countingBackend{}
 	rt := New(Config{Workers: 1, CacheSize: 8}, b)
 	q := testQuery(2)
-	rt.Optimize(q)
+	rt.Optimize(context.Background(), q)
 	if err := rt.Exclusive(func() error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if _, hit, _ := rt.Optimize(q); hit {
+	if _, hit, _ := rt.Optimize(context.Background(), q); hit {
 		t.Fatal("cache served a stale plan after Exclusive")
 	}
 	if b.calls.Load() != 2 {
@@ -212,7 +222,7 @@ func TestRuntimeConcurrentOptimize(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				if _, _, err := rt.Optimize(queries[(g+i)%len(queries)]); err != nil {
+				if _, _, err := rt.Optimize(context.Background(), queries[(g+i)%len(queries)]); err != nil {
 					t.Error(err)
 					return
 				}
@@ -226,5 +236,141 @@ func TestRuntimeConcurrentOptimize(t *testing.T) {
 	}
 	if st.Hits < 300 {
 		t.Fatalf("unexpectedly few hits: %+v", st)
+	}
+}
+
+// TestRuntimeCacheKeyedByBackend: the same fingerprint under different
+// backend identities must occupy distinct cache slots — plans can never be
+// served across backends, even before any invalidation runs.
+func TestRuntimeCacheKeyedByBackend(t *testing.T) {
+	b := &countingBackend{}
+	rt := New(Config{Workers: 1, CacheSize: 8, BackendID: "selinger"}, b)
+	q := testQuery(3)
+	ctx := context.Background()
+	rt.Optimize(ctx, q)
+	if _, hit, _ := rt.Optimize(ctx, q); !hit {
+		t.Fatal("warm entry missed under original backend")
+	}
+	if err := rt.Rekey("gaussim", nil); err != nil {
+		t.Fatal(err)
+	}
+	if rt.BackendID() != "gaussim" {
+		t.Fatalf("backend id %q after rekey", rt.BackendID())
+	}
+	if _, hit, _ := rt.Optimize(ctx, q); hit {
+		t.Fatal("plan served across backends after a swap")
+	}
+	// Swapping back must also start cold: the old entry was invalidated.
+	if err := rt.Rekey("selinger", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := rt.Optimize(ctx, q); hit {
+		t.Fatal("stale pre-swap plan resurrected after swapping back")
+	}
+}
+
+// TestRuntimeRekeyAbortsOnError: a failed swap callback must leave identity
+// and cache untouched.
+func TestRuntimeRekeyAbortsOnError(t *testing.T) {
+	b := &countingBackend{}
+	rt := New(Config{Workers: 1, CacheSize: 8, BackendID: "selinger"}, b)
+	ctx := context.Background()
+	q := testQuery(4)
+	rt.Optimize(ctx, q)
+	wantErr := fmt.Errorf("swap veto")
+	if err := rt.Rekey("gaussim", func() error { return wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want veto", err)
+	}
+	if rt.BackendID() != "selinger" {
+		t.Fatalf("identity changed on failed swap: %q", rt.BackendID())
+	}
+	if _, hit, _ := rt.Optimize(ctx, q); !hit {
+		t.Fatal("cache dropped on failed swap")
+	}
+}
+
+// TestRuntimeOptimizeBatch: hits resolve from cache, misses go to the
+// batched source path, and the composite result preserves order.
+func TestRuntimeOptimizeBatch(t *testing.T) {
+	b := &countingBackend{}
+	rt := New(Config{Workers: 2, CacheSize: 32}, b)
+	ctx := context.Background()
+	warm := testQuery(0)
+	rt.Optimize(ctx, warm)
+	qs := []*query.Query{warm, testQuery(1), testQuery(2), warm}
+	pes, hits, err := rt.OptimizeBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pes) != 4 || len(hits) != 4 {
+		t.Fatalf("len %d/%d", len(pes), len(hits))
+	}
+	// warm hits twice (second occurrence resolves in the same pass), the two
+	// cold queries miss.
+	if !hits[0] || hits[1] || hits[2] {
+		t.Fatalf("hits = %v", hits)
+	}
+	for i, pe := range pes {
+		if pe == nil || pe.Q != qs[i] {
+			t.Fatalf("result %d misaligned", i)
+		}
+	}
+	// batch misses went through OptimizeBatch: 1 warm call + 2 more
+	if got := b.calls.Load(); got != 3 {
+		t.Fatalf("source calls %d, want 3", got)
+	}
+	if _, hit, _ := rt.Optimize(ctx, testQuery(2)); !hit {
+		t.Fatal("batch results not cached")
+	}
+
+	// duplicate cold queries in one batch collapse to a single source call
+	cold := testQuery(9)
+	before := b.calls.Load()
+	pes2, _, err := rt.OptimizeBatch(ctx, []*query.Query{cold, testQuery(9), cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.calls.Load() - before; got != 1 {
+		t.Fatalf("duplicate cold queries cost %d source calls, want 1", got)
+	}
+	if pes2[0] != pes2[1] || pes2[1] != pes2[2] {
+		t.Fatal("duplicate cold queries did not share the result")
+	}
+}
+
+// TestRuntimeOptimizeCanceled: a canceled context short-circuits before any
+// planning work.
+func TestRuntimeOptimizeCanceled(t *testing.T) {
+	b := &countingBackend{}
+	rt := New(Config{Workers: 1, CacheSize: 8}, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := rt.Optimize(ctx, testQuery(5)); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := rt.OptimizeBatch(ctx, []*query.Query{testQuery(5)}); err != context.Canceled {
+		t.Fatalf("batch err = %v", err)
+	}
+	if b.calls.Load() != 0 {
+		t.Fatal("source invoked despite canceled context")
+	}
+}
+
+// TestPoolRunCtxStopsDispatching: cancellation mid-run prevents undispatched
+// jobs from starting and surfaces the context error.
+func TestPoolRunCtxStopsDispatching(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := p.RunCtx(ctx, 1000, func(w, j int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d jobs ran despite cancellation", n)
 	}
 }

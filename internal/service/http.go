@@ -1,0 +1,410 @@
+package service
+
+// The wire surface of the online doctor: a JSON-over-HTTP projection of the
+// Loop so traffic can reach the doctor from outside the process (the paper's
+// service framing — SQL in, steered plan out, observed latency back in).
+//
+//	POST /v1/optimize  {"query_id": "..."} | {"query_ids": [...]}
+//	                   | {"query": {...}}  | {"queries": [{...}, ...]}
+//	                   optional "execute": true — the server executes the
+//	                   chosen plan on the active replica and records the
+//	                   feedback itself (a one-call doctor-loop turn)
+//	POST /v1/feedback  {"serve_id": "...", "latency_ms": 12.3}
+//	GET  /v1/stats
+//
+// Every /v1/optimize response row carries a serve_id; clients that execute
+// plans themselves report the observed latency through /v1/feedback, which
+// feeds the drift detector and (possibly) a background retrain — the same
+// Record path in-process callers use. Batch requests ride the batched
+// serving path: one model generation, one shared scoring pass.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/foss-db/foss/internal/fosserr"
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+)
+
+// HTTPOptions configures the HTTP projection of a Loop.
+type HTTPOptions struct {
+	// Resolve maps a query_id to a known query (typically the workload's
+	// queries plus any drift variants). nil means only inline query specs
+	// are accepted.
+	Resolve func(id string) *query.Query
+	// MaxPending bounds the served-plan ring awaiting feedback (FIFO
+	// eviction). 0 defaults to 4096.
+	MaxPending int
+}
+
+// HTTPServer is the http.Handler exposing a Loop. Safe for concurrent use.
+type HTTPServer struct {
+	lp   *Loop
+	opts HTTPOptions
+	mux  *http.ServeMux
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[string]*pendingServe
+	order   []string
+}
+
+// pendingServe is one served plan awaiting latency feedback.
+type pendingServe struct {
+	q  *query.Query
+	pe *planner.PlanEval
+}
+
+// NewHTTPServer builds the HTTP surface over an online loop.
+func NewHTTPServer(lp *Loop, opts HTTPOptions) *HTTPServer {
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = 4096
+	}
+	s := &HTTPServer{lp: lp, opts: opts, pending: map[string]*pendingServe{}, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/v1/feedback", s.handleFeedback)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- wire types ----
+
+// wireFilter is the JSON form of a filter predicate.
+type wireFilter struct {
+	Alias string  `json:"alias"`
+	Col   string  `json:"col"`
+	Op    string  `json:"op"` // eq ne lt le gt ge between in
+	Val   int64   `json:"val"`
+	Hi    int64   `json:"hi,omitempty"`
+	Set   []int64 `json:"set,omitempty"`
+}
+
+// wireJoin is the JSON form of an equi-join predicate.
+type wireJoin struct {
+	LA string `json:"la"`
+	LC string `json:"lc"`
+	RA string `json:"ra"`
+	RC string `json:"rc"`
+}
+
+// wireTable is the JSON form of a table reference.
+type wireTable struct {
+	Table string `json:"table"`
+	Alias string `json:"alias"`
+}
+
+// wireQuery is the inline query spec accepted by /v1/optimize.
+type wireQuery struct {
+	ID      string       `json:"id,omitempty"`
+	Tables  []wireTable  `json:"tables"`
+	Joins   []wireJoin   `json:"joins"`
+	Filters []wireFilter `json:"filters,omitempty"`
+}
+
+var wireOps = map[string]query.CmpOp{
+	"eq": query.Eq, "ne": query.Ne, "lt": query.Lt, "le": query.Le,
+	"gt": query.Gt, "ge": query.Ge, "between": query.Between, "in": query.In,
+}
+
+// toQuery converts and validates an inline spec.
+func (wq wireQuery) toQuery() (*query.Query, error) {
+	if len(wq.Tables) == 0 {
+		return nil, fmt.Errorf("query spec has no tables")
+	}
+	q := &query.Query{ID: wq.ID}
+	for _, t := range wq.Tables {
+		q.Tables = append(q.Tables, query.TableRef{Table: t.Table, Alias: t.Alias})
+	}
+	for _, j := range wq.Joins {
+		q.Joins = append(q.Joins, query.JoinPred{LA: j.LA, LC: j.LC, RA: j.RA, RC: j.RC})
+	}
+	for _, f := range wq.Filters {
+		op, ok := wireOps[f.Op]
+		if !ok {
+			return nil, fmt.Errorf("unknown filter op %q", f.Op)
+		}
+		q.Filters = append(q.Filters, query.Filter{Alias: f.Alias, Col: f.Col, Op: op, Val: f.Val, Hi: f.Hi, Set: f.Set})
+	}
+	if q.ID == "" {
+		q.ID = fmt.Sprintf("http_%x", q.Fingerprint())
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// optimizeRequest is the /v1/optimize body.
+type optimizeRequest struct {
+	QueryID  string      `json:"query_id,omitempty"`
+	QueryIDs []string    `json:"query_ids,omitempty"`
+	Query    *wireQuery  `json:"query,omitempty"`
+	Queries  []wireQuery `json:"queries,omitempty"`
+	// Execute runs the chosen plan on the active replica and records the
+	// observed latency server-side (one-call doctor-loop turn).
+	Execute bool `json:"execute,omitempty"`
+}
+
+// planJSON summarizes a chosen plan on the wire.
+type planJSON struct {
+	Order   []string `json:"order"`
+	Methods []string `json:"methods"`
+	Step    int      `json:"step"`
+	ICPKey  string   `json:"icp_key"`
+	EstCost float64  `json:"est_cost"`
+	EstRows float64  `json:"est_rows"`
+}
+
+// optimizeRow is one served query in an /v1/optimize response.
+type optimizeRow struct {
+	// ServeID is present only when the client is expected to execute the
+	// plan and report back; "execute": true rows are recorded server-side
+	// and carry no serve_id.
+	ServeID   string   `json:"serve_id,omitempty"`
+	QueryID   string   `json:"query_id"`
+	Epoch     uint64   `json:"epoch"`
+	CacheHit  bool     `json:"cache_hit"`
+	OptTimeMs float64  `json:"opt_time_ms"`
+	Plan      planJSON `json:"plan"`
+	// LatencyMs is present only when the request asked the server to
+	// execute ("execute": true).
+	LatencyMs *float64 `json:"latency_ms,omitempty"`
+}
+
+// optimizeResponse is the /v1/optimize body for batch requests; single-query
+// requests receive the bare optimizeRow.
+type optimizeResponse struct {
+	Results []optimizeRow `json:"results"`
+}
+
+// feedbackRequest is the /v1/feedback body.
+type feedbackRequest struct {
+	ServeID   string  `json:"serve_id"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+// statsResponse is the /v1/stats body.
+type statsResponse struct {
+	Backend string    `json:"backend"`
+	Stats   Stats     `json:"stats"`
+	Cache   cacheJSON `json:"cache"`
+	Pending int       `json:"pending_feedback"`
+}
+
+type cacheJSON struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	Epoch     uint64  `json:"epoch"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *HTTPServer) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req optimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	single := req.QueryID != "" || req.Query != nil
+	var qs []*query.Query
+	add := func(q *query.Query) { qs = append(qs, q) }
+	for _, id := range append(req.QueryIDs, req.QueryID) {
+		if id == "" {
+			continue
+		}
+		if s.opts.Resolve == nil {
+			writeErr(w, http.StatusBadRequest, "query_id lookup not configured; send an inline query spec")
+			return
+		}
+		q := s.opts.Resolve(id)
+		if q == nil {
+			writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown query_id %q", id))
+			return
+		}
+		add(q)
+	}
+	specs := req.Queries
+	if req.Query != nil {
+		specs = append(specs, *req.Query)
+	}
+	for _, wq := range specs {
+		q, err := wq.toQuery()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad query spec: "+err.Error())
+			return
+		}
+		add(q)
+	}
+	if len(qs) == 0 {
+		writeErr(w, http.StatusBadRequest, "no query_id/query_ids/query/queries in request")
+		return
+	}
+
+	results, err := s.lp.ServeBatch(r.Context(), qs)
+	if err != nil {
+		writeServeErr(w, err)
+		return
+	}
+	rows := make([]optimizeRow, len(results))
+	for i, res := range results {
+		row := optimizeRow{
+			QueryID:   qs[i].ID,
+			Epoch:     res.Epoch,
+			CacheHit:  res.CacheHit,
+			OptTimeMs: res.OptTime.Seconds() * 1000,
+			Plan:      planSummary(res.Eval),
+		}
+		if req.Execute {
+			// Server-side turn: the execution is recorded here, so no
+			// serve_id enters the pending ring — a later /v1/feedback for
+			// this row would double-count the one execution.
+			lat := s.lp.Active().Execute(res.Eval.CP)
+			s.lp.Record(qs[i], res.Eval, lat)
+			row.LatencyMs = &lat
+		} else {
+			row.ServeID = s.remember(qs[i], res.Eval)
+		}
+		rows[i] = row
+	}
+	if single && len(rows) == 1 {
+		writeJSON(w, http.StatusOK, rows[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, optimizeResponse{Results: rows})
+}
+
+func (s *HTTPServer) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.LatencyMs <= 0 {
+		writeErr(w, http.StatusBadRequest, "latency_ms must be > 0")
+		return
+	}
+	ps := s.take(req.ServeID)
+	if ps == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown or already-reported serve_id %q", req.ServeID))
+		return
+	}
+	s.lp.Record(ps.q, ps.pe, req.LatencyMs)
+	writeJSON(w, http.StatusOK, map[string]any{"recorded": true, "epoch": s.lp.Epoch()})
+}
+
+func (s *HTTPServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	active := s.lp.Active()
+	cs := active.CacheStats()
+	s.mu.Lock()
+	pending := len(s.pending)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Backend: active.BackendName(),
+		Stats:   s.lp.Stats(),
+		Cache: cacheJSON{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			HitRate: cs.HitRate(), Size: cs.Size, Capacity: cs.Capacity, Epoch: cs.Epoch,
+		},
+		Pending: pending,
+	})
+}
+
+// ---- serve-id ring ----
+
+// remember stores a served plan for later feedback, evicting FIFO past
+// MaxPending.
+func (s *HTTPServer) remember(q *query.Query, pe *planner.PlanEval) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.pending[id] = &pendingServe{q: q, pe: pe}
+	s.order = append(s.order, id)
+	for len(s.order) > s.opts.MaxPending {
+		drop := s.order[0]
+		s.order = s.order[1:]
+		delete(s.pending, drop)
+	}
+	return id
+}
+
+// take removes and returns a pending serve (one feedback per serve_id).
+func (s *HTTPServer) take(id string) *pendingServe {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.pending[id]
+	delete(s.pending, id)
+	return ps
+}
+
+// ---- helpers ----
+
+func planSummary(pe *planner.PlanEval) planJSON {
+	methods := make([]string, len(pe.ICP.Methods))
+	for i, m := range pe.ICP.Methods {
+		methods[i] = m.String()
+	}
+	pj := planJSON{
+		Order:   append([]string(nil), pe.ICP.Order...),
+		Methods: methods,
+		Step:    pe.Step,
+		ICPKey:  pe.ICP.Key(),
+	}
+	if pe.CP != nil && pe.CP.Root != nil {
+		pj.EstCost = pe.CP.Root.EstCost
+		pj.EstRows = pe.CP.Root.EstRows
+	}
+	return pj
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// writeServeErr maps serving errors onto wire statuses: planning failures
+// are the client's query (422), cancellations are timeouts (504), the rest
+// are server faults.
+func writeServeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, fosserr.ErrNoPlan), errors.Is(err, fosserr.ErrNoCandidate):
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+}

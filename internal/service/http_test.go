@@ -1,0 +1,229 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/foss-db/foss/internal/query"
+)
+
+// newWireFixture builds the HTTP surface over a fake-replica loop whose
+// resolver serves fq(v) for any numeric id "qv".
+func newWireFixture(t *testing.T, cfg Config) (*httptest.Server, *fakeReplica, *fakeReplica) {
+	t.Helper()
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(cfg, blue, green, nil)
+	h := NewHTTPServer(lp, HTTPOptions{Resolve: func(id string) *query.Query {
+		v, err := strconv.ParseInt(strings.TrimPrefix(id, "q"), 10, 64)
+		if err != nil || !strings.HasPrefix(id, "q") {
+			return nil
+		}
+		return fq(v)
+	}})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, blue, green
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestHTTPOptimizeFeedbackRoundTrip drives the wire protocol end to end:
+// optimize by query_id → serve_id → feedback → stats reflect the recorded
+// execution; a second feedback for the same serve_id is rejected.
+func TestHTTPOptimizeFeedbackRoundTrip(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100 // never drift
+	ts, blue, _ := newWireFixture(t, cfg)
+
+	code, out := postJSON(t, ts.URL+"/v1/optimize", `{"query_id": "q1"}`)
+	if code != http.StatusOK {
+		t.Fatalf("optimize status %d: %v", code, out)
+	}
+	serveID, _ := out["serve_id"].(string)
+	if serveID == "" {
+		t.Fatalf("no serve_id in %v", out)
+	}
+	if out["query_id"] != "q1" || out["epoch"] != float64(1) {
+		t.Fatalf("unexpected row %v", out)
+	}
+	if _, ok := out["plan"].(map[string]any); !ok {
+		t.Fatalf("no plan summary in %v", out)
+	}
+	if blue.serves.Load() != 1 {
+		t.Fatalf("replica served %d times", blue.serves.Load())
+	}
+
+	code, out = postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "`+serveID+`", "latency_ms": 42.5}`)
+	if code != http.StatusOK || out["recorded"] != true {
+		t.Fatalf("feedback status %d: %v", code, out)
+	}
+	// replay of the same serve_id must 404 (one feedback per serve)
+	if code, _ = postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "`+serveID+`", "latency_ms": 42.5}`); code != http.StatusNotFound {
+		t.Fatalf("replayed feedback status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["backend"] != "fake" {
+		t.Fatalf("stats backend %v", st["backend"])
+	}
+	stats, _ := st["stats"].(map[string]any)
+	if stats["Served"] != float64(1) || stats["Recorded"] != float64(1) {
+		t.Fatalf("stats counters %v", stats)
+	}
+	if st["pending_feedback"] != float64(0) {
+		t.Fatalf("pending %v after feedback", st["pending_feedback"])
+	}
+}
+
+// TestHTTPBatchOptimize: query_ids ride the batched serving path and return
+// one row per query, order-aligned.
+func TestHTTPBatchOptimize(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	ts, blue, _ := newWireFixture(t, cfg)
+
+	code, out := postJSON(t, ts.URL+"/v1/optimize", `{"query_ids": ["q1", "q2", "q3"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	rows, _ := out["results"].([]any)
+	if len(rows) != 3 {
+		t.Fatalf("rows %v", out)
+	}
+	seen := map[string]bool{}
+	for i, r := range rows {
+		row := r.(map[string]any)
+		if row["query_id"] != "q"+strconv.Itoa(i+1) {
+			t.Fatalf("row %d misaligned: %v", i, row)
+		}
+		id := row["serve_id"].(string)
+		if seen[id] {
+			t.Fatalf("duplicate serve_id %s", id)
+		}
+		seen[id] = true
+	}
+	if blue.serves.Load() != 3 {
+		t.Fatalf("replica served %d, want 3", blue.serves.Load())
+	}
+}
+
+// TestHTTPServerSideExecute: "execute": true runs the doctor-loop turn in
+// one call — the response carries the observed latency and the feedback is
+// already recorded.
+func TestHTTPServerSideExecute(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	ts, _, _ := newWireFixture(t, cfg)
+
+	code, out := postJSON(t, ts.URL+"/v1/optimize", `{"query_id": "q7", "execute": true}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	if out["latency_ms"] != float64(10) { // the fake executes everything at 10ms
+		t.Fatalf("latency %v", out["latency_ms"])
+	}
+	code, st := postJSON(t, ts.URL+"/v1/optimize", `{"query_id": "q7"}`)
+	_ = st
+	if code != http.StatusOK {
+		t.Fatalf("second optimize status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if s := stats["stats"].(map[string]any); s["Recorded"] != float64(1) {
+		t.Fatalf("server-side execute did not record: %v", s)
+	}
+}
+
+// TestHTTPErrors covers the wire-level failure modes.
+func TestHTTPErrors(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	ts, _, _ := newWireFixture(t, cfg)
+
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/v1/optimize", `{`, http.StatusBadRequest},                                      // malformed JSON
+		{"/v1/optimize", `{}`, http.StatusBadRequest},                                     // no queries
+		{"/v1/optimize", `{"query_id": "nope"}`, http.StatusNotFound},                     // unknown id
+		{"/v1/optimize", `{"query": {"tables": [], "joins": []}}`, http.StatusBadRequest}, // invalid spec
+		{"/v1/feedback", `{"serve_id": "s999", "latency_ms": 5}`, http.StatusNotFound},    // unknown serve
+		{"/v1/feedback", `{"serve_id": "s1", "latency_ms": -1}`, http.StatusBadRequest},   // bad latency
+	}
+	for _, c := range cases {
+		if code, out := postJSON(t, ts.URL+c.path, c.body); code != c.want {
+			t.Fatalf("POST %s %s → %d (want %d): %v", c.path, c.body, code, c.want, out)
+		}
+	}
+	// wrong methods
+	resp, err := http.Get(ts.URL + "/v1/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET optimize → %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPPendingEviction: the serve ring is bounded — old serve_ids are
+// evicted FIFO once MaxPending is exceeded.
+func TestHTTPPendingEviction(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(cfg, blue, green, nil)
+	h := NewHTTPServer(lp, HTTPOptions{
+		MaxPending: 2,
+		Resolve: func(id string) *query.Query {
+			v, _ := strconv.ParseInt(strings.TrimPrefix(id, "q"), 10, 64)
+			return fq(v)
+		},
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	var first string
+	for i := 1; i <= 3; i++ {
+		_, out := postJSON(t, ts.URL+"/v1/optimize", `{"query_id": "q`+strconv.Itoa(i)+`"}`)
+		if i == 1 {
+			first = out["serve_id"].(string)
+		}
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "`+first+`", "latency_ms": 5}`); code != http.StatusNotFound {
+		t.Fatalf("evicted serve_id still accepted feedback: %d", code)
+	}
+}

@@ -34,6 +34,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -50,13 +51,18 @@ import (
 // instances over the same workload form the blue/green pair; *core.System
 // implements it.
 type Replica interface {
-	// OptimizeEval serves one query through the replica's cached, shared-
-	// locked path, returning the full evaluated candidate and a cache-hit
-	// flag.
-	OptimizeEval(q *query.Query) (*planner.PlanEval, bool, time.Duration, error)
-	// TrainOn runs incremental training over the query set under the
+	// OptimizeEvalContext serves one query through the replica's cached,
+	// shared-locked path, returning the full evaluated candidate and a
+	// cache-hit flag. Cancellation is honored between rollouts.
+	OptimizeEvalContext(ctx context.Context, q *query.Query) (*planner.PlanEval, bool, time.Duration, error)
+	// OptimizeEvalBatch serves a batch in one pass, sharing the batched AAM
+	// scoring across cache misses; out[i]/hits[i] correspond to qs[i].
+	OptimizeEvalBatch(ctx context.Context, qs []*query.Query) ([]*planner.PlanEval, []bool, time.Duration, error)
+	// TrainOnContext runs incremental training over the query set under the
 	// replica's exclusive lock; its plan cache is invalidated afterwards.
-	TrainOn(queries []*query.Query, iterations int, progress func(learner.IterStats)) error
+	TrainOnContext(ctx context.Context, queries []*query.Query, iterations int, progress func(learner.IterStats)) error
+	// BackendName identifies the optimizer backend under the replica.
+	BackendName() string
 	// Save / Load snapshot and restore the learned weights (Load quiesces
 	// the replica's serving path while weights are copied).
 	Save() ([]byte, error)
@@ -203,10 +209,10 @@ func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
 // freshly mirrored weights by the time the request acquires its read lock)
 // is re-served on the new active, so Result.Epoch always identifies the
 // model generation that actually chose the plan.
-func (lp *Loop) Serve(q *query.Query) (Result, error) {
+func (lp *Loop) Serve(ctx context.Context, q *query.Query) (Result, error) {
 	for {
 		s := lp.active.Load()
-		pe, hit, d, err := s.r.OptimizeEval(q)
+		pe, hit, d, err := s.r.OptimizeEvalContext(ctx, q)
 		if err != nil {
 			return Result{}, err
 		}
@@ -221,6 +227,35 @@ func (lp *Loop) Serve(q *query.Query) (Result, error) {
 			lp.cacheHits.Add(1)
 		}
 		return Result{Eval: pe, Epoch: s.epoch, CacheHit: hit, OptTime: d}, nil
+	}
+}
+
+// ServeBatch optimizes a batch of queries on the active replica in one pass:
+// cache hits resolve immediately and all misses share one batched
+// state-network scoring pass, so out[i] is bit-identical to Serve(ctx,
+// qs[i]) while costing a fraction of the model forwards. The whole batch is
+// served by a single model generation — a swap that lands mid-batch re-serves
+// the batch on the new active — and cancellation returns promptly with no
+// partial results.
+func (lp *Loop) ServeBatch(ctx context.Context, qs []*query.Query) ([]Result, error) {
+	for {
+		s := lp.active.Load()
+		pes, hits, d, err := s.r.OptimizeEvalBatch(ctx, qs)
+		if err != nil {
+			return nil, err
+		}
+		if lp.active.Load() != s {
+			continue
+		}
+		out := make([]Result, len(qs))
+		for i := range qs {
+			lp.served.Add(1)
+			if hits[i] {
+				lp.cacheHits.Add(1)
+			}
+			out[i] = Result{Eval: pes[i], Epoch: s.epoch, CacheHit: hits[i], OptTime: d}
+		}
+		return out, nil
 	}
 }
 
@@ -275,8 +310,8 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 
 // Step runs one full doctor-loop turn: Serve, Execute on the active replica,
 // Record. It returns the serve result and the observed latency.
-func (lp *Loop) Step(q *query.Query) (Result, float64, error) {
-	res, err := lp.Serve(q)
+func (lp *Loop) Step(ctx context.Context, q *query.Query) (Result, float64, error) {
+	res, err := lp.Serve(ctx, q)
 	if err != nil {
 		return Result{}, 0, err
 	}
@@ -384,7 +419,7 @@ func (lp *Loop) retrain() {
 		return
 	}
 
-	if err := standby.TrainOn(queries, lp.cfg.RetrainIterations, nil); err != nil {
+	if err := standby.TrainOnContext(context.Background(), queries, lp.cfg.RetrainIterations, nil); err != nil {
 		lp.retrainErrors.Add(1)
 		return
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -42,12 +43,30 @@ func newFake(name string) *fakeReplica {
 	return &fakeReplica{name: name, buf: learner.NewBuffer()}
 }
 
-func (f *fakeReplica) OptimizeEval(q *query.Query) (*planner.PlanEval, bool, time.Duration, error) {
+func (f *fakeReplica) OptimizeEvalContext(ctx context.Context, q *query.Query) (*planner.PlanEval, bool, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, 0, err
+	}
 	f.serves.Add(1)
 	return &planner.PlanEval{Q: q, Latency: math.NaN()}, false, time.Microsecond, nil
 }
 
-func (f *fakeReplica) TrainOn(qs []*query.Query, iterations int, _ func(learner.IterStats)) error {
+func (f *fakeReplica) OptimizeEvalBatch(ctx context.Context, qs []*query.Query) ([]*planner.PlanEval, []bool, time.Duration, error) {
+	out := make([]*planner.PlanEval, len(qs))
+	hits := make([]bool, len(qs))
+	for i, q := range qs {
+		pe, _, _, err := f.OptimizeEvalContext(ctx, q)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		out[i] = pe
+	}
+	return out, hits, time.Microsecond, nil
+}
+
+func (f *fakeReplica) BackendName() string { return "fake" }
+
+func (f *fakeReplica) TrainOnContext(ctx context.Context, qs []*query.Query, iterations int, _ func(learner.IterStats)) error {
 	if f.trainDelay > 0 {
 		time.Sleep(f.trainDelay)
 	}
@@ -149,7 +168,7 @@ func TestLoopSwapsOnRegression(t *testing.T) {
 		t.Fatal("blue must serve at epoch 1")
 	}
 	for i := int64(0); i < 4; i++ {
-		res, err := lp.Serve(fq(i))
+		res, err := lp.Serve(context.Background(), fq(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +210,7 @@ func TestLoopCooldown(t *testing.T) {
 
 	record := func(n int, base int64) {
 		for i := int64(0); i < int64(n); i++ {
-			res, err := lp.Serve(fq(base + i))
+			res, err := lp.Serve(context.Background(), fq(base+i))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -224,7 +243,7 @@ func TestServeNeverBlocksDuringRetrain(t *testing.T) {
 	lp := New(cfg, blue, green, nil)
 
 	for i := int64(0); i < 4; i++ {
-		res, err := lp.Serve(fq(i))
+		res, err := lp.Serve(context.Background(), fq(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +257,7 @@ func TestServeNeverBlocksDuringRetrain(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := int64(0); i < 50; i++ {
-				res, err := lp.Serve(fq(1000 + i))
+				res, err := lp.Serve(context.Background(), fq(1000+i))
 				if err != nil {
 					t.Error(err)
 					return
@@ -272,7 +291,7 @@ func TestLoopStep(t *testing.T) {
 	cfg := syncConfig()
 	cfg.Detector.Threshold = 100 // never drift
 	lp := New(cfg, blue, green, nil)
-	res, lat, err := lp.Step(fq(1))
+	res, lat, err := lp.Step(context.Background(), fq(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/engine/stats"
 	"github.com/foss-db/foss/internal/engine/storage"
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/query"
 )
 
@@ -78,7 +79,7 @@ func Load(name string, opts Options) (*Workload, error) {
 	case "stack":
 		return LoadStack(opts)
 	}
-	return nil, fmt.Errorf("workload: unknown workload %q", name)
+	return nil, fmt.Errorf("workload: %q: %w", name, fosserr.ErrUnknownWorkload)
 }
 
 // Names lists the available workloads.

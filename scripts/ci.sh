@@ -15,8 +15,14 @@ quick=0
 echo "== go vet =="
 go vet ./...
 
-echo "== go build =="
+echo "== go build (library, cmd, and all examples) =="
 go build ./...
+# the examples are the public-API contract surface: list them explicitly so
+# a GOFLAGS/build-cache quirk can never silently skip them (built into a
+# throwaway dir — naming main packages makes go build emit executables)
+exbin=$(mktemp -d)
+go build -o "$exbin/" ./examples/quickstart ./examples/jobtour ./examples/hintsteer ./examples/doctor ./examples/ablation
+rm -rf "$exbin"
 
 if [[ $quick -eq 1 ]]; then
   echo "== go test (quick) =="
@@ -35,10 +41,23 @@ echo "== determinism: online loop replay =="
 # TestOnlineRunDeterministic: two full drift-adapt runs must be bit-identical.
 go test -count=1 -run 'TestOnlineRunDeterministic' ./internal/core/
 
+echo "== backend parity: selinger golden + cross-backend doctor loop + batch/single =="
+# TestSelingerGoldenBitIdentical: the Backend refactor must stay bit-identical
+#   to the pre-interface engine (testdata/golden_selinger.txt).
+# TestCrossBackendParity: both backends complete train->serve->record behind
+#   the same foss.Backend interface.
+# TestOptimizeBatchMatchesSingle: batched serving is bit-identical per query.
+# TestBackendsDiverge: gaussim is a genuinely different engine.
+go test -count=1 -run 'TestSelingerGoldenBitIdentical|TestCrossBackendParity|TestOptimizeBatchMatchesSingle|TestSetBackendCacheIsolation' ./internal/core/
+go test -count=1 ./internal/backend/
+
+echo "== wire surface: HTTP optimize->feedback round trip =="
+go test -count=1 -run 'TestHTTP' ./internal/service/ ./internal/core/
+
 if [[ $quick -eq 0 ]]; then
   ncpu=$(nproc 2>/dev/null || echo 1)
   if [[ "$ncpu" -ge 4 ]]; then
-    echo "== perf snapshot (BENCH_2.json) =="
+    echo "== perf snapshot (BENCH_3.json) =="
     # Hardware-gated like the speedup check: on weak runners the numbers are
     # noise; run `make bench` manually to refresh the snapshot anywhere.
     scripts/bench.sh
