@@ -24,9 +24,9 @@ ci:
 ci-quick:
 	scripts/ci.sh --quick
 
-# Perf snapshot: parallel-training + online-serving + batched-serving
-# benchmarks, written to BENCH_3.json (see scripts/bench.sh; BENCHTIME=3x
-# make bench for longer runs).
+# Perf snapshot: parallel-training + online-serving + batched-serving +
+# durability (checkpoint, WAL replay) benchmarks, written to BENCH_4.json
+# (see scripts/bench.sh; BENCHTIME=3x make bench for longer runs).
 bench:
 	scripts/bench.sh
 

@@ -14,6 +14,7 @@ import (
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/experiments"
 	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -158,6 +159,112 @@ func BenchmarkServeBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// durableBenchSystem trains a tiny doctor with a durable online loop rooted
+// at dir, the shared fixture of the durability benchmarks.
+func durableBenchSystem(b *testing.B, dir string) *core.System {
+	b.Helper()
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.35})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	cfg.Learner.Iterations = 1
+	cfg.Learner.RealPerIter = 6
+	cfg.Learner.SimPerIter = 20
+	cfg.Learner.ValidatePerIter = 6
+	cfg.Learner.InferenceRollouts = 2
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Train(nil); err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	_, err = sys.RecoverOnline(service.Config{
+		Detector:   service.DetectorConfig{Window: 32, Threshold: 1e12, MinSamples: 32},
+		Cooldown:   1 << 30,
+		Background: false,
+	}, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkCheckpoint measures one durable checkpoint of a live doctor:
+// quiesce + model save + buffer export + seal + atomic file write + manifest
+// repoint — the cost the loop pays on every hot-swap and every
+// CheckpointEvery-th record.
+func BenchmarkCheckpoint(b *testing.B) {
+	sys := durableBenchSystem(b, b.TempDir())
+	// A realistic buffer: some served feedback beyond the training fills.
+	for _, q := range sys.W.Train[:8] {
+		if _, _, err := sys.ServeStep(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Online().Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALReplay measures a warm restart: load the checkpoint from
+// disk, rebuild the execution buffer, and replay a 32-record WAL tail
+// (deterministic hint re-completion + re-encoding per record) into a fresh
+// system — the recovery path a crashed fossd walks before serving again.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	sys := durableBenchSystem(b, dir)
+	if _, err := sys.Online().Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	// Everything recorded after the checkpoint lives only in the WAL tail.
+	for i := 0; i < 32; i++ {
+		q := sys.W.Train[i%len(sys.W.Train)]
+		if _, _, err := sys.ServeStep(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := sys.Cfg
+	cfg.Seed = 99
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fresh, err := core.New(sys.W, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		info, err := fresh.RecoverOnline(service.Config{
+			Detector:   service.DetectorConfig{Window: 32, Threshold: 1e12, MinSamples: 32},
+			Cooldown:   1 << 30,
+			Background: false,
+		}, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if !info.Recovered || info.WALReplayed == 0 {
+			b.Fatalf("recovery did not replay: %+v", info)
+		}
+		st.Close()
+		b.StartTimer()
+	}
 }
 
 // BenchmarkTableI_JOB regenerates the JOB column of Table I (all six

@@ -12,9 +12,18 @@
 //	fossd -workload job -scale 0.5 -iters 4 -online -drift selectivity -sync-retrain
 //	fossd -workload job -backend gaussim -iters 4
 //	fossd -workload job -iters 4 -serve-http :8475
+//	fossd -workload job -iters 4 -serve-http :8475 -state-dir ./state
 //
 // With -serve-http the trained doctor stays up as a JSON HTTP service
-// (POST /v1/optimize, POST /v1/feedback, GET /v1/stats) until interrupted.
+// (POST /v1/optimize, POST /v1/feedback, GET /v1/stats, POST /v1/checkpoint)
+// until interrupted.
+//
+// With -state-dir the doctor is durable: trained weights checkpoint to disk
+// (atomically, on every hot-swap and every -checkpoint-every records),
+// executed-plan feedback journals to a WAL before ingestion, and a restart
+// with the same -state-dir warm-starts — model, execution buffer, and epoch
+// recover from disk, the WAL tail replays, and serving resumes bit-identical
+// to the pre-crash replica with no retraining.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"github.com/foss-db/foss/internal/metrics"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/runtime"
+	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -64,6 +74,8 @@ func main() {
 		cacheSize   = flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
 		backendName = flag.String("backend", "selinger", "optimizer backend: selinger | gaussim")
 		serveHTTP   = flag.String("serve-http", "", "after training, serve the doctor as a JSON HTTP service on this address (e.g. :8475)")
+		stateDir    = flag.String("state-dir", "", "durable state directory (checkpoints + feedback WAL); with -serve-http, a directory holding a checkpoint warm-starts the doctor from disk, skipping training")
+		ckEvery     = flag.Int("checkpoint-every", 64, "recorded executions between periodic checkpoints when -state-dir is set (0 = only on hot-swaps and POST /v1/checkpoint)")
 
 		online       = flag.Bool("online", false, "after training, run the online doctor loop over a drift scenario (feedback ingestion, drift-aware background retraining, zero-downtime hot-swap)")
 		drift        = flag.String("drift", "selectivity", "drift scenario for -online: template-mix | selectivity | novel-template")
@@ -110,15 +122,39 @@ func main() {
 	}
 	fmt.Printf("runtime: backend=%s workers=%d eval-workers=%d cache=%d\n", be.Name(), *workers, *evalWorkers, *cacheSize)
 
+	var st *store.Store
+	if *stateDir != "" {
+		st, err = store.Open(*stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "state-dir:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+	}
+	// Warm restart: a state directory holding a checkpoint means the trained
+	// doctor already exists on disk — recover it and serve instead of
+	// retraining from scratch. The -online drift demo always trains (it
+	// narrates adaptation from a known starting point).
+	warm := false
+	if st != nil && *serveHTTP != "" && !*online {
+		if m, ok := st.Latest(); ok {
+			warm = true
+			fmt.Printf("warm restart: found checkpoint %s (epoch %d, backend %s) in %s — skipping training\n",
+				m.Checkpoint, m.Epoch, m.Backend, *stateDir)
+		}
+	}
+
 	ctx := context.Background()
-	err = sys.TrainContext(ctx, func(st learner.IterStats) {
-		fmt.Printf("iter %d: buffer=%d aamLoss=%.3f aamAcc=%.2f ppoKL=%.4f validated=%d elapsed=%s\n",
-			st.Iter, st.BufferSize, st.AAMLoss, st.AAMAccuracy, st.PPO.ApproxKL, st.Validated,
-			time.Since(start).Truncate(time.Second))
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "train:", err)
-		os.Exit(1)
+	if !warm {
+		err = sys.TrainContext(ctx, func(st learner.IterStats) {
+			fmt.Printf("iter %d: buffer=%d aamLoss=%.3f aamAcc=%.2f ppoKL=%.4f validated=%d elapsed=%s\n",
+				st.Iter, st.BufferSize, st.AAMLoss, st.AAMAccuracy, st.PPO.ApproxKL, st.Validated,
+				time.Since(start).Truncate(time.Second))
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "train:", err)
+			os.Exit(1)
+		}
 	}
 
 	// Evaluation serves queries concurrently through the runtime: requests
@@ -173,10 +209,12 @@ func main() {
 		fmt.Printf("%s: WRL=%.3f GMRL=%.3f wins=%d losses=%d changed=%d/%d\n",
 			name, metrics.WRL(fossRes, pgRes), metrics.GMRL(fossRes, pgRes), wins, losses, changed, len(qs))
 	}
-	eval("train", w.Train)
-	eval("test ", w.Test)
-	printCacheStats(sys)
-	if *diag {
+	if !warm {
+		eval("train", w.Train)
+		eval("test ", w.Test)
+		printCacheStats(sys)
+	}
+	if *diag && !warm {
 		fmt.Println("--- test candidate diagnosis ---")
 		diagnose(sys, w.Test)
 	}
@@ -194,6 +232,8 @@ func main() {
 			noveltyFrac:  *noveltyFrac,
 			retrainIters: *retrainIters,
 			sync:         *syncRetrain,
+			st:           st,
+			ckEvery:      *ckEvery,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "online:", err)
@@ -207,6 +247,8 @@ func main() {
 			noveltyFrac:  *noveltyFrac,
 			retrainIters: *retrainIters,
 			sync:         *syncRetrain,
+			st:           st,
+			ckEvery:      *ckEvery,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "serve-http:", err)
 			os.Exit(1)

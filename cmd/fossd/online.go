@@ -14,10 +14,11 @@ import (
 
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/workload"
 )
 
-// onlineOpts carries the -online flag group.
+// onlineOpts carries the -online flag group plus the durability wiring.
 type onlineOpts struct {
 	kind         string
 	driftSeed    int64
@@ -27,6 +28,27 @@ type onlineOpts struct {
 	noveltyFrac  float64
 	retrainIters int
 	sync         bool
+	st           *store.Store // nil = in-memory loop
+	ckEvery      int
+}
+
+// loopConfig assembles the service configuration shared by -online and
+// -serve-http, including the durability store when -state-dir is set.
+func (o onlineOpts) loopConfig() service.Config {
+	return service.Config{
+		Detector: service.DetectorConfig{
+			Window:      o.window,
+			Threshold:   o.threshold,
+			MinSamples:  o.window / 2,
+			NoveltyFrac: o.noveltyFrac,
+		},
+		Cooldown:          o.window,
+		RetrainIterations: o.retrainIters,
+		RetrainQueries:    2 * o.window,
+		Background:        !o.sync,
+		Store:             o.st,
+		CheckpointEvery:   o.ckEvery,
+	}
 }
 
 // runOnline drives the online doctor loop over a drift scenario and prints
@@ -38,18 +60,7 @@ func runOnline(ctx context.Context, sys *core.System, frozen *core.System, w *wo
 	if err != nil {
 		return err
 	}
-	err = sys.EnableOnline(service.Config{
-		Detector: service.DetectorConfig{
-			Window:      o.window,
-			Threshold:   o.threshold,
-			MinSamples:  o.window / 2,
-			NoveltyFrac: o.noveltyFrac,
-		},
-		Cooldown:          o.window,
-		RetrainIterations: o.retrainIters,
-		RetrainQueries:    2 * o.window,
-		Background:        !o.sync,
-	})
+	err = sys.EnableOnline(o.loopConfig())
 	if err != nil {
 		return err
 	}

@@ -23,22 +23,28 @@ import (
 )
 
 // runHTTP enables the online loop (unless -online already did) and serves
-// the wire surface until SIGINT/SIGTERM.
+// the wire surface until SIGINT/SIGTERM. With a state directory, the loop
+// either warm-starts from the latest checkpoint (recovering model, buffer,
+// and epoch, then replaying the WAL tail) or — on a cold start — writes an
+// initial checkpoint so the freshly trained model is durable before the
+// first request lands.
 func runHTTP(sys *core.System, w *workload.Workload, addr string, o onlineOpts) error {
 	if sys.Online() == nil {
-		err := sys.EnableOnline(service.Config{
-			Detector: service.DetectorConfig{
-				Window:      o.window,
-				Threshold:   o.threshold,
-				MinSamples:  o.window / 2,
-				NoveltyFrac: o.noveltyFrac,
-			},
-			Cooldown:          o.window,
-			RetrainIterations: o.retrainIters,
-			RetrainQueries:    2 * o.window,
-			Background:        !o.sync,
-		})
-		if err != nil {
+		if o.st != nil {
+			info, err := sys.RecoverOnline(o.loopConfig(), o.st)
+			if err != nil {
+				return err
+			}
+			if info.Recovered {
+				fmt.Printf("recovered from %s: checkpoint=%s epoch=%d buffer=%d walReplayed=%d\n",
+					o.st.Dir(), info.Checkpoint, info.Epoch, info.BufferRestored, info.WALReplayed)
+			} else {
+				if _, err := sys.Online().Checkpoint(); err != nil {
+					return fmt.Errorf("initial checkpoint: %w", err)
+				}
+				fmt.Printf("durable state: cold start, initial checkpoint written to %s\n", o.st.Dir())
+			}
+		} else if err := sys.EnableOnline(o.loopConfig()); err != nil {
 			return err
 		}
 	}
@@ -68,6 +74,7 @@ func runHTTP(sys *core.System, w *workload.Workload, addr string, o onlineOpts) 
 	fmt.Println("  POST /v1/optimize   {\"query_id\": \"...\"} | {\"query_ids\": [...]} | inline specs; add \"execute\": true for a full doctor-loop turn")
 	fmt.Println("  POST /v1/feedback   {\"serve_id\": \"...\", \"latency_ms\": ...}")
 	fmt.Println("  GET  /v1/stats")
+	fmt.Println("  POST /v1/checkpoint  (force a durable checkpoint; requires -state-dir)")
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
 	}

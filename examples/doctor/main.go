@@ -16,18 +16,27 @@
 // trains over the gaussim backend (a hash-centric engine with different
 // cost-model error), whose expert leaves different latency on the table —
 // and the doctor recovers it there too.
+//
+// Part four makes the doctor durable: the trained system checkpoints to a
+// state directory, served feedback journals to a WAL, and a "crashed"
+// process is rebuilt from disk alone — same epoch, same buffer, same plans,
+// no retraining — while a snapshot from the wrong backend is refused.
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
 
 	"github.com/foss-db/foss/internal/aam"
 	"github.com/foss-db/foss/internal/backend"
 	"github.com/foss-db/foss/internal/core"
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -95,6 +104,113 @@ func main() {
 
 	fmt.Println("\n--- part three: the doctor changes hospitals ---")
 	portabilityDemo(w)
+
+	fmt.Println("\n--- part four: the doctor survives a crash ---")
+	durabilityDemo(w)
+}
+
+// durabilityDemo trains a small doctor, serves some feedback through a
+// durable online loop, then rebuilds the whole thing from the state
+// directory as a crashed process would — proving the recovered replica
+// serves the same plans at the same epoch without retraining.
+func durabilityDemo(w *workload.Workload) {
+	ctx := context.Background()
+	cfg := core.DefaultConfig()
+	cfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	cfg.Learner.Iterations = 2
+	cfg.Learner.RealPerIter = 8
+	cfg.Learner.SimPerIter = 30
+	cfg.Learner.ValidatePerIter = 8
+	cfg.Learner.InferenceRollouts = 2
+
+	dir, err := os.MkdirTemp("", "foss-state-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loopCfg := service.Config{
+		Detector:        service.DetectorConfig{Window: 8, Threshold: 1e9, MinSamples: 8},
+		Cooldown:        1 << 30, // durability demo: keep the detector quiet
+		Background:      false,
+		CheckpointEvery: 8,
+	}
+
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training offline...")
+	if err := sys.TrainContext(ctx, nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.RecoverOnline(loopCfg, st); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Online().Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range w.Train[:12] { // feedback past the checkpoint lives in the WAL
+		if _, _, err := sys.ServeStepContext(ctx, q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	probe := w.Test[0]
+	res, err := sys.ServeContext(ctx, probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preKey, preEpoch := res.Eval.ICP.Key(), sys.OnlineStats().Epoch
+	preBuf := len(sys.ExportBuffer())
+	st.Close()
+	fmt.Printf("served 12 queries, checkpointed, journaled; then the process \"crashes\"\n")
+
+	// A fresh process: different seed, nothing in memory — disk is all it has.
+	st2, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st2.Close()
+	cfg.Seed = 99
+	fresh, err := core.New(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := fresh.RecoverOnline(loopCfg, st2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered from %s: checkpoint=%s epoch=%d buffer=%d walReplayed=%d\n",
+		dir, info.Checkpoint, info.Epoch, info.BufferRestored, info.WALReplayed)
+	res2, err := fresh.ServeContext(ctx, probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := res2.Eval.ICP.Key() == preKey && fresh.OnlineStats().Epoch == preEpoch &&
+		len(fresh.ExportBuffer()) == preBuf
+	fmt.Printf("pre-crash plan == recovered plan: %v (epoch %d, buffer %d entries)\n",
+		same, fresh.OnlineStats().Epoch, len(fresh.ExportBuffer()))
+
+	// And the guard rail: the selinger-trained checkpoint refuses to load
+	// into a gaussim system.
+	gau, err := core.New(w, cfg, core.WithBackend(backend.NewGaussim(w.DB, w.Stats)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := fresh.Save()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gau.Load(blob); errors.Is(err, fosserr.ErrBackendMismatch) {
+		fmt.Println("cross-backend load refused: snapshot is selinger-tagged, system runs gaussim ✓")
+	} else {
+		log.Fatalf("cross-backend load was not refused: %v", err)
+	}
+	fmt.Println("\nthe doctor's experience now outlives the process that gathered it.")
 }
 
 // onlineDemo trains a small FOSS system, then runs the online loop over a

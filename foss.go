@@ -54,8 +54,23 @@
 //	fmt.Println(sys.OnlineStats())            // drift/retrain/swap counters
 //
 // The same loop is reachable over the wire: cmd/fossd -serve-http exposes
-// /v1/optimize, /v1/feedback, and /v1/stats as a JSON HTTP service (see
-// internal/service and the README's endpoint reference).
+// /v1/optimize, /v1/feedback, /v1/stats, and /v1/checkpoint as a JSON HTTP
+// service (see internal/service and the README's endpoint reference).
+//
+// Durable serving: attach a state directory and the doctor's accumulated
+// experience survives restarts — every Record journals to a feedback WAL
+// before ingestion, checkpoints land atomically on every hot-swap, and a
+// warm restart recovers model weights, execution buffer, and epoch from
+// disk, serving bit-identical plans with no retraining:
+//
+//	st, _ := foss.OpenStateDir("state")
+//	cfg := foss.DefaultOnlineConfig()
+//	info, _ := sys.RecoverOnline(cfg, st) // warm start restores; cold start just attaches
+//
+// Snapshots travel in a versioned, checksummed, backend-tagged envelope:
+// Load rejects cross-backend blobs (ErrBackendMismatch), version skew
+// (ErrSnapshotVersion), and corruption (ErrSnapshotCorrupt) instead of
+// restoring weights into a system they were never trained for.
 //
 // Failures are classified by sentinel errors (ErrNoPlan, ErrNotOnline, ...)
 // that errors.Is recognizes through every wrapping layer.
@@ -66,6 +81,7 @@ import (
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -135,7 +151,22 @@ var (
 	ErrNoCandidate     = fosserr.ErrNoCandidate
 	ErrNotOnline       = fosserr.ErrNotOnline
 	ErrBackendMismatch = fosserr.ErrBackendMismatch
+	ErrSnapshotVersion = fosserr.ErrSnapshotVersion
+	ErrSnapshotCorrupt = fosserr.ErrSnapshotCorrupt
+	ErrNoStore         = fosserr.ErrNoStore
 )
+
+// StateStore re-exports the durability store: the state directory holding
+// versioned model checkpoints, the recovery manifest, and the append-only
+// feedback WAL. Attach one via OnlineConfig.Store (journal + checkpoint a
+// live loop) or System.RecoverOnline (warm restart from disk).
+type StateStore = store.Store
+
+// RecoveryInfo re-exports what System.RecoverOnline restored from disk.
+type RecoveryInfo = core.RecoveryInfo
+
+// OpenStateDir opens (creating if needed) a durable state directory.
+func OpenStateDir(dir string) (*StateStore, error) { return store.Open(dir) }
 
 // OnlineConfig re-exports the online doctor loop configuration
 // (System.EnableOnline).

@@ -13,6 +13,7 @@ import (
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/store"
 )
 
 // EnableOnline turns this (typically already trained) system into the active
@@ -40,6 +41,70 @@ func (s *System) EnableOnline(cfg service.Config) error {
 
 // Online returns the service loop, or nil before EnableOnline.
 func (s *System) Online() *service.Loop { return s.online }
+
+// RecoveryInfo summarizes what RecoverOnline restored from disk.
+type RecoveryInfo struct {
+	// Recovered reports whether a durable checkpoint existed (false = cold
+	// start: the loop was enabled with the store attached but nothing to
+	// restore).
+	Recovered      bool
+	Checkpoint     string // checkpoint filename recovered from
+	Epoch          uint64 // serving epoch resumed at
+	BufferRestored int    // execution-buffer entries restored from the checkpoint
+	WALReplayed    int    // feedback records replayed from the WAL tail
+}
+
+// RecoverOnline is EnableOnline backed by a durability store: if the store
+// holds a checkpoint, the trained weights, execution buffer, and serving
+// epoch are restored from it and the feedback WAL's tail is replayed —
+// rebuilding the drift detector's state deterministically — before the loop
+// takes traffic. Serving resumes bit-identical to the pre-crash replica (no
+// retraining). A checkpoint trained under a different backend or written by
+// a different format version is rejected (fosserr.ErrBackendMismatch /
+// fosserr.ErrSnapshotVersion) rather than loaded silently.
+//
+// On a cold start (empty store) the loop simply starts journaling into the
+// store. Must be called before any training or serving traffic this
+// process intends to keep — recovery overwrites the system's weights.
+func (s *System) RecoverOnline(cfg service.Config, st *store.Store) (RecoveryInfo, error) {
+	if s.online != nil {
+		return RecoveryInfo{}, fmt.Errorf("core: online loop already enabled")
+	}
+	if st == nil {
+		return RecoveryInfo{}, fmt.Errorf("core: RecoverOnline without a store: %w", fosserr.ErrNoStore)
+	}
+	cfg.Store = st
+	rec, err := st.Recover()
+	if err != nil {
+		return RecoveryInfo{}, fmt.Errorf("core: recover: %w", err)
+	}
+	if rec == nil {
+		return RecoveryInfo{}, s.EnableOnline(cfg)
+	}
+	// Load validates the envelope: backend identity, format version,
+	// checksum. This is where a gaussim system refuses a selinger snapshot.
+	if err := s.Load(rec.Checkpoint.Model); err != nil {
+		return RecoveryInfo{}, fmt.Errorf("core: recover model: %w", err)
+	}
+	if err := s.ImportBuffer(rec.Checkpoint.Buffer); err != nil {
+		return RecoveryInfo{}, fmt.Errorf("core: recover buffer: %w", err)
+	}
+	cfg.InitialEpoch = rec.Checkpoint.Epoch
+	if err := s.EnableOnline(cfg); err != nil {
+		return RecoveryInfo{}, err
+	}
+	n, err := s.online.Replay(rec.Tail)
+	if err != nil {
+		return RecoveryInfo{}, fmt.Errorf("core: replay wal: %w", err)
+	}
+	return RecoveryInfo{
+		Recovered:      true,
+		Checkpoint:     rec.Manifest.Checkpoint,
+		Epoch:          rec.Checkpoint.Epoch,
+		BufferRestored: len(rec.Checkpoint.Buffer),
+		WALReplayed:    n,
+	}, nil
+}
 
 // ServeContext optimizes one query through the online loop's active replica
 // — lock-free with respect to background retraining and hot-swaps.

@@ -5,7 +5,12 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/nn"
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/store"
 )
 
 // snapshot is the serialized form of a trained system's learned state: the
@@ -16,11 +21,30 @@ type snapshot struct {
 	AAM      []byte
 	Agents   [][]byte
 	MaxSteps int
+	// Workload fingerprints the data the models were trained over (see
+	// workloadIdentity); a snapshot must not load into a system whose
+	// workload was generated differently.
+	Workload string
 }
 
-// Save serializes the trained models (AAM + per-agent networks).
-func (s *System) Save() ([]byte, error) {
-	snap := snapshot{MaxSteps: s.Cfg.MaxSteps}
+// Save serializes the trained models (AAM + per-agent networks) inside the
+// versioned, checksummed, backend-tagged snapshot envelope (internal/store).
+// The envelope is what makes snapshots safe to persist: Load rejects
+// cross-backend blobs, version skew, and bit rot instead of silently
+// restoring weights into a system they were never trained for. The weight
+// read runs under the runtime's shared lock — concurrent with serving,
+// mutually exclusive with training/Load — so a snapshot can never capture
+// half-applied weights.
+func (s *System) Save() (out []byte, err error) {
+	err = s.RT.Shared(func() error {
+		out, err = s.save()
+		return err
+	})
+	return out, err
+}
+
+func (s *System) save() ([]byte, error) {
+	snap := snapshot{MaxSteps: s.Cfg.MaxSteps, Workload: s.workloadIdentity()}
 	blob, err := nn.SaveParams(s.AAM)
 	if err != nil {
 		return nil, fmt.Errorf("core: save AAM: %w", err)
@@ -37,22 +61,53 @@ func (s *System) Save() ([]byte, error) {
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	// Tag with the backend pointer's own name (not RT.BackendID, whose lock
+	// this shared section already holds — the two are kept in sync by
+	// SetBackend).
+	return store.Seal(s.Backend.Name(), buf.Bytes())
+}
+
+// workloadIdentity fingerprints the workload a snapshot was trained over:
+// name, schema width, data volume, and split sizes. Different -scale or
+// -seed flags change the data (and therefore the statistics the model
+// internalized), so a warm restart over a differently generated workload
+// must refuse the snapshot rather than serve from mismatched beliefs.
+func (s *System) workloadIdentity() string {
+	return fmt.Sprintf("%s/tables=%d/rows=%d/queries=%d+%d",
+		s.W.Name, len(s.W.DB.Tables), s.W.DB.TotalRows(), len(s.W.Train), len(s.W.Test))
 }
 
 // Load restores models previously produced by Save into this System. The
 // System must have been built with the same Config (network sizes, agent
-// count) over the same schema. The serving path is quiesced while weights
-// are swapped, and cached plans (chosen by the previous weights) are
-// invalidated.
+// count) over the same schema, AND the same optimizer backend: the envelope
+// is validated first — version skew fails with fosserr.ErrSnapshotVersion,
+// corruption with fosserr.ErrSnapshotCorrupt, and a snapshot trained under
+// a different backend with fosserr.ErrBackendMismatch (a selinger-trained
+// doctor must never serve gaussim plans). The serving path is quiesced
+// while weights are swapped, and cached plans (chosen by the previous
+// weights) are invalidated.
 func (s *System) Load(data []byte) error {
 	return s.RT.Exclusive(func() error { return s.load(data) })
 }
 
 func (s *System) load(data []byte) error {
+	env, err := store.Unseal(data)
+	if err != nil {
+		return fmt.Errorf("core: load: %w", err)
+	}
+	// s.Backend.Name(), not s.BackendName(): load runs under RT's exclusive
+	// lock, which RT.BackendID would try to RLock again.
+	if env.Backend != s.Backend.Name() {
+		return fmt.Errorf("core: snapshot trained under backend %q, this system runs %q: %w",
+			env.Backend, s.Backend.Name(), fosserr.ErrBackendMismatch)
+	}
 	var snap snapshot
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
-		return err
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&snap); err != nil {
+		return fmt.Errorf("core: snapshot payload decode: %v: %w", err, fosserr.ErrSnapshotCorrupt)
+	}
+	if want := s.workloadIdentity(); snap.Workload != want {
+		return fmt.Errorf("core: snapshot trained over workload %q, this system runs %q (same name but different -scale/-seed generates different data): %w",
+			snap.Workload, want, fosserr.ErrBackendMismatch)
 	}
 	if snap.MaxSteps != s.Cfg.MaxSteps {
 		return fmt.Errorf("core: snapshot maxsteps %d != config %d", snap.MaxSteps, s.Cfg.MaxSteps)
@@ -69,6 +124,28 @@ func (s *System) load(data []byte) error {
 		}
 	}
 	return nil
+}
+
+// RebuildEval re-derives an executed candidate from its durable identity:
+// the incomplete plan is hint-completed by the backend and re-encoded, both
+// deterministic, so a candidate rebuilt from a checkpoint or WAL record is
+// interchangeable with the one that was executed live. Latency is NaN on
+// return; callers restore the journaled outcome. Not safe under concurrent
+// training — recovery runs before the system takes traffic.
+func (s *System) RebuildEval(q *query.Query, icp plan.ICP, step int) (*planner.PlanEval, error) {
+	return s.Planners[0].NewEval(q, icp, step)
+}
+
+// ExportBuffer snapshots the execution buffer in durable form (checkpoint
+// ingredient).
+func (s *System) ExportBuffer() []store.ExecRecord { return s.Learner.Buf.Export() }
+
+// ImportBuffer restores an exported execution buffer, rebuilding each
+// record's complete plan and encoding through this system's backend.
+func (s *System) ImportBuffer(recs []store.ExecRecord) error {
+	return s.Learner.Buf.Import(recs, func(r store.ExecRecord) (*planner.PlanEval, error) {
+		return s.RebuildEval(r.Query, r.ICP, r.Step)
+	})
 }
 
 // Clone builds a fresh System over the same workload, configuration, and

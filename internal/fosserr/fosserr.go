@@ -29,6 +29,19 @@ var (
 	ErrNotOnline = errors.New("foss: online loop not enabled")
 
 	// ErrBackendMismatch reports an operation that would cross backend
-	// boundaries, e.g. swapping in a backend over a different schema.
+	// boundaries, e.g. swapping in a backend over a different schema or
+	// loading a snapshot trained under a different backend.
 	ErrBackendMismatch = errors.New("foss: backend mismatch")
+
+	// ErrSnapshotVersion reports a snapshot whose envelope version this build
+	// does not speak (version skew between writer and reader).
+	ErrSnapshotVersion = errors.New("foss: snapshot version mismatch")
+
+	// ErrSnapshotCorrupt reports a snapshot or WAL record that failed its
+	// integrity check (bad magic, checksum mismatch, truncation).
+	ErrSnapshotCorrupt = errors.New("foss: snapshot corrupt")
+
+	// ErrNoStore reports a durability operation (checkpoint, recovery) on a
+	// loop that has no store attached.
+	ErrNoStore = errors.New("foss: no durability store attached")
 )

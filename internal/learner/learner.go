@@ -24,6 +24,7 @@ import (
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/rl"
 	"github.com/foss-db/foss/internal/runtime"
+	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -72,6 +73,48 @@ func (b *Buffer) All() []*planner.PlanEval {
 		out = append(out, b.byQuery[qid]...)
 	}
 	return out
+}
+
+// Export snapshots the buffer in durable, engine-independent form: each
+// execution's query, incomplete plan, step, and observed outcome. Records
+// come out in the buffer's canonical order — the same order All() and
+// Samples() iterate — so an export→import round trip reproduces iteration
+// order (and therefore AAM sample order) exactly.
+func (b *Buffer) Export() []store.ExecRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []store.ExecRecord
+	for _, qid := range b.order {
+		for _, pe := range b.byQuery[qid] {
+			out = append(out, store.ExecRecord{
+				Query:     pe.Q,
+				ICP:       pe.ICP.Clone(),
+				Step:      pe.Step,
+				LatencyMs: pe.Latency,
+				TimedOut:  pe.TimedOut,
+			})
+		}
+	}
+	return out
+}
+
+// Import restores exported records: rebuild re-derives each record's
+// complete plan and encoding (a deterministic function of query × ICP under
+// a fixed backend), the observed outcome is restored onto the rebuilt
+// candidate, and Add ingests it (deduplicating entries the buffer already
+// holds). Records are imported in order, preserving the exported canonical
+// order.
+func (b *Buffer) Import(recs []store.ExecRecord, rebuild func(store.ExecRecord) (*planner.PlanEval, error)) error {
+	for _, r := range recs {
+		pe, err := rebuild(r)
+		if err != nil {
+			return fmt.Errorf("learner: import %s step %d: %w", r.Query.ID, r.Step, err)
+		}
+		pe.Latency = r.LatencyMs
+		pe.TimedOut = r.TimedOut
+		b.Add(pe)
+	}
+	return nil
 }
 
 // Size returns the total number of executions stored.

@@ -8,6 +8,7 @@ import (
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/store"
 )
 
 func eval(qid string, step int, lat float64, timedOut bool) *planner.PlanEval {
@@ -27,6 +28,59 @@ func fakeICP(step int) plan.ICP {
 		icp.Methods[i] = plan.JoinMethod((step + i) % 3)
 	}
 	return icp
+}
+
+// TestBufferExportImportRoundTrip: export must preserve the buffer's
+// canonical order and import must reconstruct it exactly (order included —
+// AAM sample order depends on it), deduplicating entries already present.
+func TestBufferExportImportRoundTrip(t *testing.T) {
+	b := NewBuffer()
+	b.Add(eval("q2", 0, 100, false))
+	b.Add(eval("q1", 0, 80, false))
+	b.Add(eval("q2", 1, 50, false))
+	b.Add(eval("q1", 2, 120, true))
+
+	recs := b.Export()
+	if len(recs) != 4 {
+		t.Fatalf("exported %d records, want 4", len(recs))
+	}
+	// Canonical order: grouped by first-seen query, insertion order within.
+	wantOrder := []struct {
+		qid  string
+		step int
+	}{{"q2", 0}, {"q2", 1}, {"q1", 0}, {"q1", 2}}
+	for i, w := range wantOrder {
+		if recs[i].Query.ID != w.qid || recs[i].Step != w.step {
+			t.Fatalf("export[%d] = %s/%d, want %s/%d", i, recs[i].Query.ID, recs[i].Step, w.qid, w.step)
+		}
+	}
+
+	rebuilt := NewBuffer()
+	err := rebuilt.Import(recs, func(r store.ExecRecord) (*planner.PlanEval, error) {
+		return &planner.PlanEval{Q: r.Query, ICP: r.ICP, Step: r.Step, Latency: math.NaN()}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rebuilt.Export()
+	if len(got) != len(recs) {
+		t.Fatalf("round trip size %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Query.ID != recs[i].Query.ID || !got[i].ICP.Equal(recs[i].ICP) ||
+			got[i].Step != recs[i].Step || got[i].LatencyMs != recs[i].LatencyMs || got[i].TimedOut != recs[i].TimedOut {
+			t.Fatalf("round trip entry %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+	// Importing into a buffer that already holds the entries is a no-op.
+	if err := rebuilt.Import(recs, func(r store.ExecRecord) (*planner.PlanEval, error) {
+		return &planner.PlanEval{Q: r.Query, ICP: r.ICP, Step: r.Step, Latency: math.NaN()}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Size() != 4 {
+		t.Fatalf("re-import duplicated entries: size %d", rebuilt.Size())
+	}
 }
 
 func TestBufferDedupAndRefs(t *testing.T) {

@@ -55,8 +55,15 @@ func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
 }
 
 // Get returns the cached value for key and whether it was present, promoting
-// the entry to most-recently-used.
+// the entry to most-recently-used. A disabled cache (capacity 0) misses
+// without counting: there is no cache whose effectiveness the counters
+// could describe, so stats stay zeroed instead of reporting a misleading
+// 0% hit rate.
 func (c *LRU[K, V]) Get(key K) (V, bool) {
+	if c.cap == 0 {
+		var zero V
+		return zero, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {

@@ -150,6 +150,16 @@ func (r *Runtime) OptimizeBatch(ctx context.Context, qs []*query.Query) (out []*
 	return out, hits, nil
 }
 
+// Shared runs fn holding the serving-side shared lock: concurrent with
+// Optimize and other Shared calls (all read-only on the models), mutually
+// exclusive with Exclusive sections. Weight snapshots (Save) run under it
+// so they can never observe a half-applied Load/Train.
+func (r *Runtime) Shared(fn func() error) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return fn()
+}
+
 // Exclusive runs fn with the serving path quiesced (no Optimize in flight)
 // and invalidates the plan cache afterwards, since fn is assumed to have
 // changed the models the cached plans were chosen by.

@@ -146,6 +146,34 @@ func TestLRUZeroCapacityDisabled(t *testing.T) {
 	}
 }
 
+// TestLRUZeroCapacityStatsStayZero is the regression test for the phantom
+// miss counter: a disabled cache must report zeroed stats, not a 0% hit
+// rate over misses it "served" — there is no cache for those counters to
+// describe.
+func TestLRUZeroCapacityStatsStayZero(t *testing.T) {
+	c := NewLRU[uint64, int](0)
+	for i := uint64(0); i < 50; i++ {
+		c.Get(i)
+		c.Put(i, int(i))
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 || st.Size != 0 {
+		t.Fatalf("disabled cache accumulated stats: %+v", st)
+	}
+	if st.HitRate() != 0 {
+		t.Fatalf("disabled cache hit rate %v", st.HitRate())
+	}
+	// An enabled cache still counts (the fix must not disable counting
+	// everywhere).
+	e := NewLRU[uint64, int](2)
+	e.Get(1)
+	e.Put(1, 1)
+	e.Get(1)
+	if st := e.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("enabled cache stats: %+v", st)
+	}
+}
+
 type countingBackend struct {
 	calls atomic.Int64
 }

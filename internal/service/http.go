@@ -11,6 +11,10 @@ package service
 //	                   feedback itself (a one-call doctor-loop turn)
 //	POST /v1/feedback  {"serve_id": "...", "latency_ms": 12.3}
 //	GET  /v1/stats
+//	POST /v1/checkpoint  — force a durable checkpoint (requires a store)
+//
+// Request bodies are size-capped (413 past 1 MiB) and strictly parsed:
+// unknown fields are rejected so malformed specs fail loudly.
 //
 // Every /v1/optimize response row carries a serve_id; clients that execute
 // plans themselves report the observed latency through /v1/feedback, which
@@ -69,7 +73,34 @@ func NewHTTPServer(lp *Loop, opts HTTPOptions) *HTTPServer {
 	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	return s
+}
+
+// maxBodyBytes bounds every request body: plans and feedback are small, so
+// anything past 1 MiB is either a mistake or abuse — rejected with 413
+// instead of buffered.
+const maxBodyBytes = 1 << 20
+
+// decodeBody decodes a JSON request body with the two hardening rules every
+// handler shares: bodies are size-capped (413 past maxBodyBytes) and
+// unknown fields are rejected (400), so a misspelled field fails loudly
+// instead of half-parsing into a default. Returns false after writing the
+// error response.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return false
+	}
+	return true
 }
 
 // ServeHTTP implements http.Handler.
@@ -221,8 +252,7 @@ func (s *HTTPServer) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req optimizeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	single := req.QueryID != "" || req.Query != nil
@@ -299,12 +329,13 @@ func (s *HTTPServer) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req feedbackRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	if req.LatencyMs <= 0 {
-		writeErr(w, http.StatusBadRequest, "latency_ms must be > 0")
+	// Zero is a legitimate observation — sub-millisecond executions round
+	// down to it; only negative latencies are nonsense.
+	if req.LatencyMs < 0 {
+		writeErr(w, http.StatusBadRequest, "latency_ms must be >= 0")
 		return
 	}
 	ps := s.take(req.ServeID)
@@ -335,6 +366,26 @@ func (s *HTTPServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Pending: pending,
 	})
+}
+
+// handleCheckpoint forces a durable checkpoint of the active replica — the
+// operational "flush now" knob (pre-maintenance, pre-deploy). 412 when the
+// loop runs without a store.
+func (s *HTTPServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	name, err := s.lp.Checkpoint()
+	if err != nil {
+		if errors.Is(err, fosserr.ErrNoStore) {
+			writeErr(w, http.StatusPreconditionFailed, "no durability store attached (run with -state-dir)")
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"checkpoint": name, "epoch": s.lp.Epoch()})
 }
 
 // ---- serve-id ring ----

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/store"
 )
 
 // newWireFixture builds the HTTP surface over a fake-replica loop whose
@@ -196,6 +197,97 @@ func TestHTTPErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET optimize → %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPFeedbackZeroLatency is the regression test for the dropped
+// sub-millisecond executions: a latency_ms of 0 is a legitimate observation
+// (fast executions round down to it) and must be recorded, while negative
+// values stay rejected.
+func TestHTTPFeedbackZeroLatency(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	ts, _, _ := newWireFixture(t, cfg)
+
+	_, out := postJSON(t, ts.URL+"/v1/optimize", `{"query_id": "q1"}`)
+	serveID := out["serve_id"].(string)
+	code, out := postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "`+serveID+`", "latency_ms": 0}`)
+	if code != http.StatusOK || out["recorded"] != true {
+		t.Fatalf("zero-latency feedback dropped: status %d %v", code, out)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if s := st["stats"].(map[string]any); s["Recorded"] != float64(1) {
+		t.Fatalf("zero-latency execution not recorded: %v", s)
+	}
+}
+
+// TestHTTPStrictBodies: handlers cap request bodies (413) and reject
+// unknown fields (400) instead of half-parsing a misspelled spec.
+func TestHTTPStrictBodies(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	ts, _, _ := newWireFixture(t, cfg)
+
+	for _, c := range []struct{ path, body string }{
+		{"/v1/optimize", `{"query_id": "q1", "exekute": true}`},
+		{"/v1/feedback", `{"serve_id": "s1", "latencyms": 5}`},
+	} {
+		if code, out := postJSON(t, ts.URL+c.path, c.body); code != http.StatusBadRequest {
+			t.Fatalf("unknown field in %s accepted: %d %v", c.path, code, out)
+		}
+	}
+
+	huge := `{"query_id": "q1", "query": {"tables": [{"table": "` + strings.Repeat("x", maxBodyBytes) + `"}]}}`
+	if code, out := postJSON(t, ts.URL+"/v1/optimize", huge); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d %v", code, out)
+	}
+}
+
+// TestHTTPCheckpoint: the trigger endpoint writes a durable checkpoint when
+// a store is attached and 412s when the loop runs in memory.
+func TestHTTPCheckpoint(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	ts, _, _ := newWireFixture(t, cfg)
+	if code, out := postJSON(t, ts.URL+"/v1/checkpoint", `{}`); code != http.StatusPreconditionFailed {
+		t.Fatalf("checkpoint without store: %d %v", code, out)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg.Store = st
+	ts2, _, _ := newWireFixture(t, cfg)
+	code, out := postJSON(t, ts2.URL+"/v1/checkpoint", `{}`)
+	if code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %v", code, out)
+	}
+	name, _ := out["checkpoint"].(string)
+	if m, ok := st.Latest(); !ok || m.Checkpoint != name {
+		t.Fatalf("manifest %+v does not point at %q", m, name)
+	}
+	// Stats surface the durability counters.
+	resp, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sj map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if s := sj["stats"].(map[string]any); s["Checkpoints"] != float64(1) {
+		t.Fatalf("stats missing checkpoint counter: %v", s)
 	}
 }
 

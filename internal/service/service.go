@@ -40,11 +40,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/learner"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/runtime"
+	"github.com/foss-db/foss/internal/store"
 )
 
 // Replica is the surface the loop needs from one doctor instance. Two
@@ -76,6 +78,10 @@ type Replica interface {
 	Buffer() *learner.Buffer
 	// CacheStats snapshots the replica's plan-cache counters.
 	CacheStats() runtime.CacheStats
+	// RebuildEval re-derives an executed candidate from its durable identity
+	// (query × incomplete plan × step) — WAL replay and checkpoint import go
+	// through it. Latency is unset on return.
+	RebuildEval(q *query.Query, icp plan.ICP, step int) (*planner.PlanEval, error)
 }
 
 // Config tunes the online loop.
@@ -95,6 +101,21 @@ type Config struct {
 	// (false) retrains inside the Record call that tripped the detector —
 	// deterministic, used by tests and reproducibility runs.
 	Background bool
+
+	// Store attaches a durability store: every Record journals the executed
+	// plan to the store's WAL before ingestion, every hot-swap writes a
+	// checkpoint of the freshly published replica, and CheckpointEvery adds
+	// a periodic cadence. nil runs the loop purely in memory (the pre-PR-4
+	// behavior).
+	Store *store.Store
+	// CheckpointEvery is the number of recorded executions between periodic
+	// checkpoints; 0 checkpoints only on hot-swaps and explicit Checkpoint
+	// calls.
+	CheckpointEvery int
+	// InitialEpoch sets the epoch the loop starts serving at — recovery
+	// resumes the pre-crash generation count instead of restarting at 1.
+	// 0 means 1 (a fresh loop).
+	InitialEpoch uint64
 }
 
 // DefaultConfig returns a serving-oriented configuration.
@@ -141,6 +162,14 @@ type Stats struct {
 	Retraining    bool
 	WindowMean    float64 // rolling mean regression ratio
 	WindowNovel   float64 // rolling novel-fingerprint fraction
+
+	// Durability counters (zero when no store is attached).
+	WALEntries       uint64 // intact records in the journal, replayed + live
+	Replayed         uint64 // WAL records replayed into this loop at recovery
+	Checkpoints      uint64 // checkpoints written by this loop
+	RecoveredEpoch   uint64 // epoch restored from disk at startup (0 = cold start)
+	WALErrors        uint64 // journal append failures (feedback kept in memory only)
+	CheckpointErrors uint64 // checkpoint write failures (the previous recovery point stands)
 }
 
 // Loop is the online doctor service over a blue/green replica pair.
@@ -162,9 +191,20 @@ type Loop struct {
 	retraining atomic.Bool
 	wg         sync.WaitGroup
 
+	// store is the durability subsystem (nil = in-memory loop). WAL appends
+	// happen under mu (Record's ordering lock doubles as the journal lock);
+	// checkpoint writes serialize on ckMu so a periodic trigger and a
+	// post-swap checkpoint never interleave their temp/rename dance.
+	st             *store.Store
+	ckMu           sync.Mutex
+	checkpointing  atomic.Bool
+	recoveredEpoch uint64 // set during Replay, before traffic
+
 	served, cacheHits, recorded atomic.Uint64
 	drifts, retrains, swaps     atomic.Uint64
 	retrainErrors, expertErrors atomic.Uint64
+	checkpoints, replayed       atomic.Uint64
+	walErrors, ckErrors         atomic.Uint64
 }
 
 // slot pairs a replica with the epoch it was published at.
@@ -197,8 +237,13 @@ func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
 		standby:   standby,
 		recentSet: map[uint64]bool{},
 		expertLat: map[uint64]float64{},
+		st:        cfg.Store,
 	}
-	lp.active.Store(&slot{r: active, epoch: 1})
+	epoch := cfg.InitialEpoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	lp.active.Store(&slot{r: active, epoch: epoch})
 	return lp
 }
 
@@ -260,12 +305,17 @@ func (lp *Loop) ServeBatch(ctx context.Context, qs []*query.Query) ([]Result, er
 }
 
 // Record ingests one executed plan: the query, the candidate Serve returned,
-// and the latency observed when it ran. The execution lands in both
-// replicas' buffers (so the next retrain learns from it), feeds the drift
-// detector, and — when the window signals drift past the cooldown — triggers
-// a retrain.
+// and the latency observed when it ran. With a store attached, the
+// execution is journaled to the WAL first — the durability point precedes
+// ingestion, so a crash at any later point replays this record. The
+// execution then lands in both replicas' buffers (so the next retrain
+// learns from it), feeds the drift detector, and — when the window signals
+// drift past the cooldown — triggers a retrain.
+//
+// A zero latency is legitimate (sub-millisecond executions round to 0);
+// only negative values are rejected.
 func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) {
-	if q == nil || pe == nil || latencyMs <= 0 {
+	if q == nil || pe == nil || latencyMs < 0 {
 		return
 	}
 	fp := q.Fingerprint()
@@ -273,18 +323,37 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 	// Resolve the replica pair under mu: the swap updates the active pointer
 	// and the standby field inside the same critical section, so this
 	// snapshot can never see the demoted replica on both sides (which would
-	// leave the newly promoted model without the feedback).
+	// leave the newly promoted model without the feedback). The WAL append
+	// AND the buffer ingestion ride the same lock: Checkpoint captures its
+	// WAL horizon under mu, so every journaled record at or below that
+	// horizon is provably already in the exported buffer — an entry can
+	// never fall between the checkpoint image and the replay tail. The
+	// fsync inside Append makes this critical section the feedback
+	// throughput ceiling; that is the price of the durability point
+	// preceding ingestion (group commit is the known escape hatch if a
+	// deployment ever needs more).
 	lp.mu.Lock()
+	if lp.st != nil {
+		_, err := lp.st.WAL().Append(store.WALEntry{
+			Kind:        store.KindFeedback,
+			Fingerprint: fp,
+			Query:       q,
+			ICP:         pe.ICP.Clone(),
+			Step:        pe.Step,
+			LatencyMs:   latencyMs,
+			TimedOut:    false,
+		})
+		if err != nil {
+			// Feedback survives in memory either way; the journal gap is
+			// counted and visible in /v1/stats.
+			lp.walErrors.Add(1)
+		}
+	}
 	s := lp.active.Load()
 	bufs := []*learner.Buffer{s.r.Buffer()}
 	if lp.standby != nil {
 		bufs = append(bufs, lp.standby.Buffer())
 	}
-	lp.noteRecent(q, fp)
-	lp.sinceRetrain++
-	ready := lp.sinceRetrain >= lp.cfg.Cooldown
-	lp.mu.Unlock()
-
 	// The cached PlanEval is shared by concurrent readers: feedback gets its
 	// own copies, one per buffer, with the observed latency filled in.
 	for _, buf := range bufs {
@@ -293,6 +362,10 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 		fb.TimedOut = false
 		buf.Add(&fb)
 	}
+	lp.noteRecent(q, fp)
+	lp.sinceRetrain++
+	ready := lp.sinceRetrain >= lp.cfg.Cooldown
+	lp.mu.Unlock()
 
 	expert := lp.expertLatency(s.r, q, fp)
 
@@ -301,10 +374,13 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 		ratio = latencyMs / expert
 	}
 	sig := lp.det.Observe(fp, ratio)
-	lp.recorded.Add(1)
+	n := lp.recorded.Add(1)
 
 	if sig.Drift && ready {
 		lp.triggerRetrain()
+	}
+	if lp.st != nil && lp.cfg.CheckpointEvery > 0 && n%uint64(lp.cfg.CheckpointEvery) == 0 {
+		lp.triggerCheckpoint()
 	}
 }
 
@@ -333,20 +409,31 @@ func (lp *Loop) Epoch() uint64 { return lp.active.Load().epoch }
 // Stats snapshots the counters.
 func (lp *Loop) Stats() Stats {
 	win := lp.det.WindowState()
-	return Stats{
-		Epoch:         lp.active.Load().epoch,
-		Served:        lp.served.Load(),
-		CacheHits:     lp.cacheHits.Load(),
-		Recorded:      lp.recorded.Load(),
-		Drifts:        lp.drifts.Load(),
-		Retrains:      lp.retrains.Load(),
-		Swaps:         lp.swaps.Load(),
-		RetrainErrors: lp.retrainErrors.Load(),
-		ExpertErrors:  lp.expertErrors.Load(),
-		Retraining:    lp.retraining.Load(),
-		WindowMean:    win.Mean,
-		WindowNovel:   win.NovelFrac,
+	st := Stats{
+		Epoch:            lp.active.Load().epoch,
+		Served:           lp.served.Load(),
+		CacheHits:        lp.cacheHits.Load(),
+		Recorded:         lp.recorded.Load(),
+		Drifts:           lp.drifts.Load(),
+		Retrains:         lp.retrains.Load(),
+		Swaps:            lp.swaps.Load(),
+		RetrainErrors:    lp.retrainErrors.Load(),
+		ExpertErrors:     lp.expertErrors.Load(),
+		Retraining:       lp.retraining.Load(),
+		WindowMean:       win.Mean,
+		WindowNovel:      win.NovelFrac,
+		Replayed:         lp.replayed.Load(),
+		Checkpoints:      lp.checkpoints.Load(),
+		RecoveredEpoch:   lp.recoveredEpoch,
+		WALErrors:        lp.walErrors.Load(),
+		CheckpointErrors: lp.ckErrors.Load(),
 	}
+	if lp.st != nil {
+		lp.mu.Lock()
+		st.WALEntries = lp.st.WAL().Len()
+		lp.mu.Unlock()
+	}
+	return st
 }
 
 // expertLatency returns (computing and caching on first use) the traditional
@@ -432,6 +519,13 @@ func (lp *Loop) retrain() {
 	lp.active.Store(&slot{r: standby, epoch: old.epoch + 1})
 	lp.standby = old.r
 	lp.sinceRetrain = 0
+	if lp.st != nil {
+		// Journal the epoch bump: replay resets the drift window at the same
+		// points the live loop did.
+		if _, err := lp.st.WAL().Append(store.WALEntry{Kind: store.KindSwap, Epoch: old.epoch + 1}); err != nil {
+			lp.walErrors.Add(1)
+		}
+	}
 	lp.mu.Unlock()
 	lp.swaps.Add(1)
 	lp.det.Reset()
@@ -447,11 +541,140 @@ func (lp *Loop) retrain() {
 	if err := old.r.Load(blob); err != nil {
 		lp.retrainErrors.Add(1)
 	}
+
+	// Every epoch bump lands on disk: the published generation becomes the
+	// recovery point, so a crash after a swap restarts on the adapted model,
+	// not the offline one. A failure here is a durability problem, not a
+	// training one — it gets its own counter.
+	if lp.st != nil {
+		if _, err := lp.Checkpoint(); err != nil {
+			lp.ckErrors.Add(1)
+		}
+	}
 }
 
-// String renders the counters compactly (fossd's -online output).
+// Checkpoint writes a durable image of the active replica — sealed model
+// snapshot, execution buffer, epoch — and repoints the manifest at it.
+// Returns the checkpoint filename. Safe for concurrent use; concurrent
+// writers serialize.
+func (lp *Loop) Checkpoint() (string, error) {
+	if lp.st == nil {
+		return "", fmt.Errorf("service: checkpoint: %w", fosserr.ErrNoStore)
+	}
+	lp.ckMu.Lock()
+	defer lp.ckMu.Unlock()
+
+	for {
+		// Capture the WAL horizon before imaging: entries journaled while
+		// the image is being taken appear in the replay tail as well as
+		// (possibly) the image; buffer ingestion deduplicates, so recovery
+		// stays exact.
+		lp.mu.Lock()
+		seq := lp.st.WAL().LastSeq()
+		lp.mu.Unlock()
+		s := lp.active.Load()
+		// Save runs under the replica's shared lock: concurrent with its
+		// serving reads, mutually exclusive with the weight mirroring a
+		// hot-swap performs on a just-demoted replica — the image can never
+		// capture half-copied weights.
+		blob, err := s.r.Save()
+		if err != nil {
+			return "", fmt.Errorf("service: checkpoint save: %w", err)
+		}
+		buffer := s.r.Buffer().Export()
+		if lp.active.Load() != s {
+			// A swap landed while this replica was being imaged: the image
+			// is of a demoted generation. Re-image the new active (swaps are
+			// cooldown-gated, so this terminates after one extra pass).
+			continue
+		}
+		name, err := lp.st.WriteCheckpoint(s.r.BackendName(), store.Checkpoint{
+			Model:  blob,
+			Buffer: buffer,
+			Epoch:  s.epoch,
+			WALSeq: seq,
+		})
+		if err != nil {
+			return "", err
+		}
+		lp.checkpoints.Add(1)
+		return name, nil
+	}
+}
+
+// triggerCheckpoint starts (at most) one background checkpoint; concurrent
+// triggers collapse.
+func (lp *Loop) triggerCheckpoint() {
+	if !lp.checkpointing.CompareAndSwap(false, true) {
+		return
+	}
+	lp.wg.Add(1)
+	go func() {
+		defer lp.wg.Done()
+		defer lp.checkpointing.Store(false)
+		if _, err := lp.Checkpoint(); err != nil {
+			lp.ckErrors.Add(1)
+		}
+	}()
+}
+
+// Replay re-ingests a recovered WAL tail before the loop takes traffic:
+// feedback records rebuild their executed candidate (deterministic hint
+// completion + encoding) and flow through buffer ingestion and the drift
+// detector exactly as the live Record did — the regression ratio is
+// recomputed against the same deterministic expert baseline — and swap
+// records reset the detector window at the same points the live loop did.
+// No WAL appends and no retrain triggers happen during replay. Returns the
+// number of feedback records restored.
+func (lp *Loop) Replay(entries []store.WALEntry) (int, error) {
+	s := lp.active.Load()
+	n := 0
+	for _, e := range entries {
+		switch e.Kind {
+		case store.KindSwap:
+			lp.det.Reset()
+			continue
+		case store.KindFeedback:
+		default:
+			continue // unknown kind from a future writer: skip, don't fail
+		}
+		pe, err := s.r.RebuildEval(e.Query, e.ICP, e.Step)
+		if err != nil {
+			return n, fmt.Errorf("service: replay seq %d (%s): %w", e.Seq, e.Query.ID, err)
+		}
+		pe.Latency = e.LatencyMs
+		pe.TimedOut = e.TimedOut
+		s.r.Buffer().Add(pe)
+		lp.mu.Lock()
+		standby := lp.standby
+		lp.noteRecent(e.Query, e.Fingerprint)
+		lp.sinceRetrain++
+		lp.mu.Unlock()
+		if standby != nil {
+			fb := *pe
+			standby.Buffer().Add(&fb)
+		}
+		expert := lp.expertLatency(s.r, e.Query, e.Fingerprint)
+		ratio := 1.0
+		if expert > 0 {
+			ratio = e.LatencyMs / expert
+		}
+		lp.det.Observe(e.Fingerprint, ratio)
+		n++
+	}
+	lp.replayed.Store(uint64(n))
+	lp.recoveredEpoch = s.epoch
+	return n, nil
+}
+
+// String renders the counters compactly (fossd's -online output). The
+// durability block appears only when a store is in play.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"epoch=%d served=%d cacheHits=%d recorded=%d drifts=%d retrains=%d swaps=%d errs=%d expertErrs=%d windowMean=%.3f windowNovel=%.2f",
 		s.Epoch, s.Served, s.CacheHits, s.Recorded, s.Drifts, s.Retrains, s.Swaps, s.RetrainErrors, s.ExpertErrors, s.WindowMean, s.WindowNovel)
+	if s.WALEntries > 0 || s.Checkpoints > 0 || s.RecoveredEpoch > 0 {
+		out += fmt.Sprintf(" wal=%d replayed=%d checkpoints=%d recoveredEpoch=%d", s.WALEntries, s.Replayed, s.Checkpoints, s.RecoveredEpoch)
+	}
+	return out
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/runtime"
+	"github.com/foss-db/foss/internal/store"
 )
 
 // fq builds a distinct tiny query; v differentiates fingerprints.
@@ -84,6 +85,10 @@ func (f *fakeReplica) Execute(cp *plan.CP) float64    { return 10 }
 func (f *fakeReplica) Buffer() *learner.Buffer        { return f.buf }
 func (f *fakeReplica) CacheStats() runtime.CacheStats { return runtime.CacheStats{} }
 
+func (f *fakeReplica) RebuildEval(q *query.Query, icp plan.ICP, step int) (*planner.PlanEval, error) {
+	return &planner.PlanEval{Q: q, ICP: icp, Step: step, Latency: math.NaN()}, nil
+}
+
 func syncConfig() Config {
 	return Config{
 		Detector:          DetectorConfig{Window: 4, Threshold: 1.2, MinSamples: 4, NoveltyFrac: 0},
@@ -91,6 +96,84 @@ func syncConfig() Config {
 		RetrainIterations: 1,
 		RetrainQueries:    16,
 		Background:        false,
+	}
+}
+
+// TestRecordJournalsAndReplays: with a store attached, every accepted
+// Record lands in the WAL before ingestion (zero latencies included,
+// negative rejected), and replaying the journal into a fresh loop
+// reconstructs the buffer and the drift detector's window.
+func TestRecordJournalsAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100 // never drift
+	cfg.Store = st
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(cfg, blue, green, nil)
+
+	rec := func(v int64, lat float64) {
+		q := fq(v)
+		pe, _, _, err := blue.OptimizeEvalContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp.Record(q, pe, lat)
+	}
+	rec(1, 5)
+	rec(2, 0)  // sub-millisecond execution: must be accepted
+	rec(3, -1) // negative: rejected, never journaled
+	rec(4, 20)
+
+	stats := lp.Stats()
+	if stats.Recorded != 3 {
+		t.Fatalf("recorded %d, want 3 (zero accepted, negative rejected)", stats.Recorded)
+	}
+	if stats.WALEntries != 3 || stats.WALErrors != 0 {
+		t.Fatalf("wal entries %d errors %d, want 3/0", stats.WALEntries, stats.WALErrors)
+	}
+	liveWindow := lp.det.WindowState()
+	st.Close()
+
+	// Replay into a fresh loop (fresh store handle over the same dir).
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var entries []store.WALEntry
+	if err := st2.WAL().Replay(0, func(e store.WALEntry) error { entries = append(entries, e); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("journal holds %d entries, want 3", len(entries))
+	}
+	cfg2 := cfg
+	cfg2.Store = st2
+	blue2, green2 := newFake("blue2"), newFake("green2")
+	lp2 := New(cfg2, blue2, green2, nil)
+	n, err := lp2.Replay(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d, want 3", n)
+	}
+	if got := blue2.buf.Size(); got != 3 {
+		t.Fatalf("active buffer rebuilt with %d executions, want 3", got)
+	}
+	if got := green2.buf.Size(); got != 3 {
+		t.Fatalf("standby buffer rebuilt with %d executions, want 3", got)
+	}
+	replayWindow := lp2.det.WindowState()
+	if replayWindow.Mean != liveWindow.Mean || replayWindow.NovelFrac != liveWindow.NovelFrac {
+		t.Fatalf("replayed window %+v != live window %+v", replayWindow, liveWindow)
+	}
+	if got := lp2.Stats(); got.Replayed != 3 {
+		t.Fatalf("stats replayed %d, want 3", got.Replayed)
 	}
 }
 

@@ -1,0 +1,102 @@
+// Package store is the durability subsystem of the online doctor: the
+// versioned snapshot envelope every persisted model travels in, the
+// append-only feedback WAL that makes executed-plan experience survive a
+// crash, and the checkpoint/manifest layout that lets a restarted fossd
+// recover model weights, execution buffer, and epoch from disk and resume
+// serving without retraining.
+//
+// On-disk layout of a state directory:
+//
+//	state/
+//	  MANIFEST              # JSON pointer at the latest good checkpoint
+//	  wal.log               # append-only feedback journal
+//	  checkpoints/
+//	    ckpt-000007.snap    # sealed envelope around a Checkpoint gob
+//
+// Everything durable goes through the envelope: a magic prefix, a format
+// version, the identity of the optimizer backend the state was learned
+// under, and a CRC32 of the payload. Load-time validation turns the silent
+// cross-backend snapshot load (the originating bug) into
+// fosserr.ErrBackendMismatch, version skew into fosserr.ErrSnapshotVersion,
+// and bit rot into fosserr.ErrSnapshotCorrupt.
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/foss-db/foss/internal/fosserr"
+)
+
+// magic prefixes every sealed envelope. A raw gob (the pre-envelope snapshot
+// format) can never start with these bytes, so legacy blobs are rejected
+// loudly instead of half-decoding.
+const magic = "FOSSNAP\x01"
+
+// Version is the envelope format version this build writes and the only one
+// it accepts. Bump it when the sealed payload's schema changes
+// incompatibly.
+const Version uint32 = 1
+
+// Envelope is the decoded header + payload of a sealed blob.
+type Envelope struct {
+	Version uint32
+	// Backend identifies the optimizer backend the sealed state was learned
+	// under. Consumers reject a mismatch: a doctor trained over selinger
+	// must never be served over gaussim.
+	Backend string
+	Payload []byte
+}
+
+// sealed is the gob wire form following the magic prefix.
+type sealed struct {
+	Version uint32
+	Backend string
+	CRC     uint32
+	Payload []byte
+}
+
+// Seal wraps a payload in the versioned, checksummed, backend-tagged
+// envelope.
+func Seal(backend string, payload []byte) ([]byte, error) {
+	return SealVersion(Version, backend, payload)
+}
+
+// SealVersion is Seal with an explicit version number. Normal writers use
+// Seal; migration tooling and version-skew tests reach for this.
+func SealVersion(version uint32, backend string, payload []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	env := sealed{
+		Version: version,
+		Backend: backend,
+		CRC:     crc32.ChecksumIEEE(payload),
+		Payload: payload,
+	}
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, fmt.Errorf("store: seal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unseal validates a sealed blob — magic, version, checksum — and returns
+// the envelope. Callers check Envelope.Backend themselves (only they know
+// which backend they are running over).
+func Unseal(data []byte) (Envelope, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return Envelope{}, fmt.Errorf("store: not a FOSS snapshot envelope (legacy raw gob or foreign file): %w", fosserr.ErrSnapshotCorrupt)
+	}
+	var env sealed
+	if err := gob.NewDecoder(bytes.NewReader(data[len(magic):])).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("store: envelope decode: %v: %w", err, fosserr.ErrSnapshotCorrupt)
+	}
+	if env.Version != Version {
+		return Envelope{}, fmt.Errorf("store: snapshot envelope version %d, this build speaks %d: %w", env.Version, Version, fosserr.ErrSnapshotVersion)
+	}
+	if crc32.ChecksumIEEE(env.Payload) != env.CRC {
+		return Envelope{}, fmt.Errorf("store: payload checksum mismatch: %w", fosserr.ErrSnapshotCorrupt)
+	}
+	return Envelope{Version: env.Version, Backend: env.Backend, Payload: env.Payload}, nil
+}

@@ -1,0 +1,260 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/foss-db/foss/internal/fosserr"
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/query"
+)
+
+func testQuery(v int64) *query.Query {
+	return &query.Query{
+		ID:     "wal_q",
+		Tables: []query.TableRef{{Table: "t", Alias: "t"}, {Table: "u", Alias: "u"}},
+		Joins:  []query.JoinPred{{LA: "t", LC: "id", RA: "u", RC: "id"}},
+		Filters: []query.Filter{
+			{Alias: "t", Col: "c", Op: query.Eq, Val: v},
+		},
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	payload := []byte("the learned state")
+	blob, err := Seal("selinger", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Unseal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Backend != "selinger" || env.Version != Version || !bytes.Equal(env.Payload, payload) {
+		t.Fatalf("round trip mangled envelope: %+v", env)
+	}
+}
+
+func TestUnsealRejections(t *testing.T) {
+	good, err := Seal("selinger", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A version-skewed envelope: same wire shape, future version number.
+	var skew bytes.Buffer
+	skew.WriteString(magic)
+	if err := gob.NewEncoder(&skew).Encode(sealed{Version: Version + 1, Backend: "selinger", Payload: []byte("p")}); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt envelope: one payload byte flipped after sealing.
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 0xff
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"raw legacy gob", []byte("not an envelope at all"), fosserr.ErrSnapshotCorrupt},
+		{"empty", nil, fosserr.ErrSnapshotCorrupt},
+		{"version skew", skew.Bytes(), fosserr.ErrSnapshotVersion},
+		{"flipped payload byte", corrupt, fosserr.ErrSnapshotCorrupt},
+		{"truncated envelope", good[:len(good)/2], fosserr.ErrSnapshotCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Unseal(tc.data)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWALAppendReplayAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		seq, err := w.Append(WALEntry{
+			Kind:        KindFeedback,
+			Fingerprint: uint64(i),
+			Query:       testQuery(i),
+			ICP:         plan.ICP{Order: []string{"t", "u"}, Methods: []plan.JoinMethod{0}},
+			Step:        1,
+			LatencyMs:   float64(i) * 1.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq %d, want %d", seq, i)
+		}
+	}
+	if _, err := w.Append(WALEntry{Kind: KindSwap, Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Reopen: sequence numbering and count must continue where they left off.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Len() != 4 || w2.LastSeq() != 4 {
+		t.Fatalf("reopened wal: len=%d lastSeq=%d, want 4/4", w2.Len(), w2.LastSeq())
+	}
+	var got []WALEntry
+	if err := w2.Replay(2, func(e WALEntry) error { got = append(got, e); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 3 || got[1].Kind != KindSwap || got[1].Epoch != 2 {
+		t.Fatalf("replay after seq 2: %+v", got)
+	}
+	if got[0].Query.Filters[0].Val != 3 || got[0].LatencyMs != 4.5 {
+		t.Fatalf("feedback entry mangled: %+v", got[0])
+	}
+}
+
+func TestWALTornTailTruncatedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 2; i++ {
+		if _, err := w.Append(WALEntry{Kind: KindFeedback, Fingerprint: uint64(i), Query: testQuery(i), LatencyMs: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Simulate a crash mid-append: chop bytes off the last record.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Len() != 1 || w2.LastSeq() != 1 {
+		t.Fatalf("torn tail not dropped: len=%d lastSeq=%d", w2.Len(), w2.LastSeq())
+	}
+	// The journal must be appendable again, on a clean record boundary.
+	if seq, err := w2.Append(WALEntry{Kind: KindFeedback, Fingerprint: 9, Query: testQuery(9), LatencyMs: 1}); err != nil || seq != 2 {
+		t.Fatalf("append after torn-tail truncation: seq=%d err=%v", seq, err)
+	}
+	n := 0
+	if err := w2.Replay(0, func(WALEntry) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replay after repair saw %d records, want 2", n)
+	}
+}
+
+func TestCheckpointManifestAndPrune(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, ok := st.Latest(); ok {
+		t.Fatal("fresh store claims a manifest")
+	}
+	if rec, err := st.Recover(); err != nil || rec != nil {
+		t.Fatalf("fresh store recovery: rec=%v err=%v, want nil/nil", rec, err)
+	}
+
+	model, err := Seal("selinger", []byte("weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for epoch := uint64(1); epoch <= 4; epoch++ {
+		last, err = st.WriteCheckpoint("selinger", Checkpoint{
+			Model:  model,
+			Buffer: []ExecRecord{{Query: testQuery(int64(epoch)), Step: 0, LatencyMs: 5}},
+			Epoch:  epoch,
+			WALSeq: epoch * 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, ok := st.Latest()
+	if !ok || m.Checkpoint != last || m.Epoch != 4 || m.WALSeq != 40 || m.Backend != "selinger" {
+		t.Fatalf("manifest %+v, want checkpoint %s epoch 4", m, last)
+	}
+	rec, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint.Epoch != 4 || len(rec.Checkpoint.Buffer) != 1 || !bytes.Equal(rec.Checkpoint.Model, model) {
+		t.Fatalf("recovered checkpoint mangled: %+v", rec.Checkpoint)
+	}
+	// The manifest never moves backwards: a late write carrying an older
+	// (epoch, walseq) leaves the newer recovery point in place.
+	if _, err := st.WriteCheckpoint("selinger", Checkpoint{Model: model, Epoch: 2, WALSeq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := st.Latest(); m.Epoch != 4 || m.WALSeq != 40 {
+		t.Fatalf("stale checkpoint repointed the manifest: %+v", m)
+	}
+
+	// Old checkpoints pruned down to keepCheckpoint, manifest target kept.
+	entries, err := os.ReadDir(filepath.Join(st.Dir(), checkpointDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != keepCheckpoint {
+		t.Fatalf("prune left %d checkpoints, want %d", len(entries), keepCheckpoint)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Name() == last {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("prune removed the manifest's checkpoint")
+	}
+}
+
+func TestRecoverRejectsCorruptCheckpoint(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	model, _ := Seal("selinger", []byte("weights"))
+	name, err := st.WriteCheckpoint("selinger", Checkpoint{Model: model, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(st.Dir(), checkpointDir, name)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Recover(); !errors.Is(err, fosserr.ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt checkpoint recovery: %v, want ErrSnapshotCorrupt", err)
+	}
+}

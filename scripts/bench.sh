@@ -1,20 +1,20 @@
 #!/usr/bin/env bash
 # bench.sh — the repository's perf snapshot: runs the parallel-training,
-# online-serving, and batched-serving benchmarks and emits a
-# machine-readable BENCH_3.json.
+# online-serving, batched-serving, and durability (checkpoint + WAL-replay)
+# benchmarks and emits a machine-readable BENCH_4.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh   # more iterations per benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 benchtime="${BENCHTIME:-1x}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-echo "== go test -bench TrainParallel|ServeOnline|ServeBatch (benchtime=$benchtime) =="
-go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeBatch' \
+echo "== go test -bench TrainParallel|ServeOnline|ServeBatch|Checkpoint|WALReplay (benchtime=$benchtime) =="
+go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay' \
   -benchtime "$benchtime" . | tee "$tmp"
 
 awk -v arch="$(uname -m)" -v ncpu="$(nproc 2>/dev/null || echo 1)" \
@@ -28,7 +28,7 @@ awk -v arch="$(uname -m)" -v ncpu="$(nproc 2>/dev/null || echo 1)" \
     if (rows == "") { print "no benchmark rows parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"schema\": \"foss-bench/1\",\n"
-    printf "  \"pr\": 3,\n"
+    printf "  \"pr\": 4,\n"
     printf "  \"arch\": \"%s\",\n", arch
     printf "  \"cpus\": %s,\n", ncpu
     printf "  \"benchtime\": \"%s\",\n", benchtime

@@ -54,10 +54,63 @@ go test -count=1 ./internal/backend/
 echo "== wire surface: HTTP optimize->feedback round trip =="
 go test -count=1 -run 'TestHTTP' ./internal/service/ ./internal/core/
 
+echo "== durability: snapshot rejection + crash recovery (in-process) =="
+# TestSnapshotRejections: cross-backend / version-skew / corrupt snapshots
+#   fail with sentinel errors instead of loading silently.
+# TestCrashRecoveryBitIdentical: checkpoint mid-stream, rebuild from disk,
+#   bit-identical serving + deterministic WAL replay.
+go test -count=1 -run 'TestSnapshotRejections|TestCrashRecoveryBitIdentical|TestRecoverOnlineColdStartCheckpoints' ./internal/core/
+go test -count=1 ./internal/store/
+
+echo "== durability: fossd checkpoint -> kill -9 -> restart -> serve parity =="
+# The process-level recovery gate: a real fossd serves and checkpoints, is
+# killed with SIGKILL (no shutdown path runs), and a second fossd over the
+# same -state-dir must warm-start (no retraining) and serve the identical
+# plan for the same query.
+gate_dir=$(mktemp -d)
+gate_pid=""
+# A failed gate must not leak a serving fossd (it would hold the port and
+# break every later run) — kill it before removing its state.
+trap '[[ -n "$gate_pid" ]] && kill -9 "$gate_pid" 2>/dev/null; rm -rf "$gate_dir"' EXIT
+go build -o "$gate_dir/fossd" ./cmd/fossd
+gate_addr=127.0.0.1:8497
+gate_train="-workload job -scale 0.35 -iters 1 -sim 20 -real 6 -validate 6 -rollouts 1"
+wait_up() {
+  for _ in $(seq 1 120); do
+    curl -sf "http://$gate_addr/v1/stats" >/dev/null 2>&1 && return 0
+    sleep 1
+  done
+  return 1
+}
+# shellcheck disable=SC2086
+"$gate_dir/fossd" $gate_train -serve-http "$gate_addr" -state-dir "$gate_dir/state" >"$gate_dir/first.log" 2>&1 &
+gate_pid=$!
+wait_up || { cat "$gate_dir/first.log"; echo "FAIL: first fossd never came up"; exit 1; }
+curl -sf "http://$gate_addr/v1/optimize" -d '{"query_id": "1_1", "execute": true}' >"$gate_dir/plan1.json"
+curl -sf -X POST "http://$gate_addr/v1/checkpoint" >/dev/null
+# journal one more execution past the checkpoint: it must survive via the WAL
+curl -sf "http://$gate_addr/v1/optimize" -d '{"query_id": "2_1", "execute": true}' >/dev/null
+kill -9 "$gate_pid" 2>/dev/null; wait "$gate_pid" 2>/dev/null || true
+# shellcheck disable=SC2086
+"$gate_dir/fossd" $gate_train -serve-http "$gate_addr" -state-dir "$gate_dir/state" >"$gate_dir/second.log" 2>&1 &
+gate_pid=$!
+wait_up || { cat "$gate_dir/second.log"; echo "FAIL: restarted fossd never came up"; exit 1; }
+grep -q "warm restart" "$gate_dir/second.log" || { cat "$gate_dir/second.log"; echo "FAIL: restart retrained instead of recovering"; exit 1; }
+curl -sf "http://$gate_addr/v1/optimize" -d '{"query_id": "1_1"}' >"$gate_dir/plan2.json"
+curl -sf "http://$gate_addr/v1/stats" >"$gate_dir/stats.json"
+kill "$gate_pid" 2>/dev/null; wait "$gate_pid" 2>/dev/null || true
+gate_pid=""
+key1=$(sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p' "$gate_dir/plan1.json")
+key2=$(sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p' "$gate_dir/plan2.json")
+replayed=$(sed -n 's/.*"Replayed":\([0-9]*\).*/\1/p' "$gate_dir/stats.json")
+[[ -n "$key1" && "$key1" == "$key2" ]] || { echo "FAIL: post-restart plan '$key2' != pre-crash plan '$key1'"; exit 1; }
+[[ "${replayed:-0}" -ge 1 ]] || { echo "FAIL: post-checkpoint WAL record not replayed (replayed=$replayed)"; exit 1; }
+echo "recovery gate OK: plan '$key1' served identically across kill -9 (walReplayed=$replayed)"
+
 if [[ $quick -eq 0 ]]; then
   ncpu=$(nproc 2>/dev/null || echo 1)
   if [[ "$ncpu" -ge 4 ]]; then
-    echo "== perf snapshot (BENCH_3.json) =="
+    echo "== perf snapshot (BENCH_4.json) =="
     # Hardware-gated like the speedup check: on weak runners the numbers are
     # noise; run `make bench` manually to refresh the snapshot anywhere.
     scripts/bench.sh
