@@ -25,8 +25,9 @@ ci-quick:
 	scripts/ci.sh --quick
 
 # Perf snapshot: parallel-training + online-serving + batched-serving +
-# durability (checkpoint, WAL replay) benchmarks, written to BENCH_4.json
-# (see scripts/bench.sh; BENCHTIME=3x make bench for longer runs).
+# durability (checkpoint, WAL replay) + sharded multi-tenant serving
+# benchmarks, written to BENCH_5.json (see scripts/bench.sh; BENCHTIME=3x
+# make bench for longer runs).
 bench:
 	scripts/bench.sh
 

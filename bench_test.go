@@ -14,6 +14,7 @@ import (
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/experiments"
 	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/shard"
 	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/workload"
 )
@@ -163,7 +164,7 @@ func BenchmarkServeBatch(b *testing.B) {
 
 // durableBenchSystem trains a tiny doctor with a durable online loop rooted
 // at dir, the shared fixture of the durability benchmarks.
-func durableBenchSystem(b *testing.B, dir string) *core.System {
+func durableBenchSystem(b *testing.B, dir string) (*core.System, *store.Store) {
 	b.Helper()
 	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.35})
 	if err != nil {
@@ -196,7 +197,7 @@ func durableBenchSystem(b *testing.B, dir string) *core.System {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return sys
+	return sys, st
 }
 
 // BenchmarkCheckpoint measures one durable checkpoint of a live doctor:
@@ -204,7 +205,7 @@ func durableBenchSystem(b *testing.B, dir string) *core.System {
 // repoint — the cost the loop pays on every hot-swap and every
 // CheckpointEvery-th record.
 func BenchmarkCheckpoint(b *testing.B) {
-	sys := durableBenchSystem(b, b.TempDir())
+	sys, _ := durableBenchSystem(b, b.TempDir())
 	// A realistic buffer: some served feedback beyond the training fills.
 	for _, q := range sys.W.Train[:8] {
 		if _, _, err := sys.ServeStep(q); err != nil {
@@ -225,7 +226,7 @@ func BenchmarkCheckpoint(b *testing.B) {
 // system — the recovery path a crashed fossd walks before serving again.
 func BenchmarkWALReplay(b *testing.B) {
 	dir := b.TempDir()
-	sys := durableBenchSystem(b, dir)
+	sys, origStore := durableBenchSystem(b, dir)
 	if _, err := sys.Online().Checkpoint(); err != nil {
 		b.Fatal(err)
 	}
@@ -238,6 +239,11 @@ func BenchmarkWALReplay(b *testing.B) {
 	}
 	cfg := sys.Cfg
 	cfg.Seed = 99
+	// Release the live doctor's directory lock: each timed recovery below
+	// opens the state dir the way a restarted process would.
+	if err := origStore.Close(); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -264,6 +270,68 @@ func BenchmarkWALReplay(b *testing.B) {
 		}
 		st.Close()
 		b.StartTimer()
+	}
+}
+
+// BenchmarkShardedServe measures multi-tenant serving through the shard
+// router: one full doctor-loop turn per op, round-robined across the fleet,
+// with every tenant sharing one bounded worker pool. Compare tenants=1
+// against tenants=4 — per-request cost should stay flat as the fleet grows,
+// because shards share nothing on the request path (the shared pool only
+// carries training fan-out).
+func BenchmarkShardedServe(b *testing.B) {
+	for _, tenants := range []int{1, 4} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			sysCfg := core.DefaultConfig()
+			sysCfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+			sysCfg.PlanCache = 256
+			sysCfg.Learner.Iterations = 1
+			sysCfg.Learner.RealPerIter = 6
+			sysCfg.Learner.SimPerIter = 20
+			sysCfg.Learner.ValidatePerIter = 6
+			sysCfg.Learner.InferenceRollouts = 2
+			specs := make([]shard.TenantSpec, tenants)
+			for i := range specs {
+				specs[i] = shard.TenantSpec{Name: fmt.Sprintf("t%d", i)}
+			}
+			router, err := shard.NewRouter(context.Background(), shard.Config{
+				System: sysCfg,
+				Loop: service.Config{
+					Detector:   service.DetectorConfig{Window: 32, Threshold: 1e12, MinSamples: 32},
+					Cooldown:   1 << 30,
+					Background: true,
+				},
+				Defaults: shard.TenantSpec{Workload: "job", Scale: 0.35, Seed: 1},
+				Workers:  2,
+			}, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { router.Close(context.Background()) })
+			names := router.Names()
+			shards := make([]*shard.Shard, len(names))
+			for i, name := range names {
+				sh, err := router.Get(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				shards[i] = sh
+				// Warmup fills each tenant's plan cache and expert baseline.
+				for _, q := range sh.W.Train {
+					if _, _, err := sh.Step(context.Background(), q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sh := shards[i%len(shards)]
+				q := sh.W.Train[i%len(sh.W.Train)]
+				if _, _, err := sh.Step(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -13,6 +13,8 @@
 //	fossd -workload job -backend gaussim -iters 4
 //	fossd -workload job -iters 4 -serve-http :8475
 //	fossd -workload job -iters 4 -serve-http :8475 -state-dir ./state
+//	fossd -iters 4 -serve-http :8475 -state-dir ./state \
+//	      -tenants acme,globex -tenant-spec 'globex=backend:gaussim'
 //
 // With -serve-http the trained doctor stays up as a JSON HTTP service
 // (POST /v1/optimize, POST /v1/feedback, GET /v1/stats, POST /v1/checkpoint)
@@ -24,6 +26,14 @@
 // with the same -state-dir warm-starts — model, execution buffer, and epoch
 // recover from disk, the WAL tail replays, and serving resumes bit-identical
 // to the pre-crash replica with no retraining.
+//
+// With -tenants / -tenant-spec fossd serves a sharded multi-tenant fleet:
+// one full doctor per tenant (own backend, workload, plan cache, and
+// <state-dir>/<tenant>/ durability) behind /v1/t/{tenant}/... endpoints,
+// sharing one bounded worker pool. SIGTERM drains the fleet losslessly —
+// in-flight requests finish, retrains drain (or are canceled past
+// -drain-timeout), a final checkpoint lands per tenant — so the next boot
+// warm-starts every tenant bit-identically.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"github.com/foss-db/foss/internal/metrics"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/runtime"
+	"github.com/foss-db/foss/internal/shard"
 	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/workload"
 )
@@ -74,8 +85,12 @@ func main() {
 		cacheSize   = flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
 		backendName = flag.String("backend", "selinger", "optimizer backend: selinger | gaussim")
 		serveHTTP   = flag.String("serve-http", "", "after training, serve the doctor as a JSON HTTP service on this address (e.g. :8475)")
-		stateDir    = flag.String("state-dir", "", "durable state directory (checkpoints + feedback WAL); with -serve-http, a directory holding a checkpoint warm-starts the doctor from disk, skipping training")
+		stateDir    = flag.String("state-dir", "", "durable state directory (checkpoints + feedback WAL); with -serve-http, a directory holding a checkpoint warm-starts the doctor from disk, skipping training; with -tenants, each tenant gets <state-dir>/<tenant>/")
 		ckEvery     = flag.Int("checkpoint-every", 64, "recorded executions between periodic checkpoints when -state-dir is set (0 = only on hot-swaps and POST /v1/checkpoint)")
+
+		tenants      = flag.String("tenants", "", "comma-separated tenant names: serve a sharded multi-tenant fleet (requires -serve-http); each tenant gets a full doctor over the default workload/backend/scale with a name-derived seed")
+		tenantSpec   = flag.String("tenant-spec", "", "heterogeneous tenants: 'name=key:val,...;name2=...' with keys workload|backend|scale|seed (merges with -tenants)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "shutdown budget: in-flight retrains past it are canceled (final checkpoints are still taken)")
 
 		online       = flag.Bool("online", false, "after training, run the online doctor loop over a drift scenario (feedback ingestion, drift-aware background retraining, zero-downtime hot-swap)")
 		drift        = flag.String("drift", "selectivity", "drift scenario for -online: template-mix | selectivity | novel-template")
@@ -89,6 +104,48 @@ func main() {
 		syncRetrain  = flag.Bool("sync-retrain", false, "retrain synchronously inside Record (deterministic) instead of in the background")
 	)
 	flag.Parse()
+
+	// Sharded multi-tenant mode: the fleet path owns workload loading,
+	// training/warm-start, serving, and the drain lifecycle per tenant.
+	if *tenants != "" || *tenantSpec != "" {
+		if *serveHTTP == "" {
+			fmt.Fprintln(os.Stderr, "-tenants/-tenant-spec require -serve-http")
+			os.Exit(1)
+		}
+		specs, err := parseTenantSpecs(*tenants, *tenantSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tenants:", err)
+			os.Exit(1)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.MaxSteps = *maxSteps
+		cfg.Agents = *agents
+		cfg.Workers = *workers
+		cfg.PlanCache = *cacheSize
+		cfg.Learner.Iterations = *iters
+		cfg.Learner.RealPerIter = *realEp
+		cfg.Learner.SimPerIter = *simEp
+		cfg.Learner.ValidatePerIter = *validate
+		cfg.Learner.InferenceRollouts = *rollouts
+		o := onlineOpts{
+			window: *window, threshold: *threshold, noveltyFrac: *noveltyFrac,
+			retrainIters: *retrainIters, sync: *syncRetrain, ckEvery: *ckEvery,
+		}
+		err = runSharded(context.Background(), shard.Config{
+			System:           cfg,
+			Loop:             o.loopConfig(),
+			Defaults:         shard.TenantSpec{Workload: *wl, Backend: *backendName, Scale: *scale, Seed: *seed},
+			StateDir:         *stateDir,
+			Workers:          *workers,
+			CheckpointOnBoot: *stateDir != "",
+		}, specs, *serveHTTP, *drainTimeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	start := time.Now()
 	w, err := workload.Load(*wl, workload.Options{Seed: *seed, Scale: *scale})
@@ -249,6 +306,7 @@ func main() {
 			sync:         *syncRetrain,
 			st:           st,
 			ckEvery:      *ckEvery,
+			drain:        *drainTimeout,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "serve-http:", err)
 			os.Exit(1)

@@ -30,6 +30,7 @@ type onlineOpts struct {
 	sync         bool
 	st           *store.Store // nil = in-memory loop
 	ckEvery      int
+	drain        time.Duration // shutdown budget for -serve-http's lifecycle
 }
 
 // loopConfig assembles the service configuration shared by -online and

@@ -60,14 +60,28 @@ func runHTTP(sys *core.System, w *workload.Workload, addr string, o onlineOpts) 
 
 	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("\nshutting down...")
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		drain := o.drain
+		if drain <= 0 {
+			drain = 15 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
-		close(done)
+		// Listener first: in-flight handlers finish their Serve/Record
+		// normally. Then the loop: stop intake, await (or past the drain
+		// budget, cancel) the background retrain, final checkpoint. The
+		// store itself closes with main's defer, after this returns —
+		// checkpoint before WAL release, never the reverse.
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "http shutdown:", err)
+		}
+		if err := sys.Close(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "drain:", err)
+		}
 	}()
 
 	fmt.Printf("serving HTTP on %s (backend=%s, %d known query ids)\n", addr, sys.BackendName(), len(byID))
@@ -79,7 +93,6 @@ func runHTTP(sys *core.System, w *workload.Workload, addr string, o onlineOpts) 
 		return err
 	}
 	<-done
-	sys.Online().Wait() // drain any in-flight background retrain
-	fmt.Printf("final online stats: %s\n", sys.OnlineStats())
+	fmt.Printf("drained cleanly; final online stats: %s\n", sys.OnlineStats())
 	return nil
 }

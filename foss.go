@@ -72,15 +72,38 @@
 // (ErrSnapshotVersion), and corruption (ErrSnapshotCorrupt) instead of
 // restoring weights into a system they were never trained for.
 //
+// Multi-tenant serving: a ShardRouter turns one process into a fleet of
+// doctors — one full shard (system, loop, plan cache, state directory) per
+// tenant, routed by tenant key, sharing one bounded worker pool:
+//
+//	router, _ := foss.NewShardRouter(ctx, foss.ShardConfig{
+//		System:   foss.DefaultConfig(),
+//		Loop:     foss.DefaultOnlineConfig(),
+//		StateDir: "state", Workers: 4,
+//	}, []foss.TenantSpec{{Name: "acme"}, {Name: "globex", Backend: "gaussim"}})
+//	sh, _ := router.Get("acme")
+//	res, _ := sh.Serve(ctx, q)
+//	defer router.Close(ctx) // drain: final checkpoint per tenant, locks released
+//
+// Every doctor has a lossless shutdown path: System.Close (and
+// ShardRouter.Close for fleets) stops intake, awaits — or past the context
+// deadline, cancels — in-flight background retrains, and takes a final
+// checkpoint per store, so a SIGTERM deploy warm-restarts bit-identically,
+// not just a kill -9. State directories are single-writer: a second Open of
+// a live one fails with ErrStoreLocked instead of corrupting the WAL.
+//
 // Failures are classified by sentinel errors (ErrNoPlan, ErrNotOnline, ...)
 // that errors.Is recognizes through every wrapping layer.
 package foss
 
 import (
+	"context"
+
 	"github.com/foss-db/foss/internal/backend"
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/shard"
 	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/workload"
 )
@@ -154,6 +177,10 @@ var (
 	ErrSnapshotVersion = fosserr.ErrSnapshotVersion
 	ErrSnapshotCorrupt = fosserr.ErrSnapshotCorrupt
 	ErrNoStore         = fosserr.ErrNoStore
+	ErrLoopClosed      = fosserr.ErrLoopClosed
+	ErrServeIDExpired  = fosserr.ErrServeIDExpired
+	ErrStoreLocked     = fosserr.ErrStoreLocked
+	ErrUnknownTenant   = fosserr.ErrUnknownTenant
 )
 
 // StateStore re-exports the durability store: the state directory holding
@@ -199,6 +226,49 @@ func NewHTTPServer(sys *System, opts HTTPOptions) (*service.HTTPServer, error) {
 // 32-record rolling window, 1.15 mean regression threshold, 60% novelty
 // fraction, background retraining.
 func DefaultOnlineConfig() OnlineConfig { return service.DefaultConfig() }
+
+// ---- multi-tenant sharded serving ----
+
+// TenantSpec re-exports one shard's identity: tenant name plus the
+// workload/backend/scale/seed its doctor is generated over (zero fields
+// inherit ShardConfig.Defaults; a zero seed derives a stable per-tenant
+// seed from the name).
+type TenantSpec = shard.TenantSpec
+
+// ShardConfig re-exports the fleet configuration: per-shard system and loop
+// templates, the state-dir root (each tenant gets <StateDir>/<tenant>/),
+// and the shared worker-pool width.
+type ShardConfig = shard.Config
+
+// ShardRouter re-exports the tenant router: N independent doctor shards
+// behind one Get/Create/Close surface, also implementing the HTTP
+// TenantRegistry.
+type ShardRouter = shard.Router
+
+// Shard re-exports one tenant's doctor (system, workload, wire surface,
+// private store).
+type Shard = shard.Shard
+
+// NewShardRouter boots a fleet: one shard per spec — trained, or
+// warm-started from its own checkpoint when the state dir holds one.
+func NewShardRouter(ctx context.Context, cfg ShardConfig, specs []TenantSpec) (*ShardRouter, error) {
+	return shard.NewRouter(ctx, cfg, specs)
+}
+
+// TenantRegistry re-exports the surface NewTenantHTTPServer serves —
+// ShardRouter implements it.
+type TenantRegistry = service.TenantRegistry
+
+// WireTenantSpec re-exports the POST /v1/tenants request body.
+type WireTenantSpec = service.WireTenantSpec
+
+// NewTenantHTTPServer exposes a tenant registry (typically a ShardRouter)
+// as the multi-tenant JSON HTTP service: /v1/t/{tenant}/optimize|feedback|
+// stats|checkpoint, the aggregate /v1/stats roll-up, and GET|POST
+// /v1/tenants.
+func NewTenantHTTPServer(reg TenantRegistry) *service.MultiHTTPServer {
+	return service.NewMultiHTTPServer(reg)
+}
 
 // DriftKind re-exports the drift scenario kinds ("template-mix",
 // "selectivity", "novel-template").

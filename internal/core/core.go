@@ -80,6 +80,7 @@ type options struct {
 	backend   backend.Backend
 	workers   *int
 	planCache *int
+	pool      *runtime.Pool
 }
 
 // WithBackend builds the system over an explicit optimizer backend instead
@@ -96,6 +97,16 @@ func WithWorkers(n int) Option {
 // WithPlanCache overrides Config.PlanCache.
 func WithPlanCache(entries int) Option {
 	return func(o *options) { o.planCache = &entries }
+}
+
+// WithPool runs the system's training fan-out on an externally owned worker
+// pool instead of a private one — the shard router hands one shared bounded
+// pool to every tenant so K tenants never oversubscribe K×Workers
+// goroutines. The pool's width overrides Config.Workers (the determinism
+// contract keys on width, so the two must agree); ownership — including the
+// Close duty for shared pools — stays with the caller.
+func WithPool(p *runtime.Pool) Option {
+	return func(o *options) { o.pool = p }
 }
 
 // System is a trained (or trainable) FOSS instance bound to one workload
@@ -120,6 +131,11 @@ type System struct {
 	// online is the doctor loop façade, set by EnableOnline.
 	online *service.Loop
 
+	// sharedPool remembers an externally owned pool (WithPool) so Clone —
+	// and therefore the online standby replica — fans out on the same
+	// bounded workers instead of minting a private pool.
+	sharedPool *runtime.Pool
+
 	// trainTime accumulates wall-clock spent training, in nanoseconds;
 	// atomic because background retrains write it while serving code reads.
 	trainTime atomic.Int64
@@ -137,6 +153,11 @@ func New(w *workload.Workload, cfg Config, opts ...Option) (*System, error) {
 	}
 	if o.planCache != nil {
 		cfg.PlanCache = *o.planCache
+	}
+	if o.pool != nil {
+		// Width and Workers must agree for the learner's per-worker RNG
+		// streams to stay deterministic.
+		cfg.Workers = o.pool.Workers()
 	}
 	if cfg.MaxSteps < 1 {
 		return nil, fmt.Errorf("core: MaxSteps must be >= 1, got %d: %w", cfg.MaxSteps, fosserr.ErrBadConfig)
@@ -193,18 +214,20 @@ func New(w *workload.Workload, cfg Config, opts ...Option) (*System, error) {
 	lCfg.Workers = cfg.Workers
 
 	sys := &System{
-		Cfg:      cfg,
-		W:        w,
-		Backend:  b,
-		Enc:      enc,
-		AAM:      model,
-		Planners: planners,
+		Cfg:        cfg,
+		W:          w,
+		Backend:    b,
+		Enc:        enc,
+		AAM:        model,
+		Planners:   planners,
+		sharedPool: o.pool,
 	}
 	sys.Learner = learner.New(w, planners, model, b, lCfg)
 	sys.RT = runtime.New(runtime.Config{
 		Workers:   cfg.Workers,
 		CacheSize: cfg.PlanCache,
 		BackendID: b.Name(),
+		Pool:      o.pool,
 	}, sys.Learner)
 	// The runtime owns the worker pool; the learner's episode fan-out
 	// borrows it rather than running a pool of its own.

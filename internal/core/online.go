@@ -42,6 +42,19 @@ func (s *System) EnableOnline(cfg service.Config) error {
 // Online returns the service loop, or nil before EnableOnline.
 func (s *System) Online() *service.Loop { return s.online }
 
+// Close drains the system for a lossless shutdown. With an online loop
+// enabled it stops intake, awaits (or past ctx's deadline, cancels) any
+// in-flight background retrain, and takes a final checkpoint when a store
+// is attached — see service.Loop.Close for the contract. Without one it is
+// a no-op: an offline System holds no background goroutines. Idempotent.
+// The caller still owns (and closes, afterwards) any store it opened.
+func (s *System) Close(ctx context.Context) error {
+	if s.online == nil {
+		return nil
+	}
+	return s.online.Close(ctx)
+}
+
 // RecoveryInfo summarizes what RecoverOnline restored from disk.
 type RecoveryInfo struct {
 	// Recovered reports whether a durable checkpoint existed (false = cold
@@ -136,11 +149,14 @@ func (s *System) ServeBatch(ctx context.Context, qs []*query.Query) ([]service.R
 
 // Record feeds one executed plan's observed latency back into the loop:
 // buffer ingestion, drift detection, and (possibly) a background retrain.
+// Feedback arriving after Close began is refused with ErrLoopClosed.
 func (s *System) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) error {
 	if s.online == nil {
 		return fmt.Errorf("core: Record before EnableOnline: %w", fosserr.ErrNotOnline)
 	}
-	s.online.Record(q, pe, latencyMs)
+	if !s.online.Record(q, pe, latencyMs) && s.online.Closed() {
+		return fmt.Errorf("core: record: %w", fosserr.ErrLoopClosed)
+	}
 	return nil
 }
 

@@ -153,7 +153,11 @@ func (s *System) ImportBuffer(recs []store.ExecRecord) error {
 // cache, and RNG streams start fresh — callers that need shared experience
 // copy the buffer themselves (as EnableOnline does).
 func (s *System) Clone() (*System, error) {
-	c, err := New(s.W, s.Cfg, WithBackend(s.Backend))
+	opts := []Option{WithBackend(s.Backend)}
+	if s.sharedPool != nil {
+		opts = append(opts, WithPool(s.sharedPool))
+	}
+	c, err := New(s.W, s.Cfg, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: clone: %w", err)
 	}

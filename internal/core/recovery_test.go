@@ -98,12 +98,11 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	recover := func(label string) (*System, RecoveryInfo) {
+	recover := func(label string) (*System, RecoveryInfo, *store.Store) {
 		st2, err := store.Open(dir)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
-		t.Cleanup(func() { st2.Close() })
 		fresh := smallSystem(t, func(c *Config) {
 			recoveryConfig(c)
 			c.Seed = 777 // different init: recovery must overwrite every weight
@@ -115,10 +114,10 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 		if !info.Recovered {
 			t.Fatalf("%s: checkpoint on disk not recovered", label)
 		}
-		return fresh, info
+		return fresh, info, st2
 	}
 
-	sysA, infoA := recover("first recovery")
+	sysA, infoA, stA2 := recover("first recovery")
 	if got := sysA.OnlineStats().Epoch; got != wantEpoch {
 		t.Fatalf("recovered epoch %d, want %d", got, wantEpoch)
 	}
@@ -146,8 +145,13 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 
 	// Determinism: a second, independent recovery from the same directory
 	// reconstructs identical state — buffer order included (the AAM's
-	// training-sample order depends on it).
-	sysB, infoB := recover("second recovery")
+	// training-sample order depends on it). The first recovery's store must
+	// release the directory lock first, as a real restart would.
+	if err := stA2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sysB, infoB, stB2 := recover("second recovery")
+	defer stB2.Close()
 	if infoA != infoB {
 		t.Fatalf("recoveries diverge: %+v vs %+v", infoA, infoB)
 	}

@@ -44,4 +44,21 @@ var (
 	// ErrNoStore reports a durability operation (checkpoint, recovery) on a
 	// loop that has no store attached.
 	ErrNoStore = errors.New("foss: no durability store attached")
+
+	// ErrLoopClosed reports a Serve/Record/Checkpoint call on an online loop
+	// (or a route through a shard router) after Close began draining it.
+	ErrLoopClosed = errors.New("foss: online loop closed")
+
+	// ErrServeIDExpired reports feedback for a serve_id that was evicted from
+	// the pending ring before its latency arrived — distinct from an id that
+	// never existed, so clients can tell "report sooner" from "wrong id".
+	ErrServeIDExpired = errors.New("foss: serve_id expired from pending ring")
+
+	// ErrStoreLocked reports a second open of a state directory that another
+	// live store (this process or another) already holds — two writers on one
+	// WAL would corrupt it.
+	ErrStoreLocked = errors.New("foss: state directory locked by another store")
+
+	// ErrUnknownTenant reports a route to a tenant no shard serves.
+	ErrUnknownTenant = errors.New("foss: unknown tenant")
 )

@@ -17,16 +17,67 @@ import (
 // increasing order. With any per-worker state seeded from the worker id
 // (e.g. RNG streams), a Run's outcome depends only on W and the jobs — never
 // on goroutine scheduling.
+//
+// A pool built by NewPool is transient: each Run spawns its own goroutines
+// and owns the full width. A pool built by NewShared is backed by W
+// persistent worker goroutines that many callers dispatch onto
+// concurrently — K tenants sharing one pool run at most W jobs at any
+// moment instead of K×W. The determinism contract is identical in both
+// modes: the lane index (not the OS worker) is what fn receives, so job j
+// still sees worker j mod W.
 type Pool struct {
 	workers int
+
+	// tasks is non-nil only in shared mode: lane closures are dispatched to
+	// the persistent workers through it. closed gates dispatch after Close —
+	// late Runs fall back to running their lanes inline rather than racing a
+	// shut-down pool.
+	tasks     chan func()
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
-// NewPool creates a pool of the given width (clamped to at least 1).
+// NewPool creates a transient pool of the given width (clamped to at least
+// 1): each Run spawns its own goroutines.
 func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
 	return &Pool{workers: workers}
+}
+
+// NewShared creates a pool backed by `workers` persistent goroutines that
+// every Run dispatches onto. Use it to bound total fan-out across many
+// independent callers (the shard router hands one shared pool to every
+// tenant's system). Callers must Close a shared pool to release its workers.
+func NewShared(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make(chan func()), closed: make(chan struct{})}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for {
+				select {
+				case f := <-p.tasks:
+					f()
+				case <-p.closed:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Close releases a shared pool's worker goroutines. Idempotent; a no-op on
+// transient pools. Runs already dispatched finish normally (Close does not
+// wait for them); Runs arriving after Close execute inline on the caller.
+func (p *Pool) Close() {
+	if p.tasks == nil {
+		return
+	}
+	p.closeOnce.Do(func() { close(p.closed) })
 }
 
 // Workers returns the pool width.
@@ -49,6 +100,9 @@ func (p *Pool) RunCtx(ctx context.Context, n int, fn func(worker, job int)) erro
 	if n <= 0 {
 		return ctx.Err()
 	}
+	if p.tasks != nil {
+		return p.runShared(ctx, n, fn)
+	}
 	if p.workers == 1 {
 		for j := 0; j < n; j++ {
 			if err := ctx.Err(); err != nil {
@@ -70,6 +124,48 @@ func (p *Pool) RunCtx(ctx context.Context, n int, fn func(worker, job int)) erro
 				fn(w, j)
 			}
 		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runShared partitions the jobs into W lanes (lane w runs jobs w, w+W, ...
+// in order, exactly like the transient path) and dispatches each lane to the
+// persistent workers. Lanes from concurrent Runs interleave over the same W
+// goroutines, so total concurrency stays bounded at the pool width no matter
+// how many callers fan out at once. Cancellation is honored while queued:
+// a caller whose context expires before a worker frees up stops dispatching
+// and returns once its already-running lanes drain — its remaining jobs
+// simply never ran, the same partial-results contract as the transient
+// path. After Close, lanes run inline on the caller — a shutdown race
+// degrades to sequential execution, never to a panic or a lost job.
+func (p *Pool) runShared(ctx context.Context, n int, fn func(worker, job int)) error {
+	var wg sync.WaitGroup
+	lanes := p.workers
+	if lanes > n {
+		lanes = n
+	}
+dispatch:
+	for w := 0; w < lanes; w++ {
+		w := w
+		wg.Add(1)
+		lane := func() {
+			defer wg.Done()
+			for j := w; j < n; j += p.workers {
+				if ctx.Err() != nil {
+					return
+				}
+				fn(w, j)
+			}
+		}
+		select {
+		case p.tasks <- lane:
+		case <-p.closed:
+			lane()
+		case <-ctx.Done():
+			wg.Done() // this lane was never dispatched; don't wait for it
+			break dispatch
+		}
 	}
 	wg.Wait()
 	return ctx.Err()

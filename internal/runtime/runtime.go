@@ -29,6 +29,11 @@ type Config struct {
 	// served across backends — even across a backend swap that reuses this
 	// runtime.
 	BackendID string
+	// Pool, when non-nil, is used instead of a freshly built pool — the hook
+	// by which many systems (the shard router's tenants) share one bounded
+	// worker pool. Its width overrides Workers; the caller keeps ownership
+	// (and, for shared pools, the Close duty).
+	Pool *Pool
 }
 
 // DefaultConfig returns a serving-oriented runtime configuration.
@@ -62,9 +67,13 @@ type Runtime struct {
 
 // New assembles a runtime over a plan-producing source.
 func New(cfg Config, source Source) *Runtime {
+	pool := cfg.Pool
+	if pool == nil {
+		pool = NewPool(cfg.Workers)
+	}
 	return &Runtime{
 		cfg:       cfg,
-		pool:      NewPool(cfg.Workers),
+		pool:      pool,
 		cache:     NewLRU[cacheKey, *planner.PlanEval](cfg.CacheSize),
 		source:    source,
 		backendID: cfg.BackendID,

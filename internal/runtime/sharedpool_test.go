@@ -1,0 +1,121 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSharedPoolMatchesTransientAssignment: the shared pool preserves the
+// determinism contract — job j runs as worker j mod W, each lane in
+// increasing job order — so a system fanning out on a shared pool computes
+// exactly what it would on a private one.
+func TestSharedPoolMatchesTransientAssignment(t *testing.T) {
+	const workers, jobs = 3, 20
+	p := NewShared(workers)
+	defer p.Close()
+
+	var mu sync.Mutex
+	gotWorker := make([]int, jobs)
+	orderByWorker := map[int][]int{}
+	p.Run(jobs, func(w, j int) {
+		mu.Lock()
+		defer mu.Unlock()
+		gotWorker[j] = w
+		orderByWorker[w] = append(orderByWorker[w], j)
+	})
+	for j := 0; j < jobs; j++ {
+		if gotWorker[j] != j%workers {
+			t.Fatalf("job %d ran as worker %d, want %d", j, gotWorker[j], j%workers)
+		}
+	}
+	for w, js := range orderByWorker {
+		for i := 1; i < len(js); i++ {
+			if js[i] < js[i-1] {
+				t.Fatalf("worker %d ran jobs out of order: %v", w, js)
+			}
+		}
+	}
+}
+
+// TestSharedPoolBoundsConcurrency: K callers fanning out together never
+// exceed the pool width in simultaneously running jobs — the whole point of
+// sharing one pool across tenants.
+func TestSharedPoolBoundsConcurrency(t *testing.T) {
+	const workers, callers = 2, 5
+	p := NewShared(workers)
+	defer p.Close()
+
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(6, func(_, _ int) {
+				n := running.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				running.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeded the pool width %d", got, workers)
+	}
+}
+
+// TestSharedPoolCancelWhileQueued: a caller whose context expires while its
+// lanes are still queued behind other tenants' work returns promptly with
+// ctx.Err() instead of blocking until a worker frees — the request path's
+// deadline survives pool contention.
+func TestSharedPoolCancelWhileQueued(t *testing.T) {
+	p := NewShared(1)
+	defer p.Close()
+
+	release := make(chan struct{})
+	var occupying sync.WaitGroup
+	occupying.Add(1)
+	go func() {
+		defer occupying.Done()
+		p.Run(1, func(_, _ int) { <-release }) // park the only worker
+	}()
+	time.Sleep(10 * time.Millisecond) // let the blocker reach the worker
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.RunCtx(ctx, 4, func(_, _ int) { t.Error("job ran despite queued cancellation") })
+	if err == nil {
+		t.Fatal("queued RunCtx returned nil after its deadline expired")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("queued RunCtx blocked %v past its deadline", elapsed)
+	}
+	close(release)
+	occupying.Wait()
+}
+
+// TestSharedPoolCloseFallsBackInline: a Run racing (or following) Close
+// neither panics nor loses jobs — lanes degrade to inline execution.
+func TestSharedPoolCloseFallsBackInline(t *testing.T) {
+	p := NewShared(2)
+	p.Close()
+	p.Close() // idempotent
+
+	var count atomic.Int64
+	if err := p.RunCtx(context.Background(), 7, func(_, _ int) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 7 {
+		t.Fatalf("post-close Run completed %d/7 jobs", count.Load())
+	}
+}

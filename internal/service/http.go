@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/planner"
@@ -54,8 +55,13 @@ type HTTPServer struct {
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[string]*pendingServe
-	order   []string
+	pending map[uint64]*pendingServe
+	order   []uint64
+	// evictedThrough is the expiry horizon: every serve id at or below it
+	// has left the ring (FIFO eviction), so feedback for one is answered
+	// with 410 Gone / ErrServeIDExpired instead of a generic not-found.
+	evictedThrough uint64
+	expired        atomic.Uint64 // ids evicted before their feedback arrived
 }
 
 // pendingServe is one served plan awaiting latency feedback.
@@ -69,7 +75,7 @@ func NewHTTPServer(lp *Loop, opts HTTPOptions) *HTTPServer {
 	if opts.MaxPending <= 0 {
 		opts.MaxPending = 4096
 	}
-	s := &HTTPServer{lp: lp, opts: opts, pending: map[string]*pendingServe{}, mux: http.NewServeMux()}
+	s := &HTTPServer{lp: lp, opts: opts, pending: map[uint64]*pendingServe{}, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -222,12 +228,16 @@ type feedbackRequest struct {
 	LatencyMs float64 `json:"latency_ms"`
 }
 
-// statsResponse is the /v1/stats body.
+// statsResponse is the /v1/stats body (and, keyed by tenant, one row of the
+// multi-tenant aggregate roll-up).
 type statsResponse struct {
 	Backend string    `json:"backend"`
 	Stats   Stats     `json:"stats"`
 	Cache   cacheJSON `json:"cache"`
 	Pending int       `json:"pending_feedback"`
+	// Expired counts serve_ids evicted from the pending ring before their
+	// feedback arrived (each later report of one gets 410 Gone).
+	Expired uint64 `json:"expired_serve_ids"`
 }
 
 type cacheJSON struct {
@@ -338,12 +348,22 @@ func (s *HTTPServer) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "latency_ms must be >= 0")
 		return
 	}
-	ps := s.take(req.ServeID)
-	if ps == nil {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown or already-reported serve_id %q", req.ServeID))
+	ps, err := s.take(req.ServeID)
+	if err != nil {
+		if errors.Is(err, fosserr.ErrServeIDExpired) {
+			writeErr(w, http.StatusGone, err.Error())
+			return
+		}
+		writeErr(w, http.StatusNotFound, err.Error())
 		return
 	}
-	s.lp.Record(ps.q, ps.pe, req.LatencyMs)
+	if !s.lp.Record(ps.q, ps.pe, req.LatencyMs) {
+		// The loop is draining: the observation was NOT ingested — a 200
+		// here would be a false ack for a sample the doctor threw away.
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("loop draining; feedback not recorded: %v", fosserr.ErrLoopClosed))
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"recorded": true, "epoch": s.lp.Epoch()})
 }
 
@@ -352,12 +372,18 @@ func (s *HTTPServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// statsSnapshot assembles the /v1/stats body; the multi-tenant server reuses
+// it per shard for the aggregate roll-up.
+func (s *HTTPServer) statsSnapshot() statsResponse {
 	active := s.lp.Active()
 	cs := active.CacheStats()
 	s.mu.Lock()
 	pending := len(s.pending)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, statsResponse{
+	return statsResponse{
 		Backend: active.BackendName(),
 		Stats:   s.lp.Stats(),
 		Cache: cacheJSON{
@@ -365,8 +391,12 @@ func (s *HTTPServer) handleStats(w http.ResponseWriter, r *http.Request) {
 			HitRate: cs.HitRate(), Size: cs.Size, Capacity: cs.Capacity, Epoch: cs.Epoch,
 		},
 		Pending: pending,
-	})
+		Expired: s.expired.Load(),
+	}
 }
+
+// Loop returns the online loop this server fronts.
+func (s *HTTPServer) Loop() *Loop { return s.lp }
 
 // handleCheckpoint forces a durable checkpoint of the active replica — the
 // operational "flush now" knob (pre-maintenance, pre-deploy). 412 when the
@@ -391,29 +421,53 @@ func (s *HTTPServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // ---- serve-id ring ----
 
 // remember stores a served plan for later feedback, evicting FIFO past
-// MaxPending.
+// MaxPending. Evicted ids advance the expiry horizon so their (too-late)
+// feedback is classified as expired, not unknown.
 func (s *HTTPServer) remember(q *query.Query, pe *planner.PlanEval) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	id := fmt.Sprintf("s%d", s.nextID)
-	s.pending[id] = &pendingServe{q: q, pe: pe}
-	s.order = append(s.order, id)
+	seq := s.nextID
+	s.pending[seq] = &pendingServe{q: q, pe: pe}
+	s.order = append(s.order, seq)
 	for len(s.order) > s.opts.MaxPending {
 		drop := s.order[0]
 		s.order = s.order[1:]
+		if _, live := s.pending[drop]; !live {
+			// Already consumed by feedback: popping it off the ring is
+			// bookkeeping, not an expiry — it must neither count nor move
+			// the 410 horizon (a duplicate report stays a 404).
+			continue
+		}
 		delete(s.pending, drop)
+		s.expired.Add(1)
+		if drop > s.evictedThrough {
+			s.evictedThrough = drop
+		}
 	}
-	return id
+	return fmt.Sprintf("s%d", seq)
 }
 
-// take removes and returns a pending serve (one feedback per serve_id).
-func (s *HTTPServer) take(id string) *pendingServe {
+// take removes and returns a pending serve (one feedback per serve_id). An
+// id below the eviction horizon is gone for good — fosserr.ErrServeIDExpired
+// (410 on the wire); an id the server never issued or already consumed above
+// the horizon stays a plain not-found (404).
+func (s *HTTPServer) take(id string) (*pendingServe, error) {
+	var seq uint64
+	if _, err := fmt.Sscanf(id, "s%d", &seq); err != nil || fmt.Sprintf("s%d", seq) != id {
+		return nil, fmt.Errorf("unknown serve_id %q", id)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ps := s.pending[id]
-	delete(s.pending, id)
-	return ps
+	if ps, ok := s.pending[seq]; ok {
+		delete(s.pending, seq)
+		return ps, nil
+	}
+	if seq > 0 && seq <= s.evictedThrough {
+		return nil, fmt.Errorf("serve_id %q evicted from the pending ring before its feedback arrived (ring holds %d): %w",
+			id, s.opts.MaxPending, fosserr.ErrServeIDExpired)
+	}
+	return nil, fmt.Errorf("unknown or already-reported serve_id %q", id)
 }
 
 // ---- helpers ----
@@ -447,14 +501,16 @@ func writeErr(w http.ResponseWriter, code int, msg string) {
 }
 
 // writeServeErr maps serving errors onto wire statuses: planning failures
-// are the client's query (422), cancellations are timeouts (504), the rest
-// are server faults.
+// are the client's query (422), cancellations are timeouts (504), a closed
+// loop is a draining service (503), the rest are server faults.
 func writeServeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, fosserr.ErrNoPlan), errors.Is(err, fosserr.ErrNoCandidate):
 		writeErr(w, http.StatusUnprocessableEntity, err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		writeErr(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, fosserr.ErrLoopClosed):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		writeErr(w, http.StatusInternalServerError, err.Error())
 	}

@@ -2,13 +2,16 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
 
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/store"
 )
@@ -29,6 +32,20 @@ func newWireFixture(t *testing.T, cfg Config) (*httptest.Server, *fakeReplica, *
 	ts := httptest.NewServer(h)
 	t.Cleanup(ts.Close)
 	return ts, blue, green
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
 }
 
 func postJSON(t *testing.T, url, body string) (int, map[string]any) {
@@ -292,7 +309,8 @@ func TestHTTPCheckpoint(t *testing.T) {
 }
 
 // TestHTTPPendingEviction: the serve ring is bounded — old serve_ids are
-// evicted FIFO once MaxPending is exceeded.
+// evicted FIFO once MaxPending is exceeded, and late feedback for one is
+// answered 410 Gone (distinct from 404 for an id that never existed).
 func TestHTTPPendingEviction(t *testing.T) {
 	cfg := syncConfig()
 	cfg.Detector.Threshold = 100
@@ -315,7 +333,72 @@ func TestHTTPPendingEviction(t *testing.T) {
 			first = out["serve_id"].(string)
 		}
 	}
-	if code, _ := postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "`+first+`", "latency_ms": 5}`); code != http.StatusNotFound {
-		t.Fatalf("evicted serve_id still accepted feedback: %d", code)
+	if code, _ := postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "`+first+`", "latency_ms": 5}`); code != http.StatusGone {
+		t.Fatalf("evicted serve_id should get 410 Gone, got %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "s999", "latency_ms": 5}`); code != http.StatusNotFound {
+		t.Fatalf("never-issued serve_id should get 404, got %d", code)
+	}
+	if _, out := getJSON(t, ts.URL+"/v1/stats"); out["expired_serve_ids"].(float64) != 1 {
+		t.Fatalf("stats should count 1 expiration: %v", out["expired_serve_ids"])
+	}
+}
+
+// TestServeIDExpiry pins the ring's classification below the HTTP layer:
+// pending ids resolve once, evicted ids fail errors.Is(ErrServeIDExpired),
+// ids the server never issued (or malformed ones) fail as plain unknowns.
+func TestServeIDExpiry(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(cfg, blue, green, nil)
+	h := NewHTTPServer(lp, HTTPOptions{MaxPending: 2})
+
+	ids := make([]string, 3)
+	for i := range ids {
+		pe, _, _, _ := blue.OptimizeEvalContext(context.Background(), fq(int64(i)))
+		ids[i] = h.remember(fq(int64(i)), pe)
+	}
+	// ids[0] was evicted by ids[2]'s arrival.
+	if _, err := h.take(ids[0]); !errors.Is(err, fosserr.ErrServeIDExpired) {
+		t.Fatalf("evicted id error = %v, want ErrServeIDExpired", err)
+	}
+	if h.expired.Load() != 1 {
+		t.Fatalf("expirations = %d, want 1", h.expired.Load())
+	}
+	// live ids resolve exactly once; a second take is unknown, NOT expired
+	// (the client already consumed it — 404 tells them so).
+	if _, err := h.take(ids[2]); err != nil {
+		t.Fatalf("live id: %v", err)
+	}
+	if _, err := h.take(ids[2]); err == nil || errors.Is(err, fosserr.ErrServeIDExpired) {
+		t.Fatalf("double-take error = %v, want plain unknown", err)
+	}
+	// never-issued and malformed ids are unknowns, not expiries
+	for _, id := range []string{"s999", "bogus", "s1x", ""} {
+		if _, err := h.take(id); err == nil || errors.Is(err, fosserr.ErrServeIDExpired) {
+			t.Fatalf("id %q error = %v, want plain unknown", id, err)
+		}
+	}
+
+	// An id consumed by feedback BEFORE the ring pushes it out is not an
+	// expiry: when later serves pop it off the ring, the counter must not
+	// move, the 410 horizon must not advance over it, and its duplicate
+	// report stays a plain 404, not a 410.
+	h2 := NewHTTPServer(lp, HTTPOptions{MaxPending: 2})
+	pe, _, _, _ := blue.OptimizeEvalContext(context.Background(), fq(10))
+	early := h2.remember(fq(10), pe)
+	if _, err := h2.take(early); err != nil {
+		t.Fatalf("fresh id: %v", err)
+	}
+	for i := int64(11); i < 13; i++ {
+		pe, _, _, _ := blue.OptimizeEvalContext(context.Background(), fq(i))
+		h2.remember(fq(i), pe) // the second pops the consumed id off the ring
+	}
+	if got := h2.expired.Load(); got != 0 {
+		t.Fatalf("expirations = %d, want 0 (the consumed id must not count)", got)
+	}
+	if _, err := h2.take(early); err == nil || errors.Is(err, fosserr.ErrServeIDExpired) {
+		t.Fatalf("duplicate report of a consumed id = %v, want plain unknown", err)
 	}
 }

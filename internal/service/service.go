@@ -160,6 +160,7 @@ type Stats struct {
 	RetrainErrors uint64
 	ExpertErrors  uint64 // expert-baseline failures (those records feed a neutral ratio)
 	Retraining    bool
+	Closed        bool    // Close has begun: intake is stopped
 	WindowMean    float64 // rolling mean regression ratio
 	WindowNovel   float64 // rolling novel-fingerprint fraction
 
@@ -190,6 +191,18 @@ type Loop struct {
 
 	retraining atomic.Bool
 	wg         sync.WaitGroup
+
+	// Lifecycle: closed flips once, under lifeMu, which spawn also holds —
+	// so after Close observes closed and drains wg, no new background
+	// goroutine can ever start (the flag check and the wg.Add are one
+	// critical section). baseCtx is the parent of every background retrain;
+	// Close cancels it when the drain deadline passes.
+	lifeMu   sync.Mutex
+	closed   atomic.Bool
+	closeErr error
+	closing  sync.Once
+	baseCtx  context.Context
+	stopBase context.CancelFunc
 
 	// store is the durability subsystem (nil = in-memory loop). WAL appends
 	// happen under mu (Record's ordering lock doubles as the journal lock);
@@ -239,6 +252,7 @@ func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
 		expertLat: map[uint64]float64{},
 		st:        cfg.Store,
 	}
+	lp.baseCtx, lp.stopBase = context.WithCancel(context.Background())
 	epoch := cfg.InitialEpoch
 	if epoch == 0 {
 		epoch = 1
@@ -255,6 +269,9 @@ func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
 // is re-served on the new active, so Result.Epoch always identifies the
 // model generation that actually chose the plan.
 func (lp *Loop) Serve(ctx context.Context, q *query.Query) (Result, error) {
+	if lp.closed.Load() {
+		return Result{}, fmt.Errorf("service: serve: %w", fosserr.ErrLoopClosed)
+	}
 	for {
 		s := lp.active.Load()
 		pe, hit, d, err := s.r.OptimizeEvalContext(ctx, q)
@@ -283,6 +300,9 @@ func (lp *Loop) Serve(ctx context.Context, q *query.Query) (Result, error) {
 // the batch on the new active — and cancellation returns promptly with no
 // partial results.
 func (lp *Loop) ServeBatch(ctx context.Context, qs []*query.Query) ([]Result, error) {
+	if lp.closed.Load() {
+		return nil, fmt.Errorf("service: serve batch: %w", fosserr.ErrLoopClosed)
+	}
 	for {
 		s := lp.active.Load()
 		pes, hits, d, err := s.r.OptimizeEvalBatch(ctx, qs)
@@ -313,10 +333,13 @@ func (lp *Loop) ServeBatch(ctx context.Context, qs []*query.Query) ([]Result, er
 // drift past the cooldown — triggers a retrain.
 //
 // A zero latency is legitimate (sub-millisecond executions round to 0);
-// only negative values are rejected.
-func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) {
-	if q == nil || pe == nil || latencyMs < 0 {
-		return
+// only negative values are rejected. The return reports whether the
+// observation was ingested: false for invalid arguments and for feedback
+// arriving after Close began (intake stopped; the final checkpoint must
+// stay the last word) — wire callers answer 503, not a false ack.
+func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) bool {
+	if q == nil || pe == nil || latencyMs < 0 || lp.closed.Load() {
+		return false
 	}
 	fp := q.Fingerprint()
 
@@ -382,6 +405,7 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 	if lp.st != nil && lp.cfg.CheckpointEvery > 0 && n%uint64(lp.cfg.CheckpointEvery) == 0 {
 		lp.triggerCheckpoint()
 	}
+	return true
 }
 
 // Step runs one full doctor-loop turn: Serve, Execute on the active replica,
@@ -399,6 +423,50 @@ func (lp *Loop) Step(ctx context.Context, q *query.Query) (Result, float64, erro
 // Wait blocks until every in-flight background retrain has finished
 // (including its hot-swap and weight mirroring).
 func (lp *Loop) Wait() { lp.wg.Wait() }
+
+// Close drains the loop for a lossless shutdown: intake stops (Serve and
+// ServeBatch fail with fosserr.ErrLoopClosed, Record drops), every in-flight
+// background retrain and checkpoint goroutine is awaited — past ctx's
+// deadline the retrain's context is canceled instead, bounding the wait by
+// one training episode — and, with a store attached, a final checkpoint
+// images the surviving state so a SIGTERM deploy recovers exactly like a
+// kill-9 does, minus the WAL replay. Idempotent and safe for concurrent
+// use: every caller blocks until the one shutdown finishes and sees its
+// result. The store itself stays open — its owner closes it after Close
+// returns (final checkpoint before WAL release, never the reverse).
+func (lp *Loop) Close(ctx context.Context) error {
+	lp.closing.Do(func() {
+		lp.lifeMu.Lock()
+		lp.closed.Store(true)
+		lp.lifeMu.Unlock()
+
+		done := make(chan struct{})
+		go func() {
+			lp.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// Drain deadline passed: cancel the retrain mid-schedule and wait
+			// for it to unwind (TrainOnContext checks between episodes).
+			lp.stopBase()
+			<-done
+		}
+		lp.stopBase()
+
+		if lp.st != nil {
+			if _, err := lp.Checkpoint(); err != nil {
+				lp.ckErrors.Add(1)
+				lp.closeErr = fmt.Errorf("service: close: final checkpoint: %w", err)
+			}
+		}
+	})
+	return lp.closeErr
+}
+
+// Closed reports whether Close has begun.
+func (lp *Loop) Closed() bool { return lp.closed.Load() }
 
 // Active returns the replica currently serving (for evaluation harnesses).
 func (lp *Loop) Active() Replica { return lp.active.Load().r }
@@ -420,6 +488,7 @@ func (lp *Loop) Stats() Stats {
 		RetrainErrors:    lp.retrainErrors.Load(),
 		ExpertErrors:     lp.expertErrors.Load(),
 		Retraining:       lp.retraining.Load(),
+		Closed:           lp.closed.Load(),
 		WindowMean:       win.Mean,
 		WindowNovel:      win.NovelFrac,
 		Replayed:         lp.replayed.Load(),
@@ -475,21 +544,47 @@ func (lp *Loop) noteRecent(q *query.Query, fp uint64) {
 	}
 }
 
+// spawn starts a tracked background goroutine, refusing once Close has begun:
+// the closed check and the wg.Add share lifeMu with Close's flag flip, so a
+// goroutine can never slip in between Close marking the loop closed and
+// Close draining the WaitGroup (that goroutine would outlive Close — the
+// exact leak Close exists to prevent).
+func (lp *Loop) spawn(f func()) bool {
+	lp.lifeMu.Lock()
+	defer lp.lifeMu.Unlock()
+	if lp.closed.Load() {
+		return false
+	}
+	lp.wg.Add(1)
+	go func() {
+		defer lp.wg.Done()
+		f()
+	}()
+	return true
+}
+
 // triggerRetrain starts (at most) one retrain; concurrent triggers collapse.
+// The drift/retrain counters bump inside the work itself, so a trigger that
+// spawn refuses (Close won the race) leaves the stats truthful: no retrain
+// ran, none is counted.
 func (lp *Loop) triggerRetrain() {
+	if lp.closed.Load() {
+		return
+	}
 	if !lp.retraining.CompareAndSwap(false, true) {
 		return
 	}
-	lp.drifts.Add(1)
-	lp.retrains.Add(1)
-	if lp.cfg.Background {
-		lp.wg.Add(1)
-		go func() {
-			defer lp.wg.Done()
-			lp.retrain()
-		}()
-	} else {
+	run := func() {
+		lp.drifts.Add(1)
+		lp.retrains.Add(1)
 		lp.retrain()
+	}
+	if lp.cfg.Background {
+		if !lp.spawn(run) {
+			lp.retraining.Store(false)
+		}
+	} else {
+		run()
 	}
 }
 
@@ -506,7 +601,10 @@ func (lp *Loop) retrain() {
 		return
 	}
 
-	if err := standby.TrainOnContext(context.Background(), queries, lp.cfg.RetrainIterations, nil); err != nil {
+	// baseCtx, not Background: a Close whose drain deadline passes cancels
+	// it, bounding shutdown by one training episode instead of the full
+	// incremental schedule.
+	if err := standby.TrainOnContext(lp.baseCtx, queries, lp.cfg.RetrainIterations, nil); err != nil {
 		lp.retrainErrors.Add(1)
 		return
 	}
@@ -608,14 +706,15 @@ func (lp *Loop) triggerCheckpoint() {
 	if !lp.checkpointing.CompareAndSwap(false, true) {
 		return
 	}
-	lp.wg.Add(1)
-	go func() {
-		defer lp.wg.Done()
+	ok := lp.spawn(func() {
 		defer lp.checkpointing.Store(false)
 		if _, err := lp.Checkpoint(); err != nil {
 			lp.ckErrors.Add(1)
 		}
-	}()
+	})
+	if !ok {
+		lp.checkpointing.Store(false)
+	}
 }
 
 // Replay re-ingests a recovered WAL tail before the loop takes traffic:

@@ -69,7 +69,11 @@ func (f *fakeReplica) BackendName() string { return "fake" }
 
 func (f *fakeReplica) TrainOnContext(ctx context.Context, qs []*query.Query, iterations int, _ func(learner.IterStats)) error {
 	if f.trainDelay > 0 {
-		time.Sleep(f.trainDelay)
+		select {
+		case <-time.After(f.trainDelay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	f.trains.Add(1)
 	return nil

@@ -1,0 +1,466 @@
+// Package shard turns one doctor into a fleet: a Router owns N independent
+// doctor shards — each a full core.System + service.Loop with its own
+// optimizer backend, workload identity, plan cache, serve-id ring, and
+// durable state directory (<state-dir>/<tenant>/) — and routes every
+// request by tenant key. Isolation is structural, not advisory: nothing is
+// shared between shards except the bounded worker pool (so K tenants never
+// oversubscribe K×Workers goroutines) and the process they live in.
+//
+// The router carries the fleet's lifecycle. Boot trains each shard (or
+// warm-starts it from its own checkpoint, exactly like a single-tenant
+// restart), CreateTenant adds shards to a live fleet, and Close drains every
+// shard in parallel — stop intake, await or cancel in-flight retrains, take
+// a final checkpoint per tenant, release each WAL — so a SIGTERM deploy of
+// the whole fleet is as lossless as PR 4 made a kill -9 of one doctor.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/foss-db/foss/internal/backend"
+	"github.com/foss-db/foss/internal/core"
+	"github.com/foss-db/foss/internal/fosserr"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/runtime"
+	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/store"
+	"github.com/foss-db/foss/internal/workload"
+)
+
+// TenantSpec is one shard's identity: who it serves and how its doctor is
+// generated. Zero-valued fields inherit Config.Defaults, so a homogeneous
+// fleet is just a list of names. Seed 0 derives a per-tenant seed from the
+// default seed and the tenant name — stable across restarts and spec
+// reordering, so a warm start always regenerates the exact workload the
+// checkpoint was trained over.
+type TenantSpec struct {
+	Name     string
+	Workload string  // benchmark name: job | tpcds | stack
+	Backend  string  // optimizer backend: selinger | gaussim
+	Scale    float64 // data scale factor
+	Seed     int64   // workload + model seed
+}
+
+// Config assembles a router.
+type Config struct {
+	// System is the per-shard doctor template; Seed is overridden by each
+	// tenant's resolved spec.
+	System core.Config
+	// Loop is the per-shard online-loop template; Store is set per tenant
+	// when StateDir is configured.
+	Loop service.Config
+	// Defaults fills zero-valued TenantSpec fields (Name is ignored).
+	Defaults TenantSpec
+	// StateDir roots the fleet's durable state: shard s lives in
+	// StateDir/<tenant>/ with its own checkpoints, manifest, WAL, and lock.
+	// Empty runs every shard in memory.
+	StateDir string
+	// Workers sizes the one shared worker pool every shard trains on.
+	// 0 falls back to System.Workers.
+	Workers int
+	// MaxPending bounds each shard's serve-id ring (0 = service default).
+	MaxPending int
+	// CheckpointOnBoot writes an initial checkpoint after a cold-start
+	// training run (ignored without StateDir), so a shard is durable before
+	// its first request.
+	CheckpointOnBoot bool
+	// OnEvent, when set, receives one-line boot/drain progress strings
+	// (fossd narrates them; tests leave it nil).
+	OnEvent func(tenant, event string)
+}
+
+// Shard is one tenant's doctor: the trained system, its workload, its wire
+// surface, and (when durable) its private store.
+type Shard struct {
+	Spec TenantSpec
+	Sys  *core.System
+	W    *workload.Workload
+	HTTP *service.HTTPServer
+	// Store is the shard's private state directory, nil for in-memory
+	// fleets. Owned by the shard: released in Close after the final
+	// checkpoint.
+	Store *store.Store
+	// Recovery reports what the boot restored (zero value for cold starts
+	// and in-memory shards).
+	Recovery core.RecoveryInfo
+}
+
+// Serve optimizes one query on this shard's active replica.
+func (sh *Shard) Serve(ctx context.Context, q *query.Query) (service.Result, error) {
+	return sh.Sys.ServeContext(ctx, q)
+}
+
+// Step runs one full doctor-loop turn (Serve, Execute, Record) on the shard.
+func (sh *Shard) Step(ctx context.Context, q *query.Query) (service.Result, float64, error) {
+	return sh.Sys.ServeStepContext(ctx, q)
+}
+
+// Close drains the shard: intake stops, in-flight retrains finish (or are
+// canceled past ctx's deadline), a final checkpoint lands, and only then is
+// the store — and with it the WAL lock — released.
+func (sh *Shard) Close(ctx context.Context) error {
+	err := sh.Sys.Close(ctx)
+	if sh.Store != nil {
+		if cerr := sh.Store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Router owns the fleet and routes by tenant key.
+type Router struct {
+	cfg  Config
+	pool *runtime.Pool
+
+	mu        sync.RWMutex
+	shards    map[string]*Shard
+	closed    bool
+	closeOnce sync.Once
+	closeErr  error
+
+	// workloads caches generated benchmarks by (name, seed, scale):
+	// tenants that share an identity share the immutable generated data
+	// (queries and statistics are read-only after generation), so booting a
+	// homogeneous 8-tenant fleet generates the benchmark once, not 8 times.
+	wlMu      sync.Mutex
+	workloads map[string]*workload.Workload
+}
+
+// NewRouter boots a fleet: one shard per spec, sequentially (training is
+// already parallel inside each shard via the shared pool). On any boot
+// failure the shards already up are drained and the error is returned.
+func NewRouter(ctx context.Context, cfg Config, specs []TenantSpec) (*Router, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.System.Workers
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	r := &Router{
+		cfg:       cfg,
+		pool:      runtime.NewShared(cfg.Workers),
+		shards:    map[string]*Shard{},
+		workloads: map[string]*workload.Workload{},
+	}
+	for _, spec := range specs {
+		if _, err := r.create(ctx, spec); err != nil {
+			cctx, cancel := context.WithCancel(context.Background())
+			cancel() // already-booted shards have no traffic: drain instantly
+			_ = r.Close(cctx)
+			return nil, fmt.Errorf("shard: boot tenant %q: %w", spec.Name, err)
+		}
+	}
+	return r, nil
+}
+
+// Pool exposes the fleet's shared worker pool (benchmarks size against it).
+func (r *Router) Pool() *runtime.Pool { return r.pool }
+
+// Get returns the named shard, fosserr.ErrUnknownTenant when absent, or
+// fosserr.ErrLoopClosed once the router is draining.
+func (r *Router) Get(name string) (*Shard, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, fmt.Errorf("shard: router draining: %w", fosserr.ErrLoopClosed)
+	}
+	sh, ok := r.shards[name]
+	if !ok {
+		return nil, fmt.Errorf("shard: tenant %q: %w", name, fosserr.ErrUnknownTenant)
+	}
+	return sh, nil
+}
+
+// Names lists the live tenants, sorted.
+func (r *Router) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.shards))
+	for n := range r.shards {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Create boots a new shard into the live fleet (the POST /v1/tenants path).
+// The heavy lifting — workload generation, training or warm start — happens
+// outside the router lock, so existing tenants keep serving while the new
+// one trains; only the final registration is serialized.
+func (r *Router) Create(ctx context.Context, spec TenantSpec) (*Shard, error) {
+	return r.create(ctx, spec)
+}
+
+func (r *Router) create(ctx context.Context, spec TenantSpec) (*Shard, error) {
+	spec = r.resolve(spec)
+	if err := validateName(spec.Name); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	closed, exists := r.closed, r.shards[spec.Name] != nil
+	r.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("shard: router draining: %w", fosserr.ErrLoopClosed)
+	}
+	if exists {
+		return nil, fmt.Errorf("shard: tenant %q already exists: %w", spec.Name, fosserr.ErrBadConfig)
+	}
+
+	sh, err := r.boot(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if r.closed || r.shards[spec.Name] != nil {
+		closed := r.closed
+		r.mu.Unlock()
+		// Lost the race while booting: tear the orphan down, it never served.
+		cctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_ = sh.Close(cctx)
+		if closed {
+			return nil, fmt.Errorf("shard: router draining: %w", fosserr.ErrLoopClosed)
+		}
+		return nil, fmt.Errorf("shard: tenant %q already exists: %w", spec.Name, fosserr.ErrBadConfig)
+	}
+	r.shards[spec.Name] = sh
+	r.mu.Unlock()
+	return sh, nil
+}
+
+// validateName rejects tenant names that cannot be routed or safely mapped
+// to a state subdirectory. The name becomes both a URL path segment
+// (/v1/t/{tenant}/...) and a directory under StateDir, so it is restricted
+// to a conservative charset: letters, digits, dot, underscore, dash — no
+// separators (a "../x" name from POST /v1/tenants would otherwise root a
+// shard's WAL outside the configured state dir), and nothing the tenant
+// mux would split.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("shard: tenant name required: %w", fosserr.ErrBadConfig)
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("shard: tenant name longer than 128 bytes: %w", fosserr.ErrBadConfig)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("shard: tenant name %q: only [A-Za-z0-9._-] allowed: %w", name, fosserr.ErrBadConfig)
+		}
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("shard: tenant name %q reserved: %w", name, fosserr.ErrBadConfig)
+	}
+	return nil
+}
+
+// resolve fills a spec's zero fields from the defaults, deriving a stable
+// per-tenant seed from the tenant name so restarts regenerate identical
+// workloads regardless of spec order.
+func (r *Router) resolve(spec TenantSpec) TenantSpec {
+	d := r.cfg.Defaults
+	if spec.Workload == "" {
+		spec.Workload = d.Workload
+	}
+	if spec.Workload == "" {
+		spec.Workload = "job"
+	}
+	if spec.Backend == "" {
+		spec.Backend = d.Backend
+	}
+	if spec.Backend == "" {
+		spec.Backend = "selinger"
+	}
+	if spec.Scale == 0 {
+		spec.Scale = d.Scale
+	}
+	if spec.Scale == 0 {
+		spec.Scale = 0.5
+	}
+	if spec.Seed == 0 {
+		h := fnv.New32a()
+		h.Write([]byte(spec.Name))
+		spec.Seed = d.Seed + int64(h.Sum32()%997) + 1
+	}
+	return spec
+}
+
+// workload returns (generating and caching on first use) the benchmark for
+// a resolved spec. The cache key is the full generation identity, so two
+// tenants differing in seed or scale never share data.
+func (r *Router) workload(spec TenantSpec) (*workload.Workload, error) {
+	key := fmt.Sprintf("%s/%d/%g", spec.Workload, spec.Seed, spec.Scale)
+	r.wlMu.Lock()
+	defer r.wlMu.Unlock()
+	if w, ok := r.workloads[key]; ok {
+		return w, nil
+	}
+	w, err := workload.Load(spec.Workload, workload.Options{Seed: spec.Seed, Scale: spec.Scale})
+	if err != nil {
+		return nil, err
+	}
+	r.workloads[key] = w
+	return w, nil
+}
+
+// boot assembles and trains (or warm-starts) one shard.
+func (r *Router) boot(ctx context.Context, spec TenantSpec) (*Shard, error) {
+	event := func(format string, args ...any) {
+		if r.cfg.OnEvent != nil {
+			r.cfg.OnEvent(spec.Name, fmt.Sprintf(format, args...))
+		}
+	}
+	w, err := r.workload(spec)
+	if err != nil {
+		return nil, err
+	}
+	be, err := backend.New(spec.Backend, w.DB, w.Stats)
+	if err != nil {
+		return nil, err
+	}
+	sysCfg := r.cfg.System
+	sysCfg.Seed = spec.Seed
+	sys, err := core.New(w, sysCfg, core.WithBackend(be), core.WithPool(r.pool))
+	if err != nil {
+		return nil, err
+	}
+
+	sh := &Shard{Spec: spec, Sys: sys, W: w}
+	loopCfg := r.cfg.Loop
+
+	if r.cfg.StateDir != "" {
+		st, err := store.Open(filepath.Join(r.cfg.StateDir, spec.Name))
+		if err != nil {
+			return nil, err
+		}
+		sh.Store = st
+		if _, warm := st.Latest(); warm {
+			info, err := sys.RecoverOnline(loopCfg, st)
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			sh.Recovery = info
+			event("warm restart: checkpoint=%s epoch=%d buffer=%d walReplayed=%d",
+				info.Checkpoint, info.Epoch, info.BufferRestored, info.WALReplayed)
+		} else {
+			event("cold start: training (backend=%s workload=%s scale=%g seed=%d)",
+				spec.Backend, spec.Workload, spec.Scale, spec.Seed)
+			if err := sys.TrainContext(ctx, nil); err != nil {
+				st.Close()
+				return nil, err
+			}
+			if _, err := sys.RecoverOnline(loopCfg, st); err != nil {
+				st.Close()
+				return nil, err
+			}
+			if r.cfg.CheckpointOnBoot {
+				if _, err := sys.Online().Checkpoint(); err != nil {
+					st.Close()
+					return nil, err
+				}
+			}
+			event("trained and durable: epoch=%d", sys.Online().Epoch())
+		}
+	} else {
+		event("cold start: training in memory (backend=%s workload=%s scale=%g seed=%d)",
+			spec.Backend, spec.Workload, spec.Scale, spec.Seed)
+		if err := sys.TrainContext(ctx, nil); err != nil {
+			return nil, err
+		}
+		if err := sys.EnableOnline(loopCfg); err != nil {
+			return nil, err
+		}
+	}
+
+	byID := map[string]*query.Query{}
+	for _, q := range w.All() {
+		byID[q.ID] = q
+	}
+	sh.HTTP = service.NewHTTPServer(sys.Online(), service.HTTPOptions{
+		Resolve:    func(id string) *query.Query { return byID[id] },
+		MaxPending: r.cfg.MaxPending,
+	})
+	return sh, nil
+}
+
+// Close drains the whole fleet: new routes are refused immediately, every
+// shard drains in parallel under the shared ctx (stop intake → await or
+// cancel in-flight retrain → final checkpoint → release WAL lock), and the
+// shared worker pool is released last. Idempotent; concurrent callers all
+// observe the one drain's result (the first error, if any).
+func (r *Router) Close(ctx context.Context) error {
+	r.closeOnce.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		shards := make([]*Shard, 0, len(r.shards))
+		for _, sh := range r.shards {
+			shards = append(shards, sh)
+		}
+		r.mu.Unlock()
+
+		var wg sync.WaitGroup
+		errs := make([]error, len(shards))
+		for i, sh := range shards {
+			wg.Add(1)
+			go func(i int, sh *Shard) {
+				defer wg.Done()
+				if err := sh.Close(ctx); err != nil {
+					errs[i] = fmt.Errorf("tenant %q: %w", sh.Spec.Name, err)
+				} else if r.cfg.OnEvent != nil {
+					r.cfg.OnEvent(sh.Spec.Name, fmt.Sprintf("drained: %s", sh.Sys.OnlineStats()))
+				}
+			}(i, sh)
+		}
+		wg.Wait()
+		r.pool.Close()
+		if err := errors.Join(errs...); err != nil {
+			// Every failed tenant is reported: an operator draining for a
+			// deploy needs to know each shard whose final checkpoint is
+			// stale, not just the first.
+			r.closeErr = fmt.Errorf("shard: close: %w", err)
+		}
+	})
+	return r.closeErr
+}
+
+// ---- service.TenantRegistry ----
+
+// TenantServer implements service.TenantRegistry.
+func (r *Router) TenantServer(name string) (*service.HTTPServer, error) {
+	sh, err := r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return sh.HTTP, nil
+}
+
+// TenantNames implements service.TenantRegistry.
+func (r *Router) TenantNames() []string { return r.Names() }
+
+// CreateTenant implements service.TenantRegistry: live shard creation from
+// a wire spec. The new shard trains (or warm-starts) before the call
+// returns; canceling ctx aborts the boot.
+func (r *Router) CreateTenant(ctx context.Context, spec service.WireTenantSpec) (*service.HTTPServer, error) {
+	sh, err := r.Create(ctx, TenantSpec{
+		Name:     spec.Tenant,
+		Workload: spec.Workload,
+		Backend:  spec.Backend,
+		Scale:    spec.Scale,
+		Seed:     spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sh.HTTP, nil
+}

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"github.com/foss-db/foss/internal/fosserr"
+)
+
+// TestOpenRefusesDoubleOpen: two live stores on one state directory would
+// interleave WAL appends and corrupt the journal — the second Open must
+// fail fast with ErrStoreLocked, and a Close must hand the directory over.
+func TestOpenRefusesDoubleOpen(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, fosserr.ErrStoreLocked) {
+		t.Fatalf("second open error = %v, want ErrStoreLocked", err)
+	}
+	// The refused open must not have disturbed the holder: its WAL still
+	// accepts appends.
+	if _, err := st1.WAL().Append(WALEntry{Kind: KindSwap, Epoch: 2}); err != nil {
+		t.Fatalf("holder's WAL broken by refused open: %v", err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	defer st2.Close()
+	if got := st2.WAL().Len(); got != 1 {
+		t.Fatalf("takeover lost the journal: len=%d, want 1", got)
+	}
+}
+
+// TestLockScopedPerDirectory: sibling tenant directories under one root
+// lock independently — the sharded layout <state-dir>/<tenant>/ depends on
+// that.
+func TestLockScopedPerDirectory(t *testing.T) {
+	root := t.TempDir()
+	a, err := Open(filepath.Join(root, "acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(filepath.Join(root, "globex"))
+	if err != nil {
+		t.Fatalf("sibling dir refused: %v", err)
+	}
+	defer b.Close()
+}

@@ -53,23 +53,38 @@ type Manifest struct {
 const (
 	manifestName   = "MANIFEST"
 	walName        = "wal.log"
+	lockName       = "LOCK"
 	checkpointDir  = "checkpoints"
 	keepCheckpoint = 2 // the manifest target plus one predecessor
 )
 
-// Store is one state directory: the WAL plus the checkpoint/manifest pair.
+// Store is one state directory: the WAL plus the checkpoint/manifest pair,
+// held exclusively through an advisory lock for the store's lifetime.
 type Store struct {
-	dir string
-	wal *WAL
+	dir  string
+	wal  *WAL
+	lock *os.File
 }
 
-// Open opens (creating if needed) a state directory.
+// Open opens (creating if needed) a state directory. Exactly one live Store
+// may hold a directory at a time: Open takes an exclusive flock on its LOCK
+// file and fails fast with fosserr.ErrStoreLocked when another store — a
+// second process, or two shards misconfigured onto one directory inside
+// this one — already holds it. Two writers interleaving appends on one WAL
+// would corrupt it silently; the lock turns that misconfiguration into a
+// startup error. A kernel-held flock dies with its process, so a kill -9
+// never strands a stale lock.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, checkpointDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
+	lock, err := acquireLock(filepath.Join(dir, lockName))
+	if err != nil {
+		return nil, err
+	}
 	wal, err := OpenWAL(filepath.Join(dir, walName))
 	if err != nil {
+		releaseLock(lock)
 		return nil, err
 	}
 	// Make the state directory's own entries (wal.log, checkpoints/)
@@ -77,9 +92,10 @@ func Open(dir string) (*Store, error) {
 	// with its acknowledged records.
 	if err := syncDir(dir); err != nil {
 		wal.Close()
+		releaseLock(lock)
 		return nil, err
 	}
-	return &Store{dir: dir, wal: wal}, nil
+	return &Store{dir: dir, wal: wal, lock: lock}, nil
 }
 
 // Dir returns the state directory path.
@@ -88,8 +104,16 @@ func (s *Store) Dir() string { return s.dir }
 // WAL returns the feedback journal.
 func (s *Store) WAL() *WAL { return s.wal }
 
-// Close closes the WAL.
-func (s *Store) Close() error { return s.wal.Close() }
+// Close closes the WAL and releases the directory lock, letting the next
+// Open (a warm restart, a failover peer) take over the state.
+func (s *Store) Close() error {
+	err := s.wal.Close()
+	if s.lock != nil {
+		releaseLock(s.lock)
+		s.lock = nil
+	}
+	return err
+}
 
 // Latest returns the current manifest, or ok=false when the directory has
 // no durable checkpoint yet (cold start).

@@ -1,20 +1,21 @@
 #!/usr/bin/env bash
 # bench.sh — the repository's perf snapshot: runs the parallel-training,
-# online-serving, batched-serving, and durability (checkpoint + WAL-replay)
-# benchmarks and emits a machine-readable BENCH_4.json.
+# online-serving, batched-serving, durability (checkpoint + WAL-replay), and
+# multi-tenant sharded-serving benchmarks and emits a machine-readable
+# BENCH_5.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh   # more iterations per benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 benchtime="${BENCHTIME:-1x}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-echo "== go test -bench TrainParallel|ServeOnline|ServeBatch|Checkpoint|WALReplay (benchtime=$benchtime) =="
-go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay' \
+echo "== go test -bench TrainParallel|ServeOnline|ServeBatch|Checkpoint|WALReplay|ShardedServe (benchtime=$benchtime) =="
+go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay|BenchmarkShardedServe' \
   -benchtime "$benchtime" . | tee "$tmp"
 
 awk -v arch="$(uname -m)" -v ncpu="$(nproc 2>/dev/null || echo 1)" \
@@ -28,7 +29,7 @@ awk -v arch="$(uname -m)" -v ncpu="$(nproc 2>/dev/null || echo 1)" \
     if (rows == "") { print "no benchmark rows parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"schema\": \"foss-bench/1\",\n"
-    printf "  \"pr\": 4,\n"
+    printf "  \"pr\": 5,\n"
     printf "  \"arch\": \"%s\",\n", arch
     printf "  \"cpus\": %s,\n", ncpu
     printf "  \"benchtime\": \"%s\",\n", benchtime

@@ -21,7 +21,7 @@ go build ./...
 # a GOFLAGS/build-cache quirk can never silently skip them (built into a
 # throwaway dir — naming main packages makes go build emit executables)
 exbin=$(mktemp -d)
-go build -o "$exbin/" ./examples/quickstart ./examples/jobtour ./examples/hintsteer ./examples/doctor ./examples/ablation
+go build -o "$exbin/" ./examples/quickstart ./examples/jobtour ./examples/hintsteer ./examples/doctor ./examples/ablation ./examples/fleet
 rm -rf "$exbin"
 
 if [[ $quick -eq 1 ]]; then
@@ -53,6 +53,20 @@ go test -count=1 ./internal/backend/
 
 echo "== wire surface: HTTP optimize->feedback round trip =="
 go test -count=1 -run 'TestHTTP' ./internal/service/ ./internal/core/
+
+echo "== lifecycle: Close drains retrains, no goroutine leaks, store single-writer =="
+# TestCloseDrainsBackgroundRetrain / TestCloseCancelsStuckRetrain: the loop's
+#   shutdown contract — drain or cancel, final checkpoint, no leaked goroutine.
+# TestOpenRefusesDoubleOpen: two stores on one state dir fail ErrStoreLocked.
+go test -race -count=1 -run 'TestClose|TestServeIDExpiry' ./internal/service/
+go test -count=1 -run 'TestOpenRefusesDoubleOpen|TestLockScopedPerDirectory' ./internal/store/
+go test -count=1 -run 'TestSharedPool' ./internal/runtime/
+
+echo "== multi-tenant: isolation + fleet lifecycle + warm restart =="
+# TestMultiTenantIsolation: two backends, concurrent traffic, no cross-bleed.
+# TestRouterLifecycle / TestWarmRestartBitIdentical: drain → successor fleet
+#   recovers every tenant bit-identically.
+go test -race -count=1 ./internal/shard/
 
 echo "== durability: snapshot rejection + crash recovery (in-process) =="
 # TestSnapshotRejections: cross-backend / version-skew / corrupt snapshots
@@ -107,10 +121,82 @@ replayed=$(sed -n 's/.*"Replayed":\([0-9]*\).*/\1/p' "$gate_dir/stats.json")
 [[ "${replayed:-0}" -ge 1 ]] || { echo "FAIL: post-checkpoint WAL record not replayed (replayed=$replayed)"; exit 1; }
 echo "recovery gate OK: plan '$key1' served identically across kill -9 (walReplayed=$replayed)"
 
+echo "== lifecycle: 2-tenant fossd SIGTERM drain -> clean exit -> warm restart =="
+# The deploy gate: a sharded fossd serving two tenants under live traffic
+# takes a SIGTERM, drains losslessly (every in-flight request completes or is
+# cleanly refused, a final checkpoint lands per tenant), exits 0, and a
+# successor over the same state dir warm-starts BOTH tenants to bit-identical
+# serving.
+fleet_addr=127.0.0.1:8498
+fleet_flags="-tenants acme,globex -tenant-spec globex=backend:gaussim -serve-http $fleet_addr -state-dir $gate_dir/fleet"
+fleet_up() {
+  for _ in $(seq 1 180); do
+    curl -sf "http://$fleet_addr/v1/tenants" >/dev/null 2>&1 && return 0
+    sleep 1
+  done
+  return 1
+}
+# shellcheck disable=SC2086
+"$gate_dir/fossd" $gate_train $fleet_flags >"$gate_dir/fleet1.log" 2>&1 &
+gate_pid=$!
+fleet_up || { cat "$gate_dir/fleet1.log"; echo "FAIL: fleet never came up"; exit 1; }
+curl -sf "http://$fleet_addr/v1/t/acme/optimize" -d '{"query_id": "1_1"}' >"$gate_dir/acme1.json"
+curl -sf "http://$fleet_addr/v1/t/globex/optimize" -d '{"query_id": "1_1"}' >"$gate_dir/globex1.json"
+# Live traffic through the SIGTERM: every body the server answers must be a
+# complete response (a plan or a clean refusal), never a torn one.
+: >"$gate_dir/traffic.out"
+(
+  set +e # refused connections after the listener closes are expected, not errors
+  while :; do
+    curl -sf "http://$fleet_addr/v1/t/acme/optimize" -d '{"query_id": "2_1", "execute": true}' >>"$gate_dir/traffic.out" 2>/dev/null
+    echo >>"$gate_dir/traffic.out"
+  done
+) &
+traffic_pid=$!
+sleep 1
+kill -TERM "$gate_pid"
+fleet_rc=0
+wait "$gate_pid" || fleet_rc=$?
+kill "$traffic_pid" 2>/dev/null || true
+wait "$traffic_pid" 2>/dev/null || true
+gate_pid=""
+[[ "$fleet_rc" -eq 0 ]] || { cat "$gate_dir/fleet1.log"; echo "FAIL: SIGTERM exit code $fleet_rc, want 0"; exit 1; }
+grep -q "fleet drained cleanly" "$gate_dir/fleet1.log" || { cat "$gate_dir/fleet1.log"; echo "FAIL: fleet did not drain"; exit 1; }
+[[ "$(grep -c 'drained:' "$gate_dir/fleet1.log")" -eq 2 ]] || { cat "$gate_dir/fleet1.log"; echo "FAIL: not every tenant drained"; exit 1; }
+for t in acme globex; do
+  [[ -f "$gate_dir/fleet/$t/MANIFEST" ]] || { echo "FAIL: tenant $t has no durable checkpoint after drain"; exit 1; }
+done
+# Zero dropped in-flight requests: every answered body parses as a served
+# plan (requests arriving after the listener closed were refused at connect,
+# which curl -f reports by writing nothing).
+answered=$(grep -c 'icp_key' "$gate_dir/traffic.out" || true)
+# A vacuous pass proves nothing: at least one in-flight answer must have
+# landed for the zero-torn-responses assertion to mean anything.
+[[ "${answered:-0}" -ge 1 ]] || { echo "FAIL: traffic loop landed no answers; the drain was never exercised under load"; exit 1; }
+while IFS= read -r line; do
+  [[ -z "$line" ]] && continue
+  echo "$line" | grep -q 'icp_key' || { echo "FAIL: torn/dropped in-flight response: $line"; exit 1; }
+done <"$gate_dir/traffic.out"
+# shellcheck disable=SC2086
+"$gate_dir/fossd" $gate_train $fleet_flags >"$gate_dir/fleet2.log" 2>&1 &
+gate_pid=$!
+fleet_up || { cat "$gate_dir/fleet2.log"; echo "FAIL: restarted fleet never came up"; exit 1; }
+[[ "$(grep -c 'warm restart' "$gate_dir/fleet2.log")" -eq 2 ]] || { cat "$gate_dir/fleet2.log"; echo "FAIL: a tenant retrained instead of warm-starting"; exit 1; }
+curl -sf "http://$fleet_addr/v1/t/acme/optimize" -d '{"query_id": "1_1"}' >"$gate_dir/acme2.json"
+curl -sf "http://$fleet_addr/v1/t/globex/optimize" -d '{"query_id": "1_1"}' >"$gate_dir/globex2.json"
+kill -TERM "$gate_pid"; wait "$gate_pid" 2>/dev/null || true
+gate_pid=""
+for t in acme globex; do
+  k1=$(sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p' "$gate_dir/$t"1.json)
+  k2=$(sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p' "$gate_dir/$t"2.json)
+  [[ -n "$k1" && "$k1" == "$k2" ]] || { echo "FAIL: tenant $t restarted plan '$k2' != pre-drain '$k1'"; exit 1; }
+done
+echo "drain gate OK: SIGTERM drained 2 tenants cleanly ($answered in-flight answers intact), both warm-restarted bit-identically"
+
 if [[ $quick -eq 0 ]]; then
   ncpu=$(nproc 2>/dev/null || echo 1)
   if [[ "$ncpu" -ge 4 ]]; then
-    echo "== perf snapshot (BENCH_4.json) =="
+    echo "== perf snapshot (BENCH_5.json) =="
     # Hardware-gated like the speedup check: on weak runners the numbers are
     # noise; run `make bench` manually to refresh the snapshot anywhere.
     scripts/bench.sh
