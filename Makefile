@@ -24,10 +24,11 @@ ci:
 ci-quick:
 	scripts/ci.sh --quick
 
-# Perf snapshot: parallel-training + online-serving + batched-serving +
-# durability (checkpoint, WAL replay) + sharded multi-tenant serving
-# benchmarks, written to BENCH_5.json (see scripts/bench.sh; BENCHTIME=3x
-# make bench for longer runs).
+# Perf snapshot: parallel-training + online-serving + tiered-serving +
+# batched-serving + durability (checkpoint, WAL replay) + sharded
+# multi-tenant serving benchmarks, written to BENCH_6.json (see
+# scripts/bench.sh; BENCHTIME=3x make bench for longer runs, CPUS=1,2,4 to
+# sweep GOMAXPROCS).
 bench:
 	scripts/bench.sh
 

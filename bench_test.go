@@ -13,9 +13,13 @@ import (
 	"github.com/foss-db/foss/internal/aam"
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/experiments"
+	"github.com/foss-db/foss/internal/planner"
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/runtime"
 	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/shard"
 	"github.com/foss-db/foss/internal/store"
+	"github.com/foss-db/foss/internal/tier"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -103,6 +107,126 @@ func BenchmarkServeOnline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sys.ServeStep(queries[i%len(queries)]); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// tieredBenchSystem trains the BenchmarkServeOnline fixture and enables the
+// online loop with the given tier configuration.
+func tieredBenchSystem(b *testing.B, tc tier.Config) *core.System {
+	b.Helper()
+	w, err := workload.Load("job", workload.Options{Seed: 1, Scale: 0.35})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	cfg.PlanCache = 256
+	cfg.Learner.Iterations = 1
+	cfg.Learner.RealPerIter = 6
+	cfg.Learner.SimPerIter = 20
+	cfg.Learner.ValidatePerIter = 6
+	cfg.Learner.InferenceRollouts = 2
+	sys, err := core.New(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Train(nil); err != nil {
+		b.Fatal(err)
+	}
+	err = sys.EnableOnline(service.Config{
+		Detector:          service.DetectorConfig{Window: 32, Threshold: 1e12, MinSamples: 32, NoveltyFrac: 0},
+		Cooldown:          1 << 30,
+		RetrainIterations: 1,
+		Background:        true,
+		Tier:              tc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkServeTiered measures the tiered serving path. "repeat" is the
+// tier-0 hit: a fingerprint promoted into plan memory served over and over —
+// one atomic load plus one read-locked map lookup, the path the tiering
+// exists to create (compare against BenchmarkServeOnline's full turn).
+// "novel" is the router's overhead on never-promoted traffic: the same
+// serving loop as BenchmarkServeOnline with tiering enabled but an
+// unreachable promotion threshold, so every request routes to tier 2.
+func BenchmarkServeTiered(b *testing.B) {
+	b.Run("repeat", func(b *testing.B) {
+		sys := tieredBenchSystem(b, tier.Config{Memory: true, PromoteAfter: 2})
+		ctx := context.Background()
+		q := sys.W.Train[0]
+		promoted := false
+		for i := 0; i < 10 && !promoted; i++ {
+			res, err := sys.ServeContext(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			promoted = res.Tier == tier.Tier0
+			// A latency below any expert baseline: every record is a win.
+			sys.Online().Record(q, res.Eval, 0.001)
+		}
+		if !promoted {
+			b.Fatal("fixture never promoted a pin")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sys.ServeContext(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Tier != tier.Tier0 {
+				b.Fatalf("tier %d mid-bench, want 0", res.Tier)
+			}
+		}
+	})
+	b.Run("novel", func(b *testing.B) {
+		sys := tieredBenchSystem(b, tier.Config{Memory: true, PromoteAfter: 1 << 30})
+		queries := sys.W.Train
+		for _, q := range queries { // warmup as in BenchmarkServeOnline
+			if _, _, err := sys.ServeStep(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.ServeStep(queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTierRouter isolates the routing decision itself: one pinned
+// lookup (tier-0 hit) and one unknown fingerprint (tier-2 fallthrough) per
+// op, on a router holding a pin.
+func BenchmarkTierRouter(b *testing.B) {
+	m := tier.NewMemory(tier.Config{Memory: true, Greedy: true, PromoteAfter: 1})
+	id := runtime.Identity{Backend: "selinger", Epoch: 1}
+	q := &query.Query{
+		ID: "r", Template: "t",
+		Tables:  []query.TableRef{{Table: "ta", Alias: "a"}},
+		Filters: []query.Filter{{Alias: "a", Col: "c", Op: query.Eq, Val: 1}},
+	}
+	fp := q.Fingerprint()
+	icp, ok := tier.Greedy(q)
+	if !ok {
+		b.Fatal("greedy rejected the fixture query")
+	}
+	pe := &planner.PlanEval{Q: q, ICP: icp}
+	if out := m.Observe(id, fp, q, pe, 1, 10); !out.Promoted {
+		b.Fatalf("fixture did not promote: %+v", out)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := m.Route(id, fp); d.Tier != tier.Tier0 {
+			b.Fatal("pinned fingerprint missed")
+		}
+		if d := m.Route(id, fp+1); d.Tier != tier.Tier2 {
+			b.Fatal("unknown fingerprint hit")
 		}
 	}
 }

@@ -102,6 +102,9 @@ func main() {
 		noveltyFrac  = flag.Float64("novelty", 0.5, "novel-fingerprint window fraction that signals drift (0 disables)")
 		retrainIters = flag.Int("retrain-iters", 2, "learner iterations per background retrain")
 		syncRetrain  = flag.Bool("sync-retrain", false, "retrain synchronously inside Record (deterministic) instead of in the background")
+
+		tierMemory = flag.Bool("tier-memory", true, "tier-0 plan memory: pin feedback-proven plans per fingerprint and serve repeats in microseconds (invalidated on hot-swap, persisted with -state-dir)")
+		tierGreedy = flag.Bool("tier-greedy", false, "tier-1 greedy micro-planner: statistics-free join ordering for seen-but-unpinned fingerprints (plans may differ from the doctor's until feedback escalates them)")
 	)
 	flag.Parse()
 
@@ -131,6 +134,7 @@ func main() {
 		o := onlineOpts{
 			window: *window, threshold: *threshold, noveltyFrac: *noveltyFrac,
 			retrainIters: *retrainIters, sync: *syncRetrain, ckEvery: *ckEvery,
+			tierMemory: *tierMemory, tierGreedy: *tierGreedy,
 		}
 		err = runSharded(context.Background(), shard.Config{
 			System:           cfg,
@@ -291,6 +295,8 @@ func main() {
 			sync:         *syncRetrain,
 			st:           st,
 			ckEvery:      *ckEvery,
+			tierMemory:   *tierMemory,
+			tierGreedy:   *tierGreedy,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "online:", err)
@@ -307,6 +313,8 @@ func main() {
 			st:           st,
 			ckEvery:      *ckEvery,
 			drain:        *drainTimeout,
+			tierMemory:   *tierMemory,
+			tierGreedy:   *tierGreedy,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "serve-http:", err)
 			os.Exit(1)

@@ -15,6 +15,7 @@ import (
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/store"
+	"github.com/foss-db/foss/internal/tier"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -31,6 +32,8 @@ type onlineOpts struct {
 	st           *store.Store // nil = in-memory loop
 	ckEvery      int
 	drain        time.Duration // shutdown budget for -serve-http's lifecycle
+	tierMemory   bool          // tier-0 plan memory (-tier-memory)
+	tierGreedy   bool          // tier-1 greedy micro-planner (-tier-greedy)
 }
 
 // loopConfig assembles the service configuration shared by -online and
@@ -49,6 +52,7 @@ func (o onlineOpts) loopConfig() service.Config {
 		Background:        !o.sync,
 		Store:             o.st,
 		CheckpointEvery:   o.ckEvery,
+		Tier:              tier.Config{Memory: o.tierMemory, Greedy: o.tierGreedy},
 	}
 }
 

@@ -72,6 +72,22 @@
 // (ErrSnapshotVersion), and corruption (ErrSnapshotCorrupt) instead of
 // restoring weights into a system they were never trained for.
 //
+// Tiered serving: repeat traffic can skip the model entirely. With
+// OnlineConfig.Tier enabled the loop fronts tier 2 (the full AAM pass) with
+// a learned router over two fast paths — tier 0, a persistent plan memory
+// that pins a fingerprint's best plan after it beats the expert baseline
+// PromoteAfter times (a hit is one allocation-free map lookup), and tier 1,
+// a statistics-free greedy join orderer for fingerprints with history but no
+// pin. A regression past EscalateRatio escalates the fingerprint back to
+// tier 2, a hot-swap invalidates every pin in the same step that bumps the
+// epoch, and pins survive restarts through the checkpoint. Decisions are a
+// pure function of the feedback stream, so replays reproduce them exactly:
+//
+//	cfg := foss.DefaultOnlineConfig()
+//	cfg.Tier = foss.TierConfig{Memory: true, Greedy: true}
+//	_ = sys.EnableOnline(cfg)
+//	res, _ := sys.ServeContext(ctx, q) // res.Tier: 0, 1, or 2
+//
 // Multi-tenant serving: a ShardRouter turns one process into a fleet of
 // doctors — one full shard (system, loop, plan cache, state directory) per
 // tenant, routed by tenant key, sharing one bounded worker pool:
@@ -105,6 +121,7 @@ import (
 	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/shard"
 	"github.com/foss-db/foss/internal/store"
+	"github.com/foss-db/foss/internal/tier"
 	"github.com/foss-db/foss/internal/workload"
 )
 
@@ -207,6 +224,14 @@ type ServeResult = service.Result
 
 // DriftDetectorConfig re-exports the rolling drift-detector tuning.
 type DriftDetectorConfig = service.DetectorConfig
+
+// TierConfig re-exports the tiered-serving configuration
+// (OnlineConfig.Tier): tier-0 plan memory, the tier-1 greedy micro-planner,
+// the promotion win streak, and the escalation ratio. The zero value
+// disables tiering. Per-tier serve counters and latencies appear in
+// OnlineStats (Tier0Hits, Tier1Hits, Tier2Serves, Promotions, Demotions,
+// PinnedPlans), and every ServeResult carries the tier that answered it.
+type TierConfig = tier.Config
 
 // HTTPOptions re-exports the wire-surface configuration (NewHTTPServer).
 type HTTPOptions = service.HTTPOptions

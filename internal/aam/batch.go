@@ -2,6 +2,7 @@ package aam
 
 import (
 	"math"
+	"sync"
 
 	"github.com/foss-db/foss/internal/nn"
 	"github.com/foss-db/foss/internal/planenc"
@@ -11,6 +12,21 @@ import (
 // Plans inside a chunk share every dense matmul; attention stays per-plan
 // (block-diagonal), so the only cost of a larger chunk is peak memory.
 const scoreChunk = 32
+
+// batchScratch pools the staging buffers a batched forward copies encoded
+// plans through. Everything pooled here is dead before the borrowing call
+// returns: the embedding lookups copy their id slices, the block descriptors
+// only borrow mask pointers that each Encoded owns, and the encs slice is
+// iterated, never stored. Two buffers are deliberately NOT pooled because
+// the autograd graph retains them past the forward: `lengths` (captured by
+// SegmentMean's backward closure) and `steps` (adopted by NewTensor).
+type batchScratch struct {
+	ops, tables, cols, rowBkt, heights, structs []int
+	masks                                       [][]bool
+	encs                                        []*planenc.Encoded
+}
+
+var scratchPool = sync.Pool{New: func() any { return &batchScratch{} }}
 
 // ForwardBatch produces the state representation vectors [N, StateDim] for N
 // encoded plans in one stacked forward pass: embeddings, the input
@@ -22,20 +38,19 @@ func (s *StateNet) ForwardBatch(encs []*planenc.Encoded, steps []float64) *nn.Te
 		panic("aam: ForwardBatch length mismatch")
 	}
 	n := len(encs)
-	lengths := make([]int, n)
-	masks := make([][]bool, n)
-	totalNodes := 0
+	lengths := make([]int, n) // retained by SegmentMean's backward closure — never pooled
+	sc := scratchPool.Get().(*batchScratch)
+	masks := sc.masks[:0]
 	for i, enc := range encs {
 		lengths[i] = enc.N
-		masks[i] = enc.Mask
-		totalNodes += enc.N
+		masks = append(masks, enc.Mask)
 	}
-	ops := make([]int, 0, totalNodes)
-	tables := make([]int, 0, totalNodes)
-	cols := make([]int, 0, totalNodes)
-	rowBkt := make([]int, 0, totalNodes)
-	heights := make([]int, 0, totalNodes)
-	structs := make([]int, 0, totalNodes)
+	ops := sc.ops[:0]
+	tables := sc.tables[:0]
+	cols := sc.cols[:0]
+	rowBkt := sc.rowBkt[:0]
+	heights := sc.heights[:0]
+	structs := sc.structs[:0]
 	for _, enc := range encs {
 		ops = append(ops, enc.Ops...)
 		tables = append(tables, enc.Tables...)
@@ -52,12 +67,22 @@ func (s *StateNet) ForwardBatch(encs []*planenc.Encoded, steps []float64) *nn.Te
 		s.HeightEmb.Forward(heights),
 		s.StructEmb.Forward(structs),
 	)
+	bs := nn.BorrowBlocks(lengths, masks)
+	// The embeddings copied the ids and the block descriptors hold the mask
+	// pointers; the staging buffers are dead. Clear the mask pointers so the
+	// pool never pins an encoding alive, then recycle.
+	for i := range masks {
+		masks[i] = nil
+	}
+	sc.ops, sc.tables, sc.cols, sc.rowBkt, sc.heights, sc.structs, sc.masks =
+		ops, tables, cols, rowBkt, heights, structs, masks
+	scratchPool.Put(sc)
 	x := s.InProj.Forward(node) // [ΣSeq, DModel]
-	blocks := nn.Blocks(lengths, masks)
 	for _, b := range s.Blocks {
-		x = b.ForwardBlocks(x, blocks)
+		x = b.ForwardBlocks(x, bs.Blocks())
 	}
 	x = s.OutLN.Forward(x)
+	bs.Release()
 	pooled := nn.SegmentMean(x, lengths)                     // [N, DModel]
 	withStep := nn.Concat(pooled, nn.NewTensor(steps, n, 1)) // [N, DModel+1]
 	return nn.Tanh(s.Out.Forward(withStep))                  // [N, StateDim]
@@ -75,13 +100,25 @@ type Pair struct {
 // Logits(pairs[i]...).
 func (m *Model) LogitsBatch(pairs []Pair) *nn.Tensor {
 	n := len(pairs)
-	encs := make([]*planenc.Encoded, 2*n)
-	steps := make([]float64, 2*n)
+	sc := scratchPool.Get().(*batchScratch)
+	encs := sc.encs
+	if cap(encs) < 2*n {
+		encs = make([]*planenc.Encoded, 2*n)
+	}
+	encs = encs[:2*n]
+	steps := make([]float64, 2*n) // adopted by NewTensor inside ForwardBatch — never pooled
 	for i, p := range pairs {
 		encs[i], steps[i] = p.EncL, p.StepL
 		encs[n+i], steps[n+i] = p.EncR, p.StepR
 	}
 	sv := m.State.ForwardBatch(encs, steps)
+	// ForwardBatch iterates encs without storing it; clear the pointers so the
+	// pool never pins an encoding alive, then recycle.
+	for i := range encs {
+		encs[i] = nil
+	}
+	sc.encs = encs
+	scratchPool.Put(sc)
 	svL := nn.Rows(sv, 0, n)
 	svR := nn.Rows(sv, n, n)
 	hl := nn.ReLU(m.FC1.Forward(nn.AddRowVector(svL, m.PosL)))

@@ -106,6 +106,12 @@ func (s *System) RecoverOnline(cfg service.Config, st *store.Store) (RecoveryInf
 	if err := s.EnableOnline(cfg); err != nil {
 		return RecoveryInfo{}, err
 	}
+	// Tier-0 plan memory restores before the WAL tail replays — exactly the
+	// order the live loop produced the state in (checkpoint image, then
+	// post-horizon feedback).
+	if err := s.online.ImportTier(rec.Checkpoint.Tier); err != nil {
+		return RecoveryInfo{}, fmt.Errorf("core: recover tier memory: %w", err)
+	}
 	n, err := s.online.Replay(rec.Tail)
 	if err != nil {
 		return RecoveryInfo{}, fmt.Errorf("core: replay wal: %w", err)

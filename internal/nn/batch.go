@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Batched building blocks: ops that let several independent sequences share
 // one forward pass. A batch of plans is stacked row-wise into a single
@@ -141,6 +144,11 @@ type Block struct {
 // masks.
 func Blocks(lengths []int, masks [][]bool) []Block {
 	bs := make([]Block, len(lengths))
+	fillBlocks(bs, lengths, masks)
+	return bs
+}
+
+func fillBlocks(bs []Block, lengths []int, masks [][]bool) {
 	start := 0
 	for i, n := range lengths {
 		var m []bool
@@ -150,7 +158,41 @@ func Blocks(lengths []int, masks [][]bool) []Block {
 		bs[i] = Block{Start: start, N: n, Mask: m}
 		start += n
 	}
-	return bs
+}
+
+// BlockScratch is a pool-backed Block descriptor slice. Serving builds one
+// per batched forward and drops it immediately after, so reuse removes the
+// per-batch allocation. Reuse is safe because no autograd closure retains
+// the slice: attention copies each Block by value and holds only its Mask,
+// which the caller (the plan encoding) owns.
+type BlockScratch struct {
+	bs []Block
+}
+
+var blockPool = sync.Pool{New: func() any { return &BlockScratch{} }}
+
+// BorrowBlocks is Blocks over pooled storage. Call Release once the forward
+// pass that consumes Blocks() has completed.
+func BorrowBlocks(lengths []int, masks [][]bool) *BlockScratch {
+	s := blockPool.Get().(*BlockScratch)
+	if cap(s.bs) < len(lengths) {
+		s.bs = make([]Block, len(lengths))
+	}
+	s.bs = s.bs[:len(lengths)]
+	fillBlocks(s.bs, lengths, masks)
+	return s
+}
+
+// Blocks returns the descriptor slice, valid until Release.
+func (s *BlockScratch) Blocks() []Block { return s.bs }
+
+// Release hands the descriptors back to the pool. Mask pointers are cleared
+// so the pool never pins a caller's mask alive.
+func (s *BlockScratch) Release() {
+	for i := range s.bs {
+		s.bs[i].Mask = nil
+	}
+	blockPool.Put(s)
 }
 
 // ForwardBlocks computes masked self-attention independently within each

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // CmpOp is a comparison operator in a filter predicate.
@@ -84,13 +85,20 @@ type TableRef struct {
 	Alias string
 }
 
-// Query is a full SPJ query.
+// Query is a full SPJ query. A Query is immutable once it enters a serving
+// path (planners, caches, and the tier router all share the pointer); the
+// memoized fingerprint relies on that contract.
 type Query struct {
 	ID       string // unique within a workload, e.g. "1b" or "q7_3"
 	Template string // template name, e.g. "t1"
 	Tables   []TableRef
 	Joins    []JoinPred
 	Filters  []Filter
+
+	// fp memoizes Fingerprint: rendering SQL text per call allocates, and the
+	// serving fast path must not. 0 means "not yet computed" (a computed zero
+	// is remapped to 1 — both unreachable in practice for FNV-1a over SQL).
+	fp atomic.Uint64
 }
 
 // NumTables returns the number of joined relations.
@@ -231,8 +239,12 @@ func (q *Query) SQL() string {
 // Fingerprint returns a stable hash of the query's structure (tables, join
 // predicates, filters — everything that determines its plan space). Two
 // structurally identical queries share a fingerprint regardless of ID, which
-// is what plan caches key on.
+// is what plan caches key on. The hash is memoized: repeat calls are a
+// single atomic load, which keeps the tier-0 serving path allocation-free.
 func (q *Query) Fingerprint() uint64 {
+	if h := q.fp.Load(); h != 0 {
+		return h
+	}
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
@@ -242,6 +254,10 @@ func (q *Query) Fingerprint() uint64 {
 		h ^= uint64(b)
 		h *= prime
 	}
+	if h == 0 {
+		h = 1 // keep 0 as the "unset" sentinel
+	}
+	q.fp.Store(h)
 	return h
 }
 

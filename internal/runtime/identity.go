@@ -1,0 +1,21 @@
+package runtime
+
+// Identity is the composite serving identity every plan-keyed structure is
+// scoped by: the optimizer backend that completes plans and the model epoch
+// (hot-swap generation) that chooses them. The runtime LRU and the tier
+// router's plan memory both build their keys through Identity.Key, so a
+// future epoch source (catalog versioning, cache-generation bumps) feeds
+// both caches from one place and can never desynchronize them.
+type Identity struct {
+	Backend string
+	Epoch   uint64
+}
+
+// PlanKey scopes one query fingerprint to a serving identity.
+type PlanKey struct {
+	Identity
+	Fp uint64
+}
+
+// Key binds a query fingerprint to this identity.
+func (id Identity) Key(fp uint64) PlanKey { return PlanKey{Identity: id, Fp: fp} }

@@ -41,22 +41,17 @@ func DefaultConfig() Config {
 	return Config{Workers: 1, CacheSize: 256}
 }
 
-// cacheKey scopes a cached plan to the backend that produced it.
-type cacheKey struct {
-	backend string
-	fp      uint64
-}
-
 // Runtime owns the worker pool and the plan cache, and arbitrates between
 // the exclusive training path and the shared serving path: any number of
 // Optimize calls may run concurrently (model forwards are read-only), while
 // Exclusive (training, weight loading, backend swaps) waits for in-flight
-// requests and blocks new ones. Cached plans are keyed by (backend identity,
-// query fingerprint) and invalidated whenever the models change.
+// requests and blocks new ones. Cached plans are keyed by the shared
+// composite PlanKey (backend identity × cache epoch × query fingerprint)
+// and invalidated whenever the models change.
 type Runtime struct {
 	cfg    Config
 	pool   *Pool
-	cache  *LRU[cacheKey, *planner.PlanEval]
+	cache  *LRU[PlanKey, *planner.PlanEval]
 	source Source
 
 	// mu is the train/serve arbiter: Optimize holds it shared, Exclusive
@@ -74,7 +69,7 @@ func New(cfg Config, source Source) *Runtime {
 	return &Runtime{
 		cfg:       cfg,
 		pool:      pool,
-		cache:     NewLRU[cacheKey, *planner.PlanEval](cfg.CacheSize),
+		cache:     NewLRU[PlanKey, *planner.PlanEval](cfg.CacheSize),
 		source:    source,
 		backendID: cfg.BackendID,
 	}
@@ -90,6 +85,15 @@ func (r *Runtime) BackendID() string {
 	return r.backendID
 }
 
+// identityLocked builds the cache's current composite identity. Caller holds
+// mu (shared or exclusive). Mixing the LRU's own invalidation epoch into the
+// key means the plan cache and any sibling structure keyed through the same
+// Identity (the tier router's plan memory) agree on when an entry became
+// stale — one invalidation source, two caches, no desynchronization.
+func (r *Runtime) identityLocked() Identity {
+	return Identity{Backend: r.backendID, Epoch: r.cache.Epoch()}
+}
+
 // Optimize returns the chosen plan for the query, serving from the plan
 // cache when possible. The boolean reports a cache hit. Safe for concurrent
 // use. Cancellation is honored before planning starts and inside the source;
@@ -100,7 +104,7 @@ func (r *Runtime) Optimize(ctx context.Context, q *query.Query) (*planner.PlanEv
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	key := cacheKey{backend: r.backendID, fp: q.Fingerprint()}
+	key := r.identityLocked().Key(q.Fingerprint())
 	if pe, ok := r.cache.Get(key); ok {
 		return pe, true, nil
 	}
@@ -128,11 +132,12 @@ func (r *Runtime) OptimizeBatch(ctx context.Context, qs []*query.Query) (out []*
 	// Misses are deduplicated by cache key: a batch carrying the same cold
 	// query N times pays candidate generation once (plan choices are
 	// fingerprint-deterministic, so sharing the result is exact).
-	var missKeys []cacheKey
+	var missKeys []PlanKey
 	var missQs []*query.Query
-	missIdx := map[cacheKey][]int{}
+	missIdx := map[PlanKey][]int{}
+	id := r.identityLocked()
 	for i, q := range qs {
-		key := cacheKey{backend: r.backendID, fp: q.Fingerprint()}
+		key := id.Key(q.Fingerprint())
 		if pe, ok := r.cache.Get(key); ok {
 			out[i], hits[i] = pe, true
 			continue

@@ -209,6 +209,9 @@ type optimizeRow struct {
 	QueryID   string   `json:"query_id"`
 	Epoch     uint64   `json:"epoch"`
 	CacheHit  bool     `json:"cache_hit"`
+	// Tier reports the serving tier that produced the plan (0 = plan memory,
+	// 1 = greedy micro-planner, 2 = full AAM steering).
+	Tier      int      `json:"tier"`
 	OptTimeMs float64  `json:"opt_time_ms"`
 	Plan      planJSON `json:"plan"`
 	// LatencyMs is present only when the request asked the server to
@@ -311,6 +314,7 @@ func (s *HTTPServer) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			QueryID:   qs[i].ID,
 			Epoch:     res.Epoch,
 			CacheHit:  res.CacheHit,
+			Tier:      res.Tier,
 			OptTimeMs: res.OptTime.Seconds() * 1000,
 			Plan:      planSummary(res.Eval),
 		}

@@ -47,6 +47,7 @@ import (
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/runtime"
 	"github.com/foss-db/foss/internal/store"
+	"github.com/foss-db/foss/internal/tier"
 )
 
 // Replica is the surface the loop needs from one doctor instance. Two
@@ -116,6 +117,12 @@ type Config struct {
 	// resumes the pre-crash generation count instead of restarting at 1.
 	// 0 means 1 (a fresh loop).
 	InitialEpoch uint64
+
+	// Tier configures the tiered fast path in front of the doctor: tier-0
+	// plan memory (feedback-promoted pins) and the tier-1 greedy
+	// micro-planner. The zero value disables both — every request takes the
+	// full tier-2 path, the pre-PR-6 behavior.
+	Tier tier.Config
 }
 
 // DefaultConfig returns a serving-oriented configuration.
@@ -142,10 +149,15 @@ type Result struct {
 	// Epoch identifies the model generation that chose the plan; it bumps on
 	// every hot-swap.
 	Epoch uint64
-	// CacheHit reports whether the plan came from the active replica's cache.
+	// CacheHit reports whether the plan came from the active replica's cache
+	// (or, for tier-0/1 results, from the loop's own plan memory).
 	CacheHit bool
 	// OptTime is the optimization time (model inference + hint completion).
 	OptTime time.Duration
+	// Tier reports which serving tier produced the plan: 0 = plan-memory
+	// hit, 1 = greedy micro-planner, 2 = full AAM steering (always 2 when
+	// tiered serving is disabled).
+	Tier int
 }
 
 // Stats snapshots the loop's counters.
@@ -171,6 +183,17 @@ type Stats struct {
 	RecoveredEpoch   uint64 // epoch restored from disk at startup (0 = cold start)
 	WALErrors        uint64 // journal append failures (feedback kept in memory only)
 	CheckpointErrors uint64 // checkpoint write failures (the previous recovery point stands)
+
+	// Tiered-serving counters (zero when tiering is disabled).
+	Tier0Hits   uint64  // serves answered from plan memory
+	Tier1Hits   uint64  // serves answered by the greedy micro-planner
+	Tier2Serves uint64  // serves that took the full AAM path
+	Promotions  uint64  // plans pinned into tier-0 memory
+	Demotions   uint64  // pins escalated back to tier 2 on regression
+	PinnedPlans int     // live tier-0 pins right now
+	Tier0AvgUs  float64 // mean serve time per tier, microseconds
+	Tier1AvgUs  float64
+	Tier2AvgUs  float64
 }
 
 // Loop is the online doctor service over a blue/green replica pair.
@@ -213,11 +236,21 @@ type Loop struct {
 	checkpointing  atomic.Bool
 	recoveredEpoch uint64 // set during Replay, before traffic
 
+	// tiers is the tier router's state (nil = tiering disabled, every serve
+	// takes the full path). backendName is cached at construction so the
+	// tier-0 hit path builds its identity key without touching the replica.
+	tiers       *tier.Memory
+	backendName string
+
 	served, cacheHits, recorded atomic.Uint64
 	drifts, retrains, swaps     atomic.Uint64
 	retrainErrors, expertErrors atomic.Uint64
 	checkpoints, replayed       atomic.Uint64
 	walErrors, ckErrors         atomic.Uint64
+
+	t0Hits, t1Hits, t2Serves  atomic.Uint64
+	promotions, demotions     atomic.Uint64
+	t0Nanos, t1Nanos, t2Nanos atomic.Int64
 }
 
 // slot pairs a replica with the epoch it was published at.
@@ -245,12 +278,16 @@ func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
 		fps = append(fps, q.Fingerprint())
 	}
 	lp := &Loop{
-		cfg:       cfg,
-		det:       NewDetector(cfg.Detector, fps),
-		standby:   standby,
-		recentSet: map[uint64]bool{},
-		expertLat: map[uint64]float64{},
-		st:        cfg.Store,
+		cfg:         cfg,
+		det:         NewDetector(cfg.Detector, fps),
+		standby:     standby,
+		recentSet:   map[uint64]bool{},
+		expertLat:   map[uint64]float64{},
+		st:          cfg.Store,
+		backendName: active.BackendName(),
+	}
+	if cfg.Tier.Enabled() {
+		lp.tiers = tier.NewMemory(cfg.Tier)
 	}
 	lp.baseCtx, lp.stopBase = context.WithCancel(context.Background())
 	epoch := cfg.InitialEpoch
@@ -272,6 +309,11 @@ func (lp *Loop) Serve(ctx context.Context, q *query.Query) (Result, error) {
 	if lp.closed.Load() {
 		return Result{}, fmt.Errorf("service: serve: %w", fosserr.ErrLoopClosed)
 	}
+	if lp.tiers != nil {
+		if res, ok := lp.serveTiered(q); ok {
+			return res, nil
+		}
+	}
 	for {
 		s := lp.active.Load()
 		pe, hit, d, err := s.r.OptimizeEvalContext(ctx, q)
@@ -288,7 +330,63 @@ func (lp *Loop) Serve(ctx context.Context, q *query.Query) (Result, error) {
 		if hit {
 			lp.cacheHits.Add(1)
 		}
-		return Result{Eval: pe, Epoch: s.epoch, CacheHit: hit, OptTime: d}, nil
+		if lp.tiers != nil {
+			lp.t2Serves.Add(1)
+			lp.t2Nanos.Add(int64(d))
+		}
+		return Result{Eval: pe, Epoch: s.epoch, CacheHit: hit, OptTime: d, Tier: tier.Tier2}, nil
+	}
+}
+
+// serveTiered attempts the tier-0/1 fast paths; ok=false falls through to
+// the full tier-2 path. The tier-0 hit path is allocation-free: a memoized
+// fingerprint, an atomic slot load, and one read-locked map lookup. The
+// swap-recheck mirrors Serve's: a routing decision made against a demoted
+// slot is retried so Result.Epoch always names the generation whose pin (or
+// greedy cache) answered.
+func (lp *Loop) serveTiered(q *query.Query) (Result, bool) {
+	start := time.Now()
+	fp := q.Fingerprint()
+	for {
+		s := lp.active.Load()
+		id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+		d := lp.tiers.Route(id, fp)
+		switch d.Tier {
+		case tier.Tier0:
+			if lp.active.Load() != s {
+				continue
+			}
+			lp.served.Add(1)
+			lp.t0Hits.Add(1)
+			el := time.Since(start)
+			lp.t0Nanos.Add(int64(el))
+			return Result{Eval: d.Pin, Epoch: s.epoch, CacheHit: true, OptTime: el, Tier: tier.Tier0}, true
+		case tier.Tier1:
+			key := id.Key(fp)
+			pe, cached := lp.tiers.GreedyCached(key)
+			if !cached {
+				gicp, ok := tier.Greedy(q)
+				if !ok {
+					return Result{}, false // disconnected join graph: tier 2
+				}
+				var err error
+				pe, err = s.r.RebuildEval(q, gicp, 0)
+				if err != nil {
+					return Result{}, false
+				}
+				lp.tiers.StoreGreedy(key, pe)
+			}
+			if lp.active.Load() != s {
+				continue
+			}
+			lp.served.Add(1)
+			lp.t1Hits.Add(1)
+			el := time.Since(start)
+			lp.t1Nanos.Add(int64(el))
+			return Result{Eval: pe, Epoch: s.epoch, CacheHit: cached, OptTime: el, Tier: tier.Tier1}, true
+		default:
+			return Result{}, false
+		}
 	}
 }
 
@@ -305,20 +403,54 @@ func (lp *Loop) ServeBatch(ctx context.Context, qs []*query.Query) ([]Result, er
 	}
 	for {
 		s := lp.active.Load()
-		pes, hits, d, err := s.r.OptimizeEvalBatch(ctx, qs)
-		if err != nil {
-			return nil, err
+		out := make([]Result, len(qs))
+		// With tiering on, pinned fingerprints answer from plan memory and
+		// only the rest pay the batched scoring pass (tier-1 items ride the
+		// batch: its shared inference already amortizes their cost).
+		missQs := qs
+		var missIdx []int
+		if lp.tiers != nil {
+			id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+			missQs = make([]*query.Query, 0, len(qs))
+			missIdx = make([]int, 0, len(qs))
+			for i, q := range qs {
+				if d := lp.tiers.Route(id, q.Fingerprint()); d.Tier == tier.Tier0 {
+					out[i] = Result{Eval: d.Pin, Epoch: s.epoch, CacheHit: true, Tier: tier.Tier0}
+					continue
+				}
+				missQs = append(missQs, q)
+				missIdx = append(missIdx, i)
+			}
+		}
+		if len(missQs) > 0 {
+			pes, hits, d, err := s.r.OptimizeEvalBatch(ctx, missQs)
+			if err != nil {
+				return nil, err
+			}
+			for j := range missQs {
+				i := j
+				if missIdx != nil {
+					i = missIdx[j]
+				}
+				out[i] = Result{Eval: pes[j], Epoch: s.epoch, CacheHit: hits[j], OptTime: d, Tier: tier.Tier2}
+			}
 		}
 		if lp.active.Load() != s {
 			continue
 		}
-		out := make([]Result, len(qs))
-		for i := range qs {
+		for i := range out {
 			lp.served.Add(1)
-			if hits[i] {
+			if out[i].CacheHit {
 				lp.cacheHits.Add(1)
 			}
-			out[i] = Result{Eval: pes[i], Epoch: s.epoch, CacheHit: hits[i], OptTime: d}
+			if lp.tiers != nil {
+				if out[i].Tier == tier.Tier0 {
+					lp.t0Hits.Add(1)
+				} else {
+					lp.t2Serves.Add(1)
+					lp.t2Nanos.Add(int64(out[i].OptTime))
+				}
+			}
 		}
 		return out, nil
 	}
@@ -343,6 +475,15 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 	}
 	fp := q.Fingerprint()
 
+	// With tiering on, the expert baseline resolves before the ordering lock:
+	// the tier router's Observe runs inside it and judges wins/regressions
+	// against the same baseline the drift detector uses. (expertLatency takes
+	// mu briefly for its cache; the plan+execute runs unlocked either way.)
+	var expert float64
+	if lp.tiers != nil {
+		expert = lp.expertLatency(lp.active.Load().r, q, fp)
+	}
+
 	// Resolve the replica pair under mu: the swap updates the active pointer
 	// and the standby field inside the same critical section, so this
 	// snapshot can never see the demoted replica on both sides (which would
@@ -350,11 +491,13 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 	// AND the buffer ingestion ride the same lock: Checkpoint captures its
 	// WAL horizon under mu, so every journaled record at or below that
 	// horizon is provably already in the exported buffer — an entry can
-	// never fall between the checkpoint image and the replay tail. The
-	// fsync inside Append makes this critical section the feedback
-	// throughput ceiling; that is the price of the durability point
-	// preceding ingestion (group commit is the known escape hatch if a
-	// deployment ever needs more).
+	// never fall between the checkpoint image and the replay tail. The tier
+	// router's Observe rides the same lock for the same reason: a checkpoint's
+	// exported tier state is exactly the state produced by the records at or
+	// below its WAL horizon. The fsync inside Append makes this critical
+	// section the feedback throughput ceiling; that is the price of the
+	// durability point preceding ingestion (group commit is the known escape
+	// hatch if a deployment ever needs more).
 	lp.mu.Lock()
 	if lp.st != nil {
 		_, err := lp.st.WAL().Append(store.WALEntry{
@@ -388,9 +531,46 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 	lp.noteRecent(q, fp)
 	lp.sinceRetrain++
 	ready := lp.sinceRetrain >= lp.cfg.Cooldown
+	var tout tier.Outcome
+	if lp.tiers != nil {
+		id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+		tout = lp.tiers.Observe(id, fp, q, pe, latencyMs, expert)
+		if lp.st != nil && tout.Promoted {
+			// Journal the promotion for auditability; replay re-derives the
+			// pin from the feedback records, so a lost append costs nothing.
+			if _, err := lp.st.WAL().Append(store.WALEntry{
+				Kind:        store.KindPromote,
+				Fingerprint: fp,
+				Query:       tout.Pin.Q,
+				ICP:         tout.Pin.ICP.Clone(),
+				Step:        tout.Pin.Step,
+				LatencyMs:   tout.PinLatency,
+				Epoch:       s.epoch,
+			}); err != nil {
+				lp.walErrors.Add(1)
+			}
+		}
+		if lp.st != nil && tout.Demoted {
+			if _, err := lp.st.WAL().Append(store.WALEntry{
+				Kind:        store.KindDemote,
+				Fingerprint: fp,
+				Epoch:       s.epoch,
+			}); err != nil {
+				lp.walErrors.Add(1)
+			}
+		}
+	}
 	lp.mu.Unlock()
 
-	expert := lp.expertLatency(s.r, q, fp)
+	if tout.Promoted {
+		lp.promotions.Add(1)
+	}
+	if tout.Demoted {
+		lp.demotions.Add(1)
+	}
+	if lp.tiers == nil {
+		expert = lp.expertLatency(s.r, q, fp)
+	}
 
 	ratio := 1.0
 	if expert > 0 {
@@ -501,6 +681,23 @@ func (lp *Loop) Stats() Stats {
 		lp.mu.Lock()
 		st.WALEntries = lp.st.WAL().Len()
 		lp.mu.Unlock()
+	}
+	if lp.tiers != nil {
+		st.Tier0Hits = lp.t0Hits.Load()
+		st.Tier1Hits = lp.t1Hits.Load()
+		st.Tier2Serves = lp.t2Serves.Load()
+		st.Promotions = lp.promotions.Load()
+		st.Demotions = lp.demotions.Load()
+		st.PinnedPlans = lp.tiers.Pinned()
+		if st.Tier0Hits > 0 {
+			st.Tier0AvgUs = float64(lp.t0Nanos.Load()) / float64(st.Tier0Hits) / 1e3
+		}
+		if st.Tier1Hits > 0 {
+			st.Tier1AvgUs = float64(lp.t1Nanos.Load()) / float64(st.Tier1Hits) / 1e3
+		}
+		if st.Tier2Serves > 0 {
+			st.Tier2AvgUs = float64(lp.t2Nanos.Load()) / float64(st.Tier2Serves) / 1e3
+		}
 	}
 	return st
 }
@@ -617,6 +814,12 @@ func (lp *Loop) retrain() {
 	lp.active.Store(&slot{r: standby, epoch: old.epoch + 1})
 	lp.standby = old.r
 	lp.sinceRetrain = 0
+	if lp.tiers != nil {
+		// The new model must re-earn every pin: plan memory and the runtime
+		// LRU invalidate in the same step (and share the epoch-scoped key, so
+		// even a racing pre-invalidation lookup under the new epoch misses).
+		lp.tiers.Invalidate()
+	}
 	if lp.st != nil {
 		// Journal the epoch bump: replay resets the drift window at the same
 		// points the live loop did.
@@ -666,9 +869,15 @@ func (lp *Loop) Checkpoint() (string, error) {
 		// Capture the WAL horizon before imaging: entries journaled while
 		// the image is being taken appear in the replay tail as well as
 		// (possibly) the image; buffer ingestion deduplicates, so recovery
-		// stays exact.
+		// stays exact. The tier state exports under the same single mu
+		// acquisition — Record's Observe rides mu too, so the exported pins
+		// are exactly the state the records at or below seq produced.
 		lp.mu.Lock()
 		seq := lp.st.WAL().LastSeq()
+		var tierState *store.TierState
+		if lp.tiers != nil {
+			tierState = lp.tiers.Export()
+		}
 		lp.mu.Unlock()
 		s := lp.active.Load()
 		// Save runs under the replica's shared lock: concurrent with its
@@ -691,6 +900,7 @@ func (lp *Loop) Checkpoint() (string, error) {
 			Buffer: buffer,
 			Epoch:  s.epoch,
 			WALSeq: seq,
+			Tier:   tierState,
 		})
 		if err != nil {
 			return "", err
@@ -732,8 +942,15 @@ func (lp *Loop) Replay(entries []store.WALEntry) (int, error) {
 		switch e.Kind {
 		case store.KindSwap:
 			lp.det.Reset()
+			if lp.tiers != nil {
+				lp.tiers.Invalidate()
+			}
 			continue
 		case store.KindFeedback:
+		case store.KindPromote, store.KindDemote:
+			// Informational: the tier state re-derives from the feedback
+			// records themselves, exactly as the live Observe produced it.
+			continue
 		default:
 			continue // unknown kind from a future writer: skip, don't fail
 		}
@@ -759,11 +976,33 @@ func (lp *Loop) Replay(entries []store.WALEntry) (int, error) {
 			ratio = e.LatencyMs / expert
 		}
 		lp.det.Observe(e.Fingerprint, ratio)
+		if lp.tiers != nil {
+			// Same classification the live Observe ran (plan identity, not
+			// journaled labels), so replayed state equals pre-crash state.
+			id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+			lp.tiers.Observe(id, e.Fingerprint, e.Query, pe, e.LatencyMs, expert)
+		}
 		n++
 	}
 	lp.replayed.Store(uint64(n))
 	lp.recoveredEpoch = s.epoch
 	return n, nil
+}
+
+// ImportTier restores the tier router's durable state from a recovered
+// checkpoint, re-deriving every pinned plan through the active replica's
+// deterministic RebuildEval and re-keying it under the current serving
+// identity. Runs before Replay ingests the WAL tail. No-op when tiering is
+// disabled or the checkpoint predates tiered serving (nil state).
+func (lp *Loop) ImportTier(ts *store.TierState) error {
+	if lp.tiers == nil || ts == nil {
+		return nil
+	}
+	s := lp.active.Load()
+	id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+	return lp.tiers.Import(ts, id, func(q *query.Query, icp plan.ICP, step int) (*planner.PlanEval, error) {
+		return s.r.RebuildEval(q, icp, step)
+	})
 }
 
 // String renders the counters compactly (fossd's -online output). The
@@ -774,6 +1013,10 @@ func (s Stats) String() string {
 		s.Epoch, s.Served, s.CacheHits, s.Recorded, s.Drifts, s.Retrains, s.Swaps, s.RetrainErrors, s.ExpertErrors, s.WindowMean, s.WindowNovel)
 	if s.WALEntries > 0 || s.Checkpoints > 0 || s.RecoveredEpoch > 0 {
 		out += fmt.Sprintf(" wal=%d replayed=%d checkpoints=%d recoveredEpoch=%d", s.WALEntries, s.Replayed, s.Checkpoints, s.RecoveredEpoch)
+	}
+	if s.Tier0Hits > 0 || s.Tier1Hits > 0 || s.Tier2Serves > 0 || s.PinnedPlans > 0 {
+		out += fmt.Sprintf(" tier0=%d tier1=%d tier2=%d pins=%d promotions=%d demotions=%d",
+			s.Tier0Hits, s.Tier1Hits, s.Tier2Serves, s.PinnedPlans, s.Promotions, s.Demotions)
 	}
 	return out
 }

@@ -28,14 +28,45 @@ type ExecRecord struct {
 }
 
 // Checkpoint is the durable image of the active replica at one instant: the
-// sealed model snapshot, the execution buffer, the serving epoch, and the
-// WAL sequence the image is current through (recovery replays only entries
-// after it).
+// sealed model snapshot, the execution buffer, the serving epoch, the WAL
+// sequence the image is current through (recovery replays only entries after
+// it), and the tier router's plan memory. Tier is nil when tiered serving is
+// off — and absent entirely in pre-tier checkpoints, which gob decodes as
+// nil, keeping old state directories loadable.
 type Checkpoint struct {
 	Model  []byte // sealed envelope produced by core's Save
 	Buffer []ExecRecord
 	Epoch  uint64
 	WALSeq uint64
+	Tier   *TierState
+}
+
+// TierState is the durable image of the tier router: every pinned tier-0
+// plan plus the per-fingerprint routing history. Pins carry the same durable
+// identity as WAL feedback records (query × incomplete plan × step) — the
+// complete plan and encoding are re-derived on import, so the format
+// survives tensor-layout changes exactly like the execution buffer does.
+type TierState struct {
+	Pins    []PinnedPlan
+	History []TierHistory
+}
+
+// PinnedPlan is one tier-0 plan-memory entry in durable form.
+type PinnedPlan struct {
+	Fingerprint uint64
+	Query       *query.Query
+	ICP         plan.ICP
+	Step        int
+	LatencyMs   float64 // best observed latency that earned the pin
+	Epoch       uint64  // model epoch the pin was promoted at
+}
+
+// TierHistory is one fingerprint's routing history in durable form.
+type TierHistory struct {
+	Fingerprint uint64
+	Seen        uint64
+	Wins        int
+	Regressed   bool
 }
 
 // Manifest points at the latest good checkpoint. It is the recovery root:

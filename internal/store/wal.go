@@ -28,6 +28,14 @@ const (
 	// reset the drift detector's rolling window at the same points the live
 	// loop did.
 	KindSwap
+	// KindPromote journals a fingerprint's plan entering tier-0 plan memory
+	// (its observed latency beat the expert baseline over the promotion
+	// streak). Informational: replay re-derives promotions from the feedback
+	// records themselves, so these records exist for auditability, not state.
+	KindPromote
+	// KindDemote journals a pinned plan's escalation back to tier 2 after a
+	// latency regression. Informational, like KindPromote.
+	KindDemote
 )
 
 // WALEntry is one journal record. Feedback entries carry the executed

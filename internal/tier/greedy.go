@@ -1,0 +1,101 @@
+package tier
+
+import (
+	"sort"
+
+	"github.com/foss-db/foss/internal/plan"
+	"github.com/foss-db/foss/internal/query"
+)
+
+// Greedy builds a left-deep join order for the query with a statistics-free
+// greedy heuristic (the janus-datalog design: selectivity proxies from the
+// query text alone, early termination instead of exhaustive search). It is
+// the tier-1 micro-planner: microsecond-class, deterministic, no catalog
+// access, no model forwards.
+//
+// Heuristics, in order:
+//   - Start from the most-filtered alias (equality and IN predicates score
+//     highest — they bind hardest).
+//   - Grow over the connected frontier, preferring the candidate with the
+//     best combined score of its own filters and the join predicates binding
+//     it to the prefix (more bindings → smaller intermediate result).
+//   - Early termination: a candidate bound by ≥2 join predicates that also
+//     carries a filter is taken immediately — scanning the rest of the
+//     frontier cannot beat a doubly-bound filtered extension by this
+//     heuristic's own lights, and not scanning is what keeps the planner in
+//     microseconds on wide queries.
+//
+// All joins get HashJoin — the robust default when no statistics inform the
+// choice. Ties break lexicographically, so the order is a pure function of
+// the query. ok is false for queries with a disconnected join graph (a
+// greedy left-deep order would force a cross product; those go to tier 2).
+func Greedy(q *query.Query) (plan.ICP, bool) {
+	n := q.NumTables()
+	if n == 0 {
+		return plan.ICP{}, false
+	}
+	if n == 1 {
+		return plan.ICP{Order: []string{q.Tables[0].Alias}}, true
+	}
+	if !q.Connected() {
+		return plan.ICP{}, false
+	}
+
+	aliases := q.Aliases()
+	sort.Strings(aliases)
+
+	filterScore := func(alias string) int {
+		s := 0
+		for _, f := range q.FiltersOn(alias) {
+			switch f.Op {
+			case query.Eq, query.In:
+				s += 2
+			default:
+				s++
+			}
+		}
+		return s
+	}
+
+	start, best := "", -1
+	for _, a := range aliases { // sorted: ties break lexicographically
+		if s := filterScore(a); s > best {
+			start, best = a, s
+		}
+	}
+
+	order := make([]string, 0, n)
+	order = append(order, start)
+	set := map[string]bool{start: true}
+	for len(order) < n {
+		pick, pickGain := "", -1
+		for _, a := range aliases {
+			if set[a] {
+				continue
+			}
+			binds := len(q.JoinsBetween(set, a))
+			if binds == 0 {
+				continue // not on the connected frontier
+			}
+			fs := filterScore(a)
+			if binds >= 2 && fs > 0 {
+				pick = a // early termination: doubly bound and filtered
+				break
+			}
+			if gain := 2*fs + binds; gain > pickGain {
+				pick, pickGain = a, gain
+			}
+		}
+		if pick == "" {
+			return plan.ICP{}, false // unreachable for a connected graph
+		}
+		order = append(order, pick)
+		set[pick] = true
+	}
+
+	methods := make([]plan.JoinMethod, n-1)
+	for i := range methods {
+		methods[i] = plan.HashJoin
+	}
+	return plan.ICP{Order: order, Methods: methods}, true
+}

@@ -1,37 +1,46 @@
 #!/usr/bin/env bash
 # bench.sh — the repository's perf snapshot: runs the parallel-training,
-# online-serving, batched-serving, durability (checkpoint + WAL-replay), and
-# multi-tenant sharded-serving benchmarks and emits a machine-readable
-# BENCH_5.json.
+# online-serving, tiered-serving, batched-serving, durability (checkpoint +
+# WAL-replay), and multi-tenant sharded-serving benchmarks and emits a
+# machine-readable BENCH_6.json.
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=3x scripts/bench.sh   # more iterations per benchmark
+#   BENCHTIME=3x scripts/bench.sh      # more iterations per benchmark
+#   CPUS=1,2,4 scripts/bench.sh        # sweep GOMAXPROCS (go test -cpu);
+#                                      # each row records its gomaxprocs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 benchtime="${BENCHTIME:-1x}"
+# The parallelism actually benched, not the machine's core count: an explicit
+# CPUS sweep, else the ambient GOMAXPROCS cap, else every hardware thread.
+cpus="${CPUS:-${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-echo "== go test -bench TrainParallel|ServeOnline|ServeBatch|Checkpoint|WALReplay|ShardedServe (benchtime=$benchtime) =="
-go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay|BenchmarkShardedServe' \
-  -benchtime "$benchtime" . | tee "$tmp"
+echo "== go test -bench TrainParallel|ServeOnline|ServeTiered|TierRouter|ServeBatch|Checkpoint|WALReplay|ShardedServe (benchtime=$benchtime cpu=$cpus) =="
+go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeTiered|BenchmarkTierRouter|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay|BenchmarkShardedServe' \
+  -benchtime "$benchtime" -cpu "$cpus" . | tee "$tmp"
 
-awk -v arch="$(uname -m)" -v ncpu="$(nproc 2>/dev/null || echo 1)" \
-    -v benchtime="$benchtime" '
+awk -v arch="$(uname -m)" -v cpus="$cpus" -v benchtime="$benchtime" '
   /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    rows = rows sep sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", name, $2, $3)
+    name = $1; procs = 1
+    if (match(name, /-[0-9]+$/)) {
+      procs = substr(name, RSTART + 1)
+      name = substr(name, 1, RSTART - 1)
+    }
+    rows = rows sep sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %s, \"iters\": %s, \"ns_per_op\": %s}",
+                            name, procs, $2, $3)
     sep = ",\n"
   }
   END {
     if (rows == "") { print "no benchmark rows parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"schema\": \"foss-bench/1\",\n"
-    printf "  \"pr\": 5,\n"
+    printf "  \"pr\": 6,\n"
     printf "  \"arch\": \"%s\",\n", arch
-    printf "  \"cpus\": %s,\n", ncpu
+    printf "  \"cpus\": %s,\n", (cpus ~ /^[0-9]+$/ ? cpus : "\"" cpus "\"")
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"benchmarks\": [\n%s\n  ]\n", rows
     printf "}\n"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # ci.sh — the repository's verification pipeline.
 #
-#   vet, build, race-enabled tests, the Workers determinism checks, and (on
-#   multi-core machines) the parallel-training speedup measurement.
+#   vet, build, race-enabled tests, the Workers determinism checks, the
+#   tiered-serving and allocation gates, and (on multi-core machines) the
+#   parallel-training and tier-0 speedup measurements.
 #
 # Usage: scripts/ci.sh [--quick]
 #   --quick skips the race detector and the speedup bench.
@@ -67,6 +68,22 @@ echo "== multi-tenant: isolation + fleet lifecycle + warm restart =="
 # TestRouterLifecycle / TestWarmRestartBitIdentical: drain → successor fleet
 #   recovers every tenant bit-identically.
 go test -race -count=1 ./internal/shard/
+
+echo "== tiered serving: determinism + promotion/escalation + hot-swap invalidation =="
+# TestTierDecisionsDeterministic: identical traffic → identical tier choices.
+# TestHotSwapInvalidatesPlanMemory: a swap clears the tier-0 pins in the same
+#   step that bumps the epoch (the shared composite-identity regression test).
+# TestTierHitRatioRepeatTrace: repeat-heavy trace lands >= 85% on tiers 0/1.
+# TestTierMemorySurvivesRestart: pins survive checkpoint → crash → recover.
+go test -count=1 ./internal/tier/
+go test -race -count=1 -run 'TestTier|TestHotSwap' ./internal/service/
+go test -count=1 -run 'TestTierMemorySurvivesRestart' ./internal/core/
+
+echo "== alloc gates: tier-0 serve is allocation-free, batched scoring bounded =="
+# Run without -race (instrumentation changes the counts; the tests skip
+# themselves under the detector).
+go test -count=1 -run 'TestTier0ServeZeroAllocs' ./internal/service/
+go test -count=1 -run 'TestScoreBatchAllocsBounded' ./internal/aam/
 
 echo "== durability: snapshot rejection + crash recovery (in-process) =="
 # TestSnapshotRejections: cross-backend / version-skew / corrupt snapshots
@@ -196,10 +213,22 @@ echo "drain gate OK: SIGTERM drained 2 tenants cleanly ($answered in-flight answ
 if [[ $quick -eq 0 ]]; then
   ncpu=$(nproc 2>/dev/null || echo 1)
   if [[ "$ncpu" -ge 4 ]]; then
-    echo "== perf snapshot (BENCH_5.json) =="
+    echo "== perf snapshot (BENCH_6.json) =="
     # Hardware-gated like the speedup check: on weak runners the numbers are
     # noise; run `make bench` manually to refresh the snapshot anywhere.
     scripts/bench.sh
+    echo "== tiered serving speedup (tier-0 hit vs full turn) =="
+    go test -run xxx -bench 'BenchmarkServeOnline$|BenchmarkServeTiered' -benchtime 3x . | tee /tmp/foss_tier_bench.txt
+    awk '
+      /BenchmarkServeOnline/ { full = $3 }
+      /BenchmarkServeTiered\/repeat/ { hit = $3 }
+      END {
+        if (full > 0 && hit > 0) {
+          printf "tier-0 hit: %.1fus vs full turn %.1fus (%.0fx)\n", hit/1000, full/1000, full/hit
+          if (hit > 50000) { print "FAIL: tier-0 hit above 50us"; exit 1 }
+          if (full / hit < 10) { print "FAIL: tier-0 speedup below 10x"; exit 1 }
+        }
+      }' /tmp/foss_tier_bench.txt
     echo "== parallel training speedup (workers=1 vs workers=4) =="
     go test -run xxx -bench 'BenchmarkTrainParallel/workers=(1|4)$' -benchtime 3x . | tee /tmp/foss_bench.txt
     awk '
