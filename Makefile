@@ -26,7 +26,7 @@ ci-quick:
 
 # Perf snapshot: parallel-training + online-serving + tiered-serving +
 # batched-serving + durability (checkpoint, WAL replay) + sharded
-# multi-tenant serving benchmarks, written to BENCH_6.json (see
+# multi-tenant serving benchmarks, written to BENCH_7.json (see
 # scripts/bench.sh; BENCHTIME=3x make bench for longer runs, CPUS=1,2,4 to
 # sweep GOMAXPROCS).
 bench:

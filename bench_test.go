@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"github.com/foss-db/foss/internal/aam"
 	"github.com/foss-db/foss/internal/core"
@@ -198,6 +199,52 @@ func BenchmarkServeTiered(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServeWithMetrics measures the steady-state serve turn with the
+// observability surface active and under scrape pressure: every op is the
+// same Serve → Execute → Record turn as BenchmarkServeOnline (each landing
+// in the per-tier latency histogram), while a background scraper snapshots
+// the histograms and counters at a Prometheus-like cadence. Compare ns/op
+// against BenchmarkServeOnline directly — the recording path is two atomic
+// adds plus a bit-length per serve, budgeted at <=2% overhead.
+func BenchmarkServeWithMetrics(b *testing.B) {
+	sys := tieredBenchSystem(b, tier.Config{})
+	queries := sys.W.Train
+	for _, q := range queries { // warmup as in BenchmarkServeOnline
+		if _, _, err := sys.ServeStep(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	lp := sys.Online()
+	stop := make(chan struct{})
+	donescrape := make(chan struct{})
+	go func() {
+		defer close(donescrape)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				_ = lp.ServeHistograms()
+				_ = lp.Stats()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.ServeStep(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-donescrape
+	if lp.ServeHistograms()[tier.Tier2].Count() == 0 {
+		b.Fatal("no serve landed in the histogram; the metrics path was not exercised")
+	}
 }
 
 // BenchmarkTierRouter isolates the routing decision itself: one pinned

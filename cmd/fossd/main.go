@@ -105,6 +105,9 @@ func main() {
 
 		tierMemory = flag.Bool("tier-memory", true, "tier-0 plan memory: pin feedback-proven plans per fingerprint and serve repeats in microseconds (invalidated on hot-swap, persisted with -state-dir)")
 		tierGreedy = flag.Bool("tier-greedy", false, "tier-1 greedy micro-planner: statistics-free join ordering for seen-but-unpinned fingerprints (plans may differ from the doctor's until feedback escalates them)")
+
+		advisor    = flag.Bool("advisor", true, "async self-diagnosis advisor: watch the feedback stream off the serve path and emit structured findings (regression-vs-expert, plan-memory thrash, cooldown-blocked drift) on GET /v1/advisor")
+		advisorWin = flag.Int("advisor-window", 64, "advisor regression window (records); a regression finding needs a full window")
 	)
 	flag.Parse()
 
@@ -135,6 +138,7 @@ func main() {
 			window: *window, threshold: *threshold, noveltyFrac: *noveltyFrac,
 			retrainIters: *retrainIters, sync: *syncRetrain, ckEvery: *ckEvery,
 			tierMemory: *tierMemory, tierGreedy: *tierGreedy,
+			advisor: *advisor, advisorWin: *advisorWin,
 		}
 		err = runSharded(context.Background(), shard.Config{
 			System:           cfg,
@@ -297,6 +301,8 @@ func main() {
 			ckEvery:      *ckEvery,
 			tierMemory:   *tierMemory,
 			tierGreedy:   *tierGreedy,
+			advisor:      *advisor,
+			advisorWin:   *advisorWin,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "online:", err)
@@ -315,6 +321,8 @@ func main() {
 			drain:        *drainTimeout,
 			tierMemory:   *tierMemory,
 			tierGreedy:   *tierGreedy,
+			advisor:      *advisor,
+			advisorWin:   *advisorWin,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "serve-http:", err)
 			os.Exit(1)

@@ -34,6 +34,8 @@ type onlineOpts struct {
 	drain        time.Duration // shutdown budget for -serve-http's lifecycle
 	tierMemory   bool          // tier-0 plan memory (-tier-memory)
 	tierGreedy   bool          // tier-1 greedy micro-planner (-tier-greedy)
+	advisor      bool          // async advisor (-advisor)
+	advisorWin   int           // regression window (-advisor-window)
 }
 
 // loopConfig assembles the service configuration shared by -online and
@@ -53,6 +55,7 @@ func (o onlineOpts) loopConfig() service.Config {
 		Store:             o.st,
 		CheckpointEvery:   o.ckEvery,
 		Tier:              tier.Config{Memory: o.tierMemory, Greedy: o.tierGreedy},
+		Advisor:           service.AdvisorConfig{Enabled: o.advisor, Window: o.advisorWin},
 	}
 }
 

@@ -89,6 +89,9 @@ func runHTTP(sys *core.System, w *workload.Workload, addr string, o onlineOpts) 
 	fmt.Println("  POST /v1/feedback   {\"serve_id\": \"...\", \"latency_ms\": ...}")
 	fmt.Println("  GET  /v1/stats")
 	fmt.Println("  POST /v1/checkpoint  (force a durable checkpoint; requires -state-dir)")
+	fmt.Println("  GET  /v1/explain/{serve_id}  (served vs expert plan, hint diff, tier decision, candidate scores)")
+	fmt.Println("  GET  /v1/advisor     (async self-diagnosis findings)")
+	fmt.Println("  GET  /metrics        (Prometheus text format)")
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
 	}

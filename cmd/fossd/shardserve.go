@@ -130,6 +130,8 @@ func runSharded(ctx context.Context, cfg shard.Config, specs []shard.TenantSpec,
 	fmt.Println("  POST /v1/t/{tenant}/optimize    {\"query_id\": ...} | inline specs; \"execute\": true for a full turn")
 	fmt.Println("  POST /v1/t/{tenant}/feedback    {\"serve_id\": ..., \"latency_ms\": ...}")
 	fmt.Println("  GET  /v1/t/{tenant}/stats       POST /v1/t/{tenant}/checkpoint")
+	fmt.Println("  GET  /v1/t/{tenant}/explain/{serve_id}   GET /v1/t/{tenant}/advisor")
+	fmt.Println("  GET  /v1/t/{tenant}/metrics     GET /metrics (aggregate, tenant-labeled)")
 	fmt.Println("  GET  /v1/stats (aggregate)      GET|POST /v1/tenants")
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err

@@ -57,6 +57,13 @@
 // /v1/optimize, /v1/feedback, /v1/stats, and /v1/checkpoint as a JSON HTTP
 // service (see internal/service and the README's endpoint reference).
 //
+// Observability rides on the same surface: GET /metrics is a dependency-free
+// Prometheus text scrape (per-tier serve-latency histograms plus every loop
+// counter; tenant-labeled under the fleet server), GET /v1/explain/{serve_id}
+// reconstructs why a served plan won (served vs expert, hint diff, tier
+// decision, per-candidate AAM scores), and GET /v1/advisor reports the async
+// advisor's structured findings — see AdvisorConfig and Finding.
+//
 // Durable serving: attach a state directory and the doctor's accumulated
 // experience survives restarts — every Record journals to a feedback WAL
 // before ingestion, checkpoints land atomically on every hot-swap, and a
@@ -232,6 +239,31 @@ type DriftDetectorConfig = service.DetectorConfig
 // OnlineStats (Tier0Hits, Tier1Hits, Tier2Serves, Promotions, Demotions,
 // PinnedPlans), and every ServeResult carries the tier that answered it.
 type TierConfig = tier.Config
+
+// AdvisorConfig re-exports the async self-diagnosis advisor's tuning
+// (OnlineConfig.Advisor). When enabled, the loop runs a background analyst
+// over the feedback stream — the record path pays one non-blocking channel
+// send — emitting structured Findings surfaced by GET /v1/advisor and
+// Loop.AdvisorFindings.
+type AdvisorConfig = service.AdvisorConfig
+
+// Finding re-exports one advisor emission: a kind (FindingRegression,
+// FindingPlanThrash, FindingCooldownBlocked), the epoch and offending
+// fingerprint where relevant, and a human-readable detail line.
+type Finding = service.Finding
+
+// Advisor finding kinds.
+const (
+	// FindingRegression: a sustained fraction of recent traffic ran slower
+	// than the expert baseline.
+	FindingRegression = service.FindingRegression
+	// FindingPlanThrash: a fingerprint keeps cycling through tier-0
+	// promotion and demotion.
+	FindingPlanThrash = service.FindingPlanThrash
+	// FindingCooldownBlocked: the drift detector keeps firing while the
+	// retrain cooldown suppresses the trigger.
+	FindingCooldownBlocked = service.FindingCooldownBlocked
+)
 
 // HTTPOptions re-exports the wire-surface configuration (NewHTTPServer).
 type HTTPOptions = service.HTTPOptions

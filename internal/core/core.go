@@ -400,6 +400,26 @@ func (s *System) OptimizeBatch(ctx context.Context, qs []*query.Query) ([]*plan.
 	return cps, d, nil
 }
 
+// ExplainCandidates re-derives the candidate pool the doctor would consider
+// for q under the CURRENT model and scores every candidate against the
+// selected plan — the substrate of the HTTP /v1/explain surface. It runs
+// under the runtime's shared lock like any serve, so it can interleave with
+// traffic but never observes a half-applied retrain. Note the scores reflect
+// the model as of this call: explaining a serve from an earlier epoch after
+// a hot-swap scores the same pool under the newer model.
+func (s *System) ExplainCandidates(ctx context.Context, q *query.Query) ([]planner.CandidateScore, error) {
+	var scores []planner.CandidateScore
+	err := s.RT.Shared(func() error {
+		var err error
+		_, scores, err = s.Learner.Explain(ctx, q)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
 // ExpertPlan exposes the backend's native cost-based plan (the baseline).
 func (s *System) ExpertPlan(q *query.Query) (*plan.CP, time.Duration, error) {
 	start := time.Now()

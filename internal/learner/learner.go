@@ -699,6 +699,24 @@ func (l *Learner) Optimize(ctx context.Context, q *query.Query) (*planner.PlanEv
 	return best, nil
 }
 
+// Explain doctors one query the way Optimize does but additionally returns
+// the full deduplicated candidate pool as a per-candidate score card: each
+// entry carries its hint set and the AAM's advantage class of the winner
+// over it. The winner is bit-identical to Optimize on the same model state
+// (same fingerprint-seeded rollouts, same selection chain); the extra cost
+// is one pairwise comparison per losing candidate.
+func (l *Learner) Explain(ctx context.Context, q *query.Query) (*planner.PlanEval, []planner.CandidateScore, error) {
+	pool, err := l.candidates(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	best, scores := planner.ExplainSelection(l.AAM, pool, l.Planners[0].Cfg.MaxSteps)
+	if best < 0 {
+		return nil, nil, errNoCandidate
+	}
+	return pool[best], scores, nil
+}
+
 // candidates generates the deduplicated candidate pool for one query: every
 // agent's greedy episode plus its stochastic rollouts, RNG seeded by the
 // query fingerprint so the pool is independent of request interleaving.

@@ -375,6 +375,65 @@ func SelectBest(model *aam.Model, cands []*PlanEval, maxSteps int) *PlanEval {
 	return cands[best]
 }
 
+// CandidateScore describes one candidate of an explained selection: its hint
+// set, where it sat in the episode, and the AAM's predicted advantage class
+// of the WINNER over it (higher = the chosen plan is preferred by a larger
+// margin class; 0 = no predicted advantage, and 0 for the chosen plan
+// itself). Scores are relative comparisons under the model that ran the
+// explanation, not absolute latency estimates.
+type CandidateScore struct {
+	ICPKey  string  `json:"icp_key"`
+	Step    int     `json:"step"`
+	EstCost float64 `json:"est_cost"`
+	Score   int     `json:"score_vs_chosen"`
+	Chosen  bool    `json:"chosen"`
+}
+
+// ExplainSelection reruns the temporal selection over a candidate pool and
+// returns the winner's index plus a per-candidate score card. The winner is
+// bit-identical to SelectBest on the same pool and model: the same pairwise
+// comparison chain picks it, and the score card is derived from the same
+// state matrix afterwards. Returns (-1, nil) on an empty pool.
+func ExplainSelection(model *aam.Model, cands []*PlanEval, maxSteps int) (int, []CandidateScore) {
+	if len(cands) == 0 {
+		return -1, nil
+	}
+	scores := make([]CandidateScore, len(cands))
+	for i, c := range cands {
+		scores[i] = CandidateScore{ICPKey: c.ICP.Key(), Step: c.Step}
+		if c.CP != nil && c.CP.Root != nil {
+			scores[i].EstCost = c.CP.Root.EstCost
+		}
+	}
+	if len(cands) == 1 {
+		scores[0].Chosen = true
+		return 0, scores
+	}
+	encs := make([]*planenc.Encoded, len(cands))
+	steps := make([]float64, len(cands))
+	for i, c := range cands {
+		encs[i] = c.Enc
+		steps[i] = c.StepStatus(maxSteps)
+	}
+	sv := model.StatesBatch(encs, steps)
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if model.ScoreStates(sv, best, i) > 0 {
+			best = i
+		}
+	}
+	for i := range cands {
+		if i == best {
+			continue
+		}
+		// Class of the winner (r) over candidate i (l) — the mirror of the
+		// selection chain's comparisons.
+		scores[i].Score = model.ScoreStates(sv, i, best)
+	}
+	scores[best].Chosen = true
+	return best, scores
+}
+
 // SelectBestMulti applies the temporal selection to many candidate pools at
 // once: every candidate of every pool goes through ONE batched state-network
 // pass, then each pool runs its own pairwise comparison chain over its slice

@@ -1,0 +1,339 @@
+package service
+
+// advisor.go — the async self-diagnosis advisor: a background analyst that
+// watches the feedback stream and turns raw counters into findings an
+// operator can act on. The shape follows the async-analyzer pattern: the
+// serve/record path pays exactly one non-blocking channel send; everything
+// else — windowing, thrash bookkeeping, finding emission — happens on the
+// advisor's own goroutine, owned by the loop and drained by Close like a
+// retrain.
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Finding kinds emitted by the advisor.
+const (
+	// FindingRegression: a sustained fraction of recent traffic ran slower
+	// than the expert baseline by more than the regression ratio.
+	FindingRegression = "regression"
+	// FindingPlanThrash: one fingerprint keeps cycling through tier-0
+	// promotion and demotion — its pinned plan is not stable under the
+	// current workload.
+	FindingPlanThrash = "plan-thrash"
+	// FindingCooldownBlocked: the drift detector has been signalling drift
+	// while the retrain cooldown suppressed the trigger, for many
+	// consecutive records — the doctor knows it is behind and is not allowed
+	// to catch up.
+	FindingCooldownBlocked = "cooldown-blocked"
+)
+
+// AdvisorConfig tunes the async advisor. The zero value disables it.
+type AdvisorConfig struct {
+	// Enabled turns the advisor on.
+	Enabled bool
+	// Window is the number of recent records the regression analysis looks
+	// at (default 64). A regression finding needs a full window.
+	Window int
+	// RegressionFrac is the fraction of the window that must regress before
+	// a regression finding fires (default 0.10).
+	RegressionFrac float64
+	// RegressionRatio is the served-vs-expert latency ratio past which one
+	// record counts as regressed (default 1.5).
+	RegressionRatio float64
+	// ThrashCycles is the number of tier-0 demotions of one fingerprint
+	// (within one epoch) that counts as plan-memory thrash (default 2).
+	ThrashCycles int
+	// CooldownTurns is the number of consecutive cooldown-suppressed drift
+	// signals that triggers a cooldown-blocked finding (default 8).
+	CooldownTurns int
+	// MaxFindings bounds the retained findings, oldest dropped first
+	// (default 64).
+	MaxFindings int
+	// Depth is the intake channel's buffer; when the advisor falls this far
+	// behind, further observations are dropped and counted (default 256).
+	Depth int
+}
+
+func (c AdvisorConfig) withDefaults() AdvisorConfig {
+	if c.Window < 1 {
+		c.Window = 64
+	}
+	if c.RegressionFrac <= 0 {
+		c.RegressionFrac = 0.10
+	}
+	if c.RegressionRatio <= 0 {
+		c.RegressionRatio = 1.5
+	}
+	if c.ThrashCycles < 1 {
+		c.ThrashCycles = 2
+	}
+	if c.CooldownTurns < 1 {
+		c.CooldownTurns = 8
+	}
+	if c.MaxFindings < 1 {
+		c.MaxFindings = 64
+	}
+	if c.Depth < 1 {
+		c.Depth = 256
+	}
+	return c
+}
+
+// Finding is one structured advisor emission.
+type Finding struct {
+	// Kind is one of the Finding* constants.
+	Kind string `json:"kind"`
+	// Detail is the human-readable diagnosis.
+	Detail string `json:"detail"`
+	// Epoch is the model generation the triggering record was served by.
+	Epoch uint64 `json:"epoch"`
+	// Seq is the advisor-side ordinal of the triggering observation (1 = the
+	// first record the advisor saw).
+	Seq uint64 `json:"seq"`
+	// Fingerprint and QueryID name the offending query for per-fingerprint
+	// findings (plan-thrash); zero/empty otherwise.
+	Fingerprint uint64 `json:"fingerprint,omitempty"`
+	QueryID     string `json:"query_id,omitempty"`
+	// Ratio is the measured fraction/ratio behind the finding (regression:
+	// fraction of the window regressed).
+	Ratio float64 `json:"ratio,omitempty"`
+	// Count is the measured count behind the finding (regressed records,
+	// demotion cycles, blocked turns).
+	Count int `json:"count,omitempty"`
+}
+
+// advisorObs is what Record hands the advisor per ingested execution.
+type advisorObs struct {
+	fp           uint64
+	qid          string
+	epoch        uint64
+	ratio        float64 // served-vs-expert latency ratio (1.0 = neutral)
+	promoted     bool
+	demoted      bool
+	driftBlocked bool // detector signalled drift but the cooldown suppressed it
+}
+
+// advisor owns the analysis state. All fields below mu are touched only by
+// the run goroutine (ingest); findings/emitted/dropped are the shared
+// surface the HTTP handler reads.
+type advisor struct {
+	cfg AdvisorConfig
+	ch  chan advisorObs
+
+	dropped atomic.Uint64
+	emitted atomic.Uint64
+
+	mu       sync.Mutex
+	findings []Finding
+
+	// Analysis state, single-goroutine.
+	seq        uint64
+	window     []advisorObs // ring of the last cfg.Window observations
+	wpos       int
+	regLatched bool           // a regression finding is live; re-arm on recovery
+	cycles     map[uint64]int // per-fingerprint demotion count this epoch
+	blocked    int            // consecutive cooldown-suppressed drift signals
+	lastEpoch  uint64
+}
+
+func newAdvisor(cfg AdvisorConfig) *advisor {
+	cfg = cfg.withDefaults()
+	return &advisor{
+		cfg:    cfg,
+		ch:     make(chan advisorObs, cfg.Depth),
+		cycles: map[uint64]int{},
+	}
+}
+
+// offer hands one observation to the advisor without ever blocking the
+// feedback path; a full channel drops and counts.
+func (a *advisor) offer(obs advisorObs) {
+	select {
+	case a.ch <- obs:
+	default:
+		a.dropped.Add(1)
+	}
+}
+
+// run is the advisor goroutine: consume until stopped, then drain whatever
+// Record already handed off and exit. The channel is never closed (offers
+// may race the stop signal); the drain loop's default case bounds shutdown.
+func (a *advisor) run(stop <-chan struct{}) {
+	for {
+		select {
+		case obs := <-a.ch:
+			a.ingest(obs)
+		case <-stop:
+			for {
+				select {
+				case obs := <-a.ch:
+					a.ingest(obs)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// ingest runs the analysis for one observation. Called only from the run
+// goroutine (and synchronously by unit tests).
+func (a *advisor) ingest(obs advisorObs) {
+	a.seq++
+	if obs.epoch != a.lastEpoch {
+		// New model generation: the regression latch and the thrash/blocked
+		// tallies describe the old model's behavior, not this one's.
+		a.lastEpoch = obs.epoch
+		a.regLatched = false
+		a.blocked = 0
+		clear(a.cycles)
+	}
+
+	// Regression: fraction of the last Window records past RegressionRatio.
+	if len(a.window) < a.cfg.Window {
+		a.window = append(a.window, obs)
+	} else {
+		a.window[a.wpos] = obs
+		a.wpos = (a.wpos + 1) % a.cfg.Window
+	}
+	if len(a.window) == a.cfg.Window {
+		regressed := 0
+		for _, o := range a.window {
+			if o.ratio > a.cfg.RegressionRatio {
+				regressed++
+			}
+		}
+		frac := float64(regressed) / float64(len(a.window))
+		switch {
+		case frac >= a.cfg.RegressionFrac && !a.regLatched:
+			a.regLatched = true
+			a.emit(Finding{
+				Kind:  FindingRegression,
+				Epoch: obs.epoch,
+				Seq:   a.seq,
+				Ratio: frac,
+				Count: regressed,
+				Detail: fmt.Sprintf(
+					"%.0f%% of the last %d executions regressed past %.2fx the expert baseline since epoch %d",
+					frac*100, len(a.window), a.cfg.RegressionRatio, obs.epoch),
+			})
+		case frac < a.cfg.RegressionFrac/2:
+			// Re-arm only after the window clearly recovers, so a fraction
+			// hovering at the threshold emits once, not per record.
+			a.regLatched = false
+		}
+	}
+
+	// Plan-memory thrash: repeated promote→demote cycles on one fingerprint.
+	if obs.demoted {
+		a.cycles[obs.fp]++
+		if n := a.cycles[obs.fp]; n >= a.cfg.ThrashCycles {
+			a.cycles[obs.fp] = 0
+			a.emit(Finding{
+				Kind:        FindingPlanThrash,
+				Epoch:       obs.epoch,
+				Seq:         a.seq,
+				Fingerprint: obs.fp,
+				QueryID:     obs.qid,
+				Count:       n,
+				Detail: fmt.Sprintf(
+					"plan-memory thrash on fingerprint %016x (query %q): %d promote/demote cycles at epoch %d",
+					obs.fp, obs.qid, n, obs.epoch),
+			})
+		}
+	}
+
+	// Cooldown starvation: the detector keeps firing, the cooldown keeps
+	// suppressing the retrain.
+	if obs.driftBlocked {
+		a.blocked++
+		if a.blocked >= a.cfg.CooldownTurns {
+			n := a.blocked
+			a.blocked = 0
+			a.emit(Finding{
+				Kind:  FindingCooldownBlocked,
+				Epoch: obs.epoch,
+				Seq:   a.seq,
+				Count: n,
+				Detail: fmt.Sprintf(
+					"drift detector armed but retrain cooldown-blocked for %d consecutive records at epoch %d",
+					n, obs.epoch),
+			})
+		}
+	} else {
+		a.blocked = 0
+	}
+}
+
+// emit appends one finding, oldest-first bounded by MaxFindings.
+func (a *advisor) emit(f Finding) {
+	a.emitted.Add(1)
+	a.mu.Lock()
+	a.findings = append(a.findings, f)
+	if over := len(a.findings) - a.cfg.MaxFindings; over > 0 {
+		a.findings = append(a.findings[:0], a.findings[over:]...)
+	}
+	a.mu.Unlock()
+}
+
+// snapshot copies the retained findings, oldest first.
+func (a *advisor) snapshot() []Finding {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Finding(nil), a.findings...)
+}
+
+// AdvisorEnabled reports whether the loop runs an advisor.
+func (lp *Loop) AdvisorEnabled() bool { return lp.adv != nil }
+
+// AdvisorFindings returns the advisor's retained findings, oldest first
+// (nil when the advisor is disabled). Findings are emitted asynchronously:
+// feedback recorded a moment ago may not have been analyzed yet.
+func (lp *Loop) AdvisorFindings() []Finding {
+	if lp.adv == nil {
+		return nil
+	}
+	return lp.adv.snapshot()
+}
+
+// AdvisorCounters returns (emitted, dropped): findings emitted over the
+// loop's lifetime (emission keeps counting past the MaxFindings retention
+// bound) and observations dropped because the advisor fell behind.
+func (lp *Loop) AdvisorCounters() (emitted, dropped uint64) {
+	if lp.adv == nil {
+		return 0, 0
+	}
+	return lp.adv.emitted.Load(), lp.adv.dropped.Load()
+}
+
+// advisorResponse is the GET /v1/advisor body.
+type advisorResponse struct {
+	Enabled  bool      `json:"enabled"`
+	Findings []Finding `json:"findings"`
+	Emitted  uint64    `json:"emitted"`
+	Dropped  uint64    `json:"dropped"`
+}
+
+// handleAdvisor serves the advisor's findings. A disabled advisor answers
+// 200 with enabled:false — scraping it is never an error.
+func (s *HTTPServer) handleAdvisor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	findings := s.lp.AdvisorFindings()
+	if findings == nil {
+		findings = []Finding{}
+	}
+	emitted, dropped := s.lp.AdvisorCounters()
+	writeJSON(w, http.StatusOK, advisorResponse{
+		Enabled:  s.lp.AdvisorEnabled(),
+		Findings: findings,
+		Emitted:  emitted,
+		Dropped:  dropped,
+	})
+}

@@ -12,6 +12,9 @@ package service
 //	POST /v1/feedback  {"serve_id": "...", "latency_ms": 12.3}
 //	GET  /v1/stats
 //	POST /v1/checkpoint  — force a durable checkpoint (requires a store)
+//	GET  /metrics             — Prometheus text exposition (see httpmetrics.go)
+//	GET  /v1/explain/{serve_id} — why the doctor chose that plan (explain.go)
+//	GET  /v1/advisor          — async advisor findings (advisor.go)
 //
 // Request bodies are size-capped (413 past 1 MiB) and strictly parsed:
 // unknown fields are rejected so malformed specs fail loudly.
@@ -56,18 +59,37 @@ type HTTPServer struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]*pendingServe
-	order   []uint64
+	// order is the issuance-order ring of every remembered serve (live and
+	// consumed alike), bounded by MaxPending; live is how many of them still
+	// await feedback (the pending_feedback stat). Consumed entries stay in
+	// the map so /v1/explain can answer for already-reported serves; their
+	// retention is bounded separately by consumedOrder, and popping one off
+	// either ring is bookkeeping, never an expiry.
+	order         []uint64
+	consumedOrder []uint64
+	live          int
 	// evictedThrough is the expiry horizon: every serve id at or below it
-	// has left the ring (FIFO eviction), so feedback for one is answered
-	// with 410 Gone / ErrServeIDExpired instead of a generic not-found.
+	// was evicted live (FIFO eviction before its feedback arrived), so
+	// feedback for one is answered with 410 Gone / ErrServeIDExpired instead
+	// of a generic not-found.
 	evictedThrough uint64
 	expired        atomic.Uint64 // ids evicted before their feedback arrived
 }
 
-// pendingServe is one served plan awaiting latency feedback.
+// pendingServe is one served plan in the ring: the feedback target while
+// live, the /v1/explain record for its retained lifetime. q, pe and res are
+// immutable after insertion; consumed/latency flip under the server mu.
 type pendingServe struct {
 	q  *query.Query
 	pe *planner.PlanEval
+	// res is the serve-time decision context (epoch, tier, cache hit,
+	// optimization time) — what /v1/explain reports.
+	res Result
+	// consumed marks feedback as recorded (client- or server-side); a
+	// consumed entry answers 404 to further feedback but keeps explaining.
+	consumed   bool
+	hasLatency bool
+	latencyMs  float64
 }
 
 // NewHTTPServer builds the HTTP surface over an online loop.
@@ -80,6 +102,9 @@ func NewHTTPServer(lp *Loop, opts HTTPOptions) *HTTPServer {
 	s.mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/v1/explain/", s.handleExplain)
+	s.mux.HandleFunc("/v1/advisor", s.handleAdvisor)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -202,9 +227,11 @@ type planJSON struct {
 
 // optimizeRow is one served query in an /v1/optimize response.
 type optimizeRow struct {
-	// ServeID is present only when the client is expected to execute the
-	// plan and report back; "execute": true rows are recorded server-side
-	// and carry no serve_id.
+	// ServeID names this serve in the pending ring — the /v1/feedback target
+	// for client-executed plans and the /v1/explain handle either way.
+	// "execute": true rows are recorded server-side, so their slot is
+	// already consumed: later feedback for one answers 404 (already
+	// reported) and cannot double-count the execution.
 	ServeID   string   `json:"serve_id,omitempty"`
 	QueryID   string   `json:"query_id"`
 	Epoch     uint64   `json:"epoch"`
@@ -319,14 +346,17 @@ func (s *HTTPServer) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Plan:      planSummary(res.Eval),
 		}
 		if req.Execute {
-			// Server-side turn: the execution is recorded here, so no
-			// serve_id enters the pending ring — a later /v1/feedback for
-			// this row would double-count the one execution.
+			// Server-side turn: execute, record, and run the slot through
+			// the ring exactly like the two-call path would — inserted, then
+			// immediately consumed. Capacity accounting and the eviction
+			// horizon stay identical across both paths, and the serve
+			// remains explainable.
 			lat := s.lp.Active().Execute(res.Eval.CP)
 			s.lp.Record(qs[i], res.Eval, lat)
 			row.LatencyMs = &lat
+			row.ServeID = s.rememberExecuted(qs[i], res.Eval, res, lat)
 		} else {
-			row.ServeID = s.remember(qs[i], res.Eval)
+			row.ServeID = s.remember(qs[i], res.Eval, res)
 		}
 		rows[i] = row
 	}
@@ -368,6 +398,7 @@ func (s *HTTPServer) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("loop draining; feedback not recorded: %v", fosserr.ErrLoopClosed))
 		return
 	}
+	s.noteLatency(ps, req.LatencyMs)
 	writeJSON(w, http.StatusOK, map[string]any{"recorded": true, "epoch": s.lp.Epoch()})
 }
 
@@ -385,7 +416,7 @@ func (s *HTTPServer) statsSnapshot() statsResponse {
 	active := s.lp.Active()
 	cs := active.CacheStats()
 	s.mu.Lock()
-	pending := len(s.pending)
+	pending := s.live
 	s.mu.Unlock()
 	return statsResponse{
 		Backend: active.BackendName(),
@@ -427,35 +458,76 @@ func (s *HTTPServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // remember stores a served plan for later feedback, evicting FIFO past
 // MaxPending. Evicted ids advance the expiry horizon so their (too-late)
 // feedback is classified as expired, not unknown.
-func (s *HTTPServer) remember(q *query.Query, pe *planner.PlanEval) string {
+func (s *HTTPServer) remember(q *query.Query, pe *planner.PlanEval, res Result) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return fmt.Sprintf("s%d", s.insertLocked(q, pe, res))
+}
+
+// rememberExecuted is remember for the one-call execute:true path: the slot
+// enters the ring, then is consumed in the same critical section — the exact
+// state the two-call path reaches after remember + take, so capacity
+// accounting, the eviction horizon, and duplicate-feedback classification
+// are identical across both paths.
+func (s *HTTPServer) rememberExecuted(q *query.Query, pe *planner.PlanEval, res Result, latencyMs float64) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.insertLocked(q, pe, res)
+	ps := s.pending[seq]
+	s.consumeLocked(seq, ps)
+	ps.hasLatency = true
+	ps.latencyMs = latencyMs
+	return fmt.Sprintf("s%d", seq)
+}
+
+// insertLocked allocates the next serve id, inserts the live entry, and runs
+// FIFO eviction. Caller holds mu. With MaxPending ≥ 1 the just-inserted
+// entry (at the ring's back) can never be the one evicted.
+func (s *HTTPServer) insertLocked(q *query.Query, pe *planner.PlanEval, res Result) uint64 {
 	s.nextID++
 	seq := s.nextID
-	s.pending[seq] = &pendingServe{q: q, pe: pe}
+	s.pending[seq] = &pendingServe{q: q, pe: pe, res: res}
 	s.order = append(s.order, seq)
+	s.live++
 	for len(s.order) > s.opts.MaxPending {
 		drop := s.order[0]
 		s.order = s.order[1:]
-		if _, live := s.pending[drop]; !live {
-			// Already consumed by feedback: popping it off the ring is
+		if ps := s.pending[drop]; ps == nil || ps.consumed {
+			// Already consumed by feedback (still retained for explain, or
+			// already released by the consumed ring): popping it here is
 			// bookkeeping, not an expiry — it must neither count nor move
 			// the 410 horizon (a duplicate report stays a 404).
 			continue
 		}
 		delete(s.pending, drop)
+		s.live--
 		s.expired.Add(1)
 		if drop > s.evictedThrough {
 			s.evictedThrough = drop
 		}
 	}
-	return fmt.Sprintf("s%d", seq)
+	return seq
 }
 
-// take removes and returns a pending serve (one feedback per serve_id). An
-// id below the eviction horizon is gone for good — fosserr.ErrServeIDExpired
-// (410 on the wire); an id the server never issued or already consumed above
-// the horizon stays a plain not-found (404).
+// consumeLocked flips a live entry to consumed and hands its retention to
+// the consumed ring (bounded by MaxPending; leaving THAT ring deletes the
+// entry silently — its feedback already arrived, nothing expires). Caller
+// holds mu.
+func (s *HTTPServer) consumeLocked(seq uint64, ps *pendingServe) {
+	ps.consumed = true
+	s.live--
+	s.consumedOrder = append(s.consumedOrder, seq)
+	for len(s.consumedOrder) > s.opts.MaxPending {
+		c := s.consumedOrder[0]
+		s.consumedOrder = s.consumedOrder[1:]
+		delete(s.pending, c)
+	}
+}
+
+// take consumes a pending serve (one feedback per serve_id) and returns it.
+// An id below the eviction horizon is gone for good —
+// fosserr.ErrServeIDExpired (410 on the wire); an id the server never issued
+// or already consumed stays a plain not-found (404).
 func (s *HTTPServer) take(id string) (*pendingServe, error) {
 	var seq uint64
 	if _, err := fmt.Sscanf(id, "s%d", &seq); err != nil || fmt.Sprintf("s%d", seq) != id {
@@ -463,15 +535,27 @@ func (s *HTTPServer) take(id string) (*pendingServe, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if ps, ok := s.pending[seq]; ok {
-		delete(s.pending, seq)
+	if ps, ok := s.pending[seq]; ok && !ps.consumed {
+		s.consumeLocked(seq, ps)
 		return ps, nil
+	} else if ok {
+		return nil, fmt.Errorf("unknown or already-reported serve_id %q", id)
 	}
 	if seq > 0 && seq <= s.evictedThrough {
 		return nil, fmt.Errorf("serve_id %q evicted from the pending ring before its feedback arrived (ring holds %d): %w",
 			id, s.opts.MaxPending, fosserr.ErrServeIDExpired)
 	}
 	return nil, fmt.Errorf("unknown or already-reported serve_id %q", id)
+}
+
+// noteLatency back-fills the observed latency onto a consumed entry once the
+// loop has actually ingested it, so /v1/explain reports only recorded
+// latencies.
+func (s *HTTPServer) noteLatency(ps *pendingServe, latencyMs float64) {
+	s.mu.Lock()
+	ps.hasLatency = true
+	ps.latencyMs = latencyMs
+	s.mu.Unlock()
 }
 
 // ---- helpers ----

@@ -357,7 +357,7 @@ func TestServeIDExpiry(t *testing.T) {
 	ids := make([]string, 3)
 	for i := range ids {
 		pe, _, _, _ := blue.OptimizeEvalContext(context.Background(), fq(int64(i)))
-		ids[i] = h.remember(fq(int64(i)), pe)
+		ids[i] = h.remember(fq(int64(i)), pe, Result{})
 	}
 	// ids[0] was evicted by ids[2]'s arrival.
 	if _, err := h.take(ids[0]); !errors.Is(err, fosserr.ErrServeIDExpired) {
@@ -387,13 +387,13 @@ func TestServeIDExpiry(t *testing.T) {
 	// report stays a plain 404, not a 410.
 	h2 := NewHTTPServer(lp, HTTPOptions{MaxPending: 2})
 	pe, _, _, _ := blue.OptimizeEvalContext(context.Background(), fq(10))
-	early := h2.remember(fq(10), pe)
+	early := h2.remember(fq(10), pe, Result{})
 	if _, err := h2.take(early); err != nil {
 		t.Fatalf("fresh id: %v", err)
 	}
 	for i := int64(11); i < 13; i++ {
 		pe, _, _, _ := blue.OptimizeEvalContext(context.Background(), fq(i))
-		h2.remember(fq(i), pe) // the second pops the consumed id off the ring
+		h2.remember(fq(i), pe, Result{}) // the second pops the consumed id off the ring
 	}
 	if got := h2.expired.Load(); got != 0 {
 		t.Fatalf("expirations = %d, want 0 (the consumed id must not count)", got)

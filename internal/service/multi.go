@@ -9,7 +9,11 @@ package service
 //	POST /v1/t/{tenant}/feedback    — as /v1/feedback
 //	GET  /v1/t/{tenant}/stats       — as /v1/stats
 //	POST /v1/t/{tenant}/checkpoint  — as /v1/checkpoint
+//	GET  /v1/t/{tenant}/explain/{serve_id} — as /v1/explain/{serve_id}
+//	GET  /v1/t/{tenant}/advisor     — as /v1/advisor
+//	GET  /v1/t/{tenant}/metrics     — that tenant's scrape, tenant-labeled
 //	GET  /v1/stats                  — aggregate roll-up over every tenant
+//	GET  /metrics                   — aggregate scrape, one series per tenant
 //	GET  /v1/tenants                — tenant list
 //	POST /v1/tenants                — create a shard live (see WireTenantSpec)
 //
@@ -67,6 +71,7 @@ func NewMultiHTTPServer(reg TenantRegistry) *MultiHTTPServer {
 	s.mux.HandleFunc("/v1/t/", s.handleTenantScoped)
 	s.mux.HandleFunc("/v1/stats", s.handleAggregateStats)
 	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
+	s.mux.HandleFunc("/metrics", s.handleAggregateMetrics)
 	return s
 }
 
@@ -77,17 +82,24 @@ func (s *MultiHTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.
 // /v1/t/{tenant}/ is a 404 here rather than a confusing delegate miss.
 var tenantEndpoints = map[string]bool{
 	"optimize": true, "feedback": true, "stats": true, "checkpoint": true,
+	"explain": true, "advisor": true, "metrics": true,
 }
 
-// handleTenantScoped peels /v1/t/{tenant}/{endpoint} and delegates to the
-// tenant's own HTTPServer with the path re-rooted at /v1/{endpoint} — the
-// single-tenant handlers (body limits, strict parsing, serve-id ring) apply
-// unchanged per tenant.
+// handleTenantScoped peels /v1/t/{tenant}/{endpoint}[/{rest}] and delegates
+// to the tenant's own HTTPServer with the path re-rooted at
+// /v1/{endpoint}[/{rest}] — the single-tenant handlers (body limits, strict
+// parsing, serve-id ring) apply unchanged per tenant. Two special cases:
+// explain keeps its serve_id suffix through the re-rooting, and metrics is
+// rendered here so the tenant label lands on every series.
 func (s *MultiHTTPServer) handleTenantScoped(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/t/")
-	tenant, endpoint, ok := strings.Cut(rest, "/")
+	tenant, sub, ok := strings.Cut(rest, "/")
+	endpoint := sub
+	if i := strings.IndexByte(sub, '/'); i >= 0 {
+		endpoint = sub[:i]
+	}
 	if !ok || tenant == "" || !tenantEndpoints[endpoint] {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown path %q (want /v1/t/{tenant}/{optimize|feedback|stats|checkpoint})", r.URL.Path))
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown path %q (want /v1/t/{tenant}/{optimize|feedback|stats|checkpoint|explain|advisor|metrics})", r.URL.Path))
 		return
 	}
 	ts, err := s.reg.TenantServer(tenant)
@@ -95,9 +107,44 @@ func (s *MultiHTTPServer) handleTenantScoped(w http.ResponseWriter, r *http.Requ
 		writeRegistryErr(w, tenant, err)
 		return
 	}
+	if endpoint == "metrics" {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		writeMetricsText(w, []scrapeRow{ts.scrape(tenant)})
+		return
+	}
 	r2 := r.Clone(r.Context())
-	r2.URL.Path = "/v1/" + endpoint
+	r2.URL.Path = "/v1/" + sub
 	ts.ServeHTTP(w, r2)
+}
+
+// handleAggregateMetrics scrapes the whole fleet on one page: every family
+// appears once, with one series per tenant (plus the tier dimension on the
+// tiered families). The zero-or-fully guarantee of the aggregate stats
+// roll-up applies here too — a tenant mid-creation is not listed, a tenant
+// that finished creating scrapes with all its series.
+func (s *MultiHTTPServer) handleAggregateMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var rows []scrapeRow
+	for _, name := range s.reg.TenantNames() {
+		ts, err := s.reg.TenantServer(name)
+		if errors.Is(err, fosserr.ErrLoopClosed) {
+			// Draining: refuse the scrape rather than serve a page that
+			// reads as every counter collapsing to zero.
+			writeRegistryErr(w, name, err)
+			return
+		}
+		if err != nil {
+			continue // dropped between listing and lookup
+		}
+		rows = append(rows, ts.scrape(name))
+	}
+	writeMetricsText(w, rows)
 }
 
 // aggregateStatsResponse is the fleet-wide /v1/stats body: the per-tenant
@@ -191,14 +238,17 @@ func (s *MultiHTTPServer) handleTenants(w http.ResponseWriter, r *http.Request) 
 
 // writeRegistryErr maps registry failures onto wire statuses: an unknown
 // tenant is the client's path (404), a draining router refuses new work
-// (503), a duplicate or invalid spec is the client's body (409/400 folded
-// into 400 here), the rest are server faults.
+// (503), an invalid spec is the client's body (400), a creation collision —
+// duplicate name or a state dir another process holds — is a conflict
+// (409), the rest are server faults.
 func writeRegistryErr(w http.ResponseWriter, tenant string, err error) {
 	switch {
 	case errors.Is(err, fosserr.ErrUnknownTenant):
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q", tenant))
 	case errors.Is(err, fosserr.ErrLoopClosed):
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, fosserr.ErrStoreLocked):
+		writeErr(w, http.StatusConflict, err.Error())
 	case errors.Is(err, fosserr.ErrBadConfig), errors.Is(err, fosserr.ErrUnknownBackend), errors.Is(err, fosserr.ErrUnknownWorkload):
 		writeErr(w, http.StatusBadRequest, err.Error())
 	default:

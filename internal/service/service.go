@@ -42,6 +42,7 @@ import (
 
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/learner"
+	"github.com/foss-db/foss/internal/metrics"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
@@ -123,6 +124,14 @@ type Config struct {
 	// micro-planner. The zero value disables both — every request takes the
 	// full tier-2 path, the pre-PR-6 behavior.
 	Tier tier.Config
+
+	// Advisor configures the async self-diagnosis advisor: a background
+	// goroutine (owned by the loop, drained by Close) that watches the
+	// feedback stream and emits structured findings — sustained regression
+	// vs the expert baseline, plan-memory thrash, cooldown-starved drift.
+	// The zero value disables it; serving pays nothing either way (the
+	// Record-side hand-off is one non-blocking channel send).
+	Advisor AdvisorConfig
 }
 
 // DefaultConfig returns a serving-oriented configuration.
@@ -251,6 +260,20 @@ type Loop struct {
 	t0Hits, t1Hits, t2Serves  atomic.Uint64
 	promotions, demotions     atomic.Uint64
 	t0Nanos, t1Nanos, t2Nanos atomic.Int64
+
+	// hist holds the per-tier serve-latency histograms behind /metrics,
+	// indexed by tier. Embedded by value: observing is two atomic adds on a
+	// fixed array, nothing the tier-0 zero-allocation budget can feel. Every
+	// serve observes exactly one histogram AFTER bumping served, and readers
+	// snapshot the histograms BEFORE loading served, so Σ histogram counts ≤
+	// Served in any concurrent snapshot (equal once traffic quiesces).
+	hist [3]metrics.Histogram
+
+	// adv is the async advisor (nil = disabled). Its goroutine is spawned
+	// through lp.spawn, so Close's WaitGroup drain covers it; advStop is
+	// closed at the start of shutdown to release it from its channel wait.
+	adv     *advisor
+	advStop chan struct{}
 }
 
 // slot pairs a replica with the epoch it was published at.
@@ -295,6 +318,12 @@ func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
 		epoch = 1
 	}
 	lp.active.Store(&slot{r: active, epoch: epoch})
+	if cfg.Advisor.Enabled {
+		lp.adv = newAdvisor(cfg.Advisor)
+		lp.advStop = make(chan struct{})
+		// Always succeeds here: the loop cannot be closed before New returns.
+		lp.spawn(func() { lp.adv.run(lp.advStop) })
+	}
 	return lp
 }
 
@@ -334,6 +363,7 @@ func (lp *Loop) Serve(ctx context.Context, q *query.Query) (Result, error) {
 			lp.t2Serves.Add(1)
 			lp.t2Nanos.Add(int64(d))
 		}
+		lp.hist[tier.Tier2].Observe(d)
 		return Result{Eval: pe, Epoch: s.epoch, CacheHit: hit, OptTime: d, Tier: tier.Tier2}, nil
 	}
 }
@@ -360,6 +390,7 @@ func (lp *Loop) serveTiered(q *query.Query) (Result, bool) {
 			lp.t0Hits.Add(1)
 			el := time.Since(start)
 			lp.t0Nanos.Add(int64(el))
+			lp.hist[tier.Tier0].Observe(el)
 			return Result{Eval: d.Pin, Epoch: s.epoch, CacheHit: true, OptTime: el, Tier: tier.Tier0}, true
 		case tier.Tier1:
 			key := id.Key(fp)
@@ -383,6 +414,7 @@ func (lp *Loop) serveTiered(q *query.Query) (Result, bool) {
 			lp.t1Hits.Add(1)
 			el := time.Since(start)
 			lp.t1Nanos.Add(int64(el))
+			lp.hist[tier.Tier1].Observe(el)
 			return Result{Eval: pe, Epoch: s.epoch, CacheHit: cached, OptTime: el, Tier: tier.Tier1}, true
 		default:
 			return Result{}, false
@@ -451,6 +483,10 @@ func (lp *Loop) ServeBatch(ctx context.Context, qs []*query.Query) ([]Result, er
 					lp.t2Nanos.Add(int64(out[i].OptTime))
 				}
 			}
+			// Tier-0 batch rows carry a zero OptTime (the pin answered inside
+			// the shared routing pass); they observe 0 so the histogram count
+			// still equals the serve count.
+			lp.hist[out[i].Tier].Observe(out[i].OptTime)
 		}
 		return out, nil
 	}
@@ -475,14 +511,11 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 	}
 	fp := q.Fingerprint()
 
-	// With tiering on, the expert baseline resolves before the ordering lock:
-	// the tier router's Observe runs inside it and judges wins/regressions
-	// against the same baseline the drift detector uses. (expertLatency takes
-	// mu briefly for its cache; the plan+execute runs unlocked either way.)
-	var expert float64
-	if lp.tiers != nil {
-		expert = lp.expertLatency(lp.active.Load().r, q, fp)
-	}
+	// The expert baseline resolves before the ordering lock: the tier
+	// router's Observe runs inside it and judges wins/regressions against
+	// the same baseline the drift detector uses. (expertLatency takes mu
+	// briefly for its cache; the plan+execute runs unlocked either way.)
+	expert := lp.expertLatency(lp.active.Load().r, q, fp)
 
 	// Resolve the replica pair under mu: the swap updates the active pointer
 	// and the standby field inside the same critical section, so this
@@ -560,24 +593,38 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 			}
 		}
 	}
-	lp.mu.Unlock()
-
+	// The promotion/demotion/recorded bumps ride the same critical section
+	// that produced them, so no concurrent snapshot can observe a demotion
+	// without its causing promotion, or a WAL entry count behind the
+	// recorded count it implies (Stats loads the subordinate counter first;
+	// see the ordering note there).
 	if tout.Promoted {
 		lp.promotions.Add(1)
 	}
 	if tout.Demoted {
 		lp.demotions.Add(1)
 	}
-	if lp.tiers == nil {
-		expert = lp.expertLatency(s.r, q, fp)
-	}
+	n := lp.recorded.Add(1)
+	lp.mu.Unlock()
 
 	ratio := 1.0
 	if expert > 0 {
 		ratio = latencyMs / expert
 	}
 	sig := lp.det.Observe(fp, ratio)
-	n := lp.recorded.Add(1)
+	if lp.adv != nil {
+		// Non-blocking hand-off: a saturated advisor drops (and counts) the
+		// observation rather than slowing feedback ingestion.
+		lp.adv.offer(advisorObs{
+			fp:           fp,
+			qid:          q.ID,
+			epoch:        s.epoch,
+			ratio:        ratio,
+			promoted:     tout.Promoted,
+			demoted:      tout.Demoted,
+			driftBlocked: sig.Drift && !ready,
+		})
+	}
 
 	if sig.Drift && ready {
 		lp.triggerRetrain()
@@ -620,6 +667,14 @@ func (lp *Loop) Close(ctx context.Context) error {
 		lp.closed.Store(true)
 		lp.lifeMu.Unlock()
 
+		// Release the advisor before draining the WaitGroup: its goroutine
+		// is wg-tracked and blocks on its intake channel, so the stop signal
+		// must precede the wait. It drains whatever Record already handed
+		// off, then exits.
+		if lp.advStop != nil {
+			close(lp.advStop)
+		}
+
 		done := make(chan struct{})
 		go func() {
 			lp.wg.Wait()
@@ -655,13 +710,21 @@ func (lp *Loop) Active() Replica { return lp.active.Load().r }
 func (lp *Loop) Epoch() uint64 { return lp.active.Load().epoch }
 
 // Stats snapshots the counters.
+//
+// Snapshot consistency: counters are lock-free on the write side, so a
+// concurrent scrape can land between any two bumps — but never incoherently.
+// Each subordinate counter is loaded BEFORE the counter that bounds it
+// (cache hits and tier hits before served, demotions before promotions,
+// recorded before the WAL length, per-tier nanos before per-tier hits), and
+// the write side bumps them in the opposite order (or under one critical
+// section). Every snapshot therefore satisfies the cross-counter invariants:
+// CacheHits ≤ Served, Tier0+Tier1+Tier2 ≤ Served, Demotions ≤ Promotions,
+// and (with a clean journal) Recorded ≤ WALEntries. The -race scrape test
+// pins exactly these.
 func (lp *Loop) Stats() Stats {
 	win := lp.det.WindowState()
 	st := Stats{
-		Epoch:            lp.active.Load().epoch,
-		Served:           lp.served.Load(),
 		CacheHits:        lp.cacheHits.Load(),
-		Recorded:         lp.recorded.Load(),
 		Drifts:           lp.drifts.Load(),
 		Retrains:         lp.retrains.Load(),
 		Swaps:            lp.swaps.Load(),
@@ -677,29 +740,44 @@ func (lp *Loop) Stats() Stats {
 		WALErrors:        lp.walErrors.Load(),
 		CheckpointErrors: lp.ckErrors.Load(),
 	}
+	if lp.tiers != nil {
+		// Nanos before hits: a torn average can only undercount, never
+		// divide fresh nanos by stale hits.
+		t0n, t1n, t2n := lp.t0Nanos.Load(), lp.t1Nanos.Load(), lp.t2Nanos.Load()
+		st.Tier0Hits = lp.t0Hits.Load()
+		st.Tier1Hits = lp.t1Hits.Load()
+		st.Tier2Serves = lp.t2Serves.Load()
+		st.Demotions = lp.demotions.Load()
+		st.Promotions = lp.promotions.Load()
+		st.PinnedPlans = lp.tiers.Pinned()
+		if st.Tier0Hits > 0 {
+			st.Tier0AvgUs = float64(t0n) / float64(st.Tier0Hits) / 1e3
+		}
+		if st.Tier1Hits > 0 {
+			st.Tier1AvgUs = float64(t1n) / float64(st.Tier1Hits) / 1e3
+		}
+		if st.Tier2Serves > 0 {
+			st.Tier2AvgUs = float64(t2n) / float64(st.Tier2Serves) / 1e3
+		}
+	}
+	st.Recorded = lp.recorded.Load()
+	st.Served = lp.served.Load()
+	st.Epoch = lp.active.Load().epoch
 	if lp.st != nil {
 		lp.mu.Lock()
 		st.WALEntries = lp.st.WAL().Len()
 		lp.mu.Unlock()
 	}
-	if lp.tiers != nil {
-		st.Tier0Hits = lp.t0Hits.Load()
-		st.Tier1Hits = lp.t1Hits.Load()
-		st.Tier2Serves = lp.t2Serves.Load()
-		st.Promotions = lp.promotions.Load()
-		st.Demotions = lp.demotions.Load()
-		st.PinnedPlans = lp.tiers.Pinned()
-		if st.Tier0Hits > 0 {
-			st.Tier0AvgUs = float64(lp.t0Nanos.Load()) / float64(st.Tier0Hits) / 1e3
-		}
-		if st.Tier1Hits > 0 {
-			st.Tier1AvgUs = float64(lp.t1Nanos.Load()) / float64(st.Tier1Hits) / 1e3
-		}
-		if st.Tier2Serves > 0 {
-			st.Tier2AvgUs = float64(lp.t2Nanos.Load()) / float64(st.Tier2Serves) / 1e3
-		}
-	}
 	return st
+}
+
+// ServeHistograms snapshots the per-tier serve-latency histograms (indexed
+// by tier). Callers composing a scrape must snapshot these BEFORE calling
+// Stats so Σ counts ≤ Stats().Served holds under concurrent traffic.
+func (lp *Loop) ServeHistograms() [3]metrics.HistSnapshot {
+	return [3]metrics.HistSnapshot{
+		lp.hist[0].Snapshot(), lp.hist[1].Snapshot(), lp.hist[2].Snapshot(),
+	}
 }
 
 // expertLatency returns (computing and caching on first use) the traditional

@@ -1,0 +1,219 @@
+package shard
+
+// The live-creation concurrency suite: booting a tenant takes real time
+// (workload generation plus training), and the fleet keeps serving scrapes
+// throughout. Two contracts matter — a duplicate concurrent create loses
+// fast instead of double-booting, and every aggregate read (/v1/stats,
+// /metrics) is zero-or-fully: a tenant mid-boot is invisible, a tenant that
+// appears at all appears with its complete row. Run with -race: this is also
+// the data-race soak for create-vs-scrape.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/foss-db/foss/internal/fosserr"
+	"github.com/foss-db/foss/internal/service"
+)
+
+// TestConcurrentDuplicateCreate: two racing creates of one name — exactly
+// one boots, the loser is refused as a duplicate (ErrBadConfig) by the
+// name reservation, before it spends anything on a second boot.
+func TestConcurrentDuplicateCreate(t *testing.T) {
+	cfg := tinyRouterConfig("")
+	router, err := NewRouter(context.Background(), cfg, []TenantSpec{{Name: "acme"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close(context.Background())
+
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := router.Create(context.Background(), TenantSpec{Name: "globex", Backend: "gaussim"})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+
+	var won, lost int
+	for err := range errs {
+		switch {
+		case err == nil:
+			won++
+		case errors.Is(err, fosserr.ErrBadConfig):
+			lost++
+		default:
+			t.Fatalf("unexpected create error: %v", err)
+		}
+	}
+	if won != 1 || lost != 1 {
+		t.Fatalf("winners=%d losers=%d, want exactly 1/1", won, lost)
+	}
+	// The winner's shard is routable and serves.
+	sh, err := router.Get("globex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Serve(context.Background(), sh.W.Train[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCreateWhileScrape hammers the aggregate surfaces while a live POST
+// /v1/tenants boots a second shard. Every /v1/stats body must be internally
+// consistent (totals.Tenants == listed rows, each row complete), every
+// /metrics page must be a complete exposition (any tenant that appears has
+// its serve counter series), and the new tenant must never surface
+// half-booted on either.
+func TestCreateWhileScrape(t *testing.T) {
+	cfg := tinyRouterConfig("")
+	router, err := NewRouter(context.Background(), cfg, []TenantSpec{{Name: "acme"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close(context.Background())
+
+	mux := service.NewMultiHTTPServer(router)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	// Traffic on acme so the scrapes have moving counters to read.
+	acme, _ := router.Get("acme")
+	if _, _, err := acme.Step(context.Background(), acme.W.Train[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Error(err)
+			return ""
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s status %d: %s", path, resp.StatusCode, body)
+			return ""
+		}
+		return string(body)
+	}
+
+	checkStats := func(body string) (sawNew bool) {
+		var agg struct {
+			Tenants map[string]struct {
+				Backend string          `json:"backend"`
+				Stats   json.RawMessage `json:"stats"`
+				Cache   json.RawMessage `json:"cache"`
+			} `json:"tenants"`
+			Totals struct {
+				Tenants int `json:"tenants"`
+			} `json:"totals"`
+		}
+		if err := json.Unmarshal([]byte(body), &agg); err != nil {
+			t.Errorf("aggregate stats not parseable mid-create: %v\n%s", err, body)
+			return false
+		}
+		if agg.Totals.Tenants != len(agg.Tenants) {
+			t.Errorf("totals.tenants=%d but %d rows listed", agg.Totals.Tenants, len(agg.Tenants))
+		}
+		// Zero-or-fully: every listed row is a complete snapshot — a tenant
+		// mid-boot must not appear as a stub.
+		for name, row := range agg.Tenants {
+			if row.Backend == "" || len(row.Stats) == 0 || len(row.Cache) == 0 {
+				t.Errorf("tenant %s listed with an incomplete row: %+v", name, row)
+			}
+		}
+		_, sawNew = agg.Tenants["globex"]
+		return sawNew
+	}
+
+	checkMetrics := func(body string) (sawNew bool) {
+		if !strings.Contains(body, "# TYPE foss_served_total counter") {
+			t.Errorf("scrape page missing its families:\n%.400s", body)
+		}
+		if !strings.Contains(body, `tenant="globex"`) {
+			return false
+		}
+		// Zero-or-fully: once globex appears anywhere on the page, its
+		// complete row is there — the serve counter series included.
+		if !strings.Contains(body, `foss_served_total{tenant="globex"}`) {
+			t.Errorf("globex labeled on the page without its serve series:\n%s", body)
+		}
+		return true
+	}
+
+	done := make(chan struct{})
+	var scrapes int
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if body := get("/v1/stats"); body != "" {
+				checkStats(body)
+			}
+			if body := get("/metrics"); body != "" {
+				checkMetrics(body)
+			}
+			scrapes++
+		}
+	}()
+
+	// The live create, through the wire path the operator would use.
+	resp, err := http.Post(ts.URL+"/v1/tenants", "application/json",
+		strings.NewReader(`{"tenant": "globex", "backend": "gaussim"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	close(done)
+	scraper.Wait()
+
+	if scrapes == 0 {
+		t.Fatal("no scrape overlapped the create; the soak proved nothing")
+	}
+
+	// Post-create the new tenant is fully visible on both surfaces.
+	if !checkStats(get("/v1/stats")) {
+		t.Fatal("globex missing from aggregate stats after create returned")
+	}
+	if !checkMetrics(get("/metrics")) {
+		t.Fatal("globex missing from aggregate metrics after create returned")
+	}
+	// And serves on its scoped endpoint.
+	sh, err := router.Get("globex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := http.Post(ts.URL+"/v1/t/globex/optimize", "application/json",
+		strings.NewReader(`{"query_id": "`+sh.W.Train[0].ID+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("new tenant optimize status %d", r2.StatusCode)
+	}
+}

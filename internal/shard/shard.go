@@ -121,6 +121,12 @@ type Router struct {
 
 	mu        sync.RWMutex
 	shards    map[string]*Shard
+	// creating reserves names whose shard is still booting, so two
+	// concurrent creates for one name fail fast (one boots, the other gets
+	// the duplicate error immediately) instead of both paying a training run
+	// and racing for the WAL lock. A reserved name is invisible to Get/Names
+	// — a tenant appears exactly zero-or-fully to readers.
+	creating  map[string]bool
 	closed    bool
 	closeOnce sync.Once
 	closeErr  error
@@ -147,6 +153,7 @@ func NewRouter(ctx context.Context, cfg Config, specs []TenantSpec) (*Router, er
 		cfg:       cfg,
 		pool:      runtime.NewShared(cfg.Workers),
 		shards:    map[string]*Shard{},
+		creating:  map[string]bool{},
 		workloads: map[string]*workload.Workload{},
 	}
 	for _, spec := range specs {
@@ -203,35 +210,47 @@ func (r *Router) create(ctx context.Context, spec TenantSpec) (*Shard, error) {
 	if err := validateName(spec.Name); err != nil {
 		return nil, err
 	}
-	r.mu.RLock()
-	closed, exists := r.closed, r.shards[spec.Name] != nil
-	r.mu.RUnlock()
-	if closed {
+	// Reserve the name before the (long) boot: a concurrent duplicate create
+	// fails fast with the duplicate error instead of double-booting and
+	// colliding on the per-tenant WAL lock downstream. The reservation is
+	// private to creators — Get and Names never see it, so the tenant stays
+	// invisible until the fully booted shard registers below.
+	r.mu.Lock()
+	switch {
+	case r.closed:
+		r.mu.Unlock()
 		return nil, fmt.Errorf("shard: router draining: %w", fosserr.ErrLoopClosed)
-	}
-	if exists {
+	case r.shards[spec.Name] != nil, r.creating[spec.Name]:
+		r.mu.Unlock()
 		return nil, fmt.Errorf("shard: tenant %q already exists: %w", spec.Name, fosserr.ErrBadConfig)
+	}
+	r.creating[spec.Name] = true
+	r.mu.Unlock()
+	release := func() {
+		r.mu.Lock()
+		delete(r.creating, spec.Name)
+		r.mu.Unlock()
 	}
 
 	sh, err := r.boot(ctx, spec)
 	if err != nil {
+		release()
 		return nil, err
 	}
 
 	r.mu.Lock()
-	if r.closed || r.shards[spec.Name] != nil {
-		closed := r.closed
+	if r.closed {
+		delete(r.creating, spec.Name)
 		r.mu.Unlock()
-		// Lost the race while booting: tear the orphan down, it never served.
+		// The router began draining while this shard booted: tear the
+		// orphan down, it never served.
 		cctx, cancel := context.WithCancel(context.Background())
 		cancel()
 		_ = sh.Close(cctx)
-		if closed {
-			return nil, fmt.Errorf("shard: router draining: %w", fosserr.ErrLoopClosed)
-		}
-		return nil, fmt.Errorf("shard: tenant %q already exists: %w", spec.Name, fosserr.ErrBadConfig)
+		return nil, fmt.Errorf("shard: router draining: %w", fosserr.ErrLoopClosed)
 	}
 	r.shards[spec.Name] = sh
+	delete(r.creating, spec.Name)
 	r.mu.Unlock()
 	return sh, nil
 }

@@ -79,11 +79,22 @@ go test -count=1 ./internal/tier/
 go test -race -count=1 -run 'TestTier|TestHotSwap' ./internal/service/
 go test -count=1 -run 'TestTierMemorySurvivesRestart' ./internal/core/
 
-echo "== alloc gates: tier-0 serve is allocation-free, batched scoring bounded =="
+echo "== alloc gates: tier-0 serve is allocation-free (metrics recording included), batched scoring bounded =="
 # Run without -race (instrumentation changes the counts; the tests skip
-# themselves under the detector).
+# themselves under the detector). TestTier0ServeZeroAllocs now runs with the
+# latency histogram recording on its path: metrics must stay free.
 go test -count=1 -run 'TestTier0ServeZeroAllocs' ./internal/service/
+go test -count=1 -run 'TestHistogramObserveZeroAllocs' ./internal/metrics/
 go test -count=1 -run 'TestScoreBatchAllocsBounded' ./internal/aam/
+
+echo "== observability: scrape consistency + explain/advisor wire round trips =="
+# TestStatsConsistentUnderTraffic: concurrent scrapes never see torn stats.
+# TestMetricsGoldenFormat / TestMetricsAggregateTenantLabels: the exposition
+#   page is valid Prometheus text, tenant-labeled in fleets.
+# TestHTTPExplainRoundTrip / TestHTTPExecuteInterleaveRing: per-serve
+#   provenance, and the execute:true ring-accounting regression.
+go test -race -count=1 -run 'TestStatsConsistentUnderTraffic|TestMetrics|TestHTTPExplain|TestHTTPExecuteInterleaveRing|TestHTTPAdvisorEndpoint|TestAdvisor' ./internal/service/
+go test -count=1 ./internal/metrics/
 
 echo "== durability: snapshot rejection + crash recovery (in-process) =="
 # TestSnapshotRejections: cross-backend / version-skew / corrupt snapshots
@@ -210,13 +221,79 @@ for t in acme globex; do
 done
 echo "drain gate OK: SIGTERM drained 2 tenants cleanly ($answered in-flight answers intact), both warm-restarted bit-identically"
 
+echo "== observability: 2-tenant /metrics scrape — monotonic counters, histogram == served =="
+# The scrape gate: live traffic against a 2-tenant fossd, two scrapes of the
+# aggregate /metrics page around more traffic. Counters must be monotonic
+# across the scrapes and (traffic strictly between scrapes, so the fleet is
+# quiescent at each) the summed histogram counts must equal the summed serve
+# counter on both pages.
+met_addr=127.0.0.1:8499
+met_flags="-tenants acme,globex -tenant-spec globex=backend:gaussim -serve-http $met_addr"
+met_up() {
+  for _ in $(seq 1 180); do
+    curl -sf "http://$met_addr/v1/tenants" >/dev/null 2>&1 && return 0
+    sleep 1
+  done
+  return 1
+}
+# shellcheck disable=SC2086
+"$gate_dir/fossd" $gate_train $met_flags >"$gate_dir/metrics.log" 2>&1 &
+gate_pid=$!
+met_up || { cat "$gate_dir/metrics.log"; echo "FAIL: metrics-gate fleet never came up"; exit 1; }
+met_traffic() { # $1 = requests per tenant
+  for _ in $(seq 1 "$1"); do
+    for t in acme globex; do
+      curl -sf "http://$met_addr/v1/t/$t/optimize" -d '{"query_id": "1_1", "execute": true}' >/dev/null
+    done
+  done
+}
+met_sum() { # $1 = page file, $2 = sample-name prefix
+  grep "^$2" "$1" | awk '{s += $NF} END {print s + 0}'
+}
+met_traffic 3
+curl -sf "http://$met_addr/metrics" >"$gate_dir/scrape1.txt"
+met_traffic 2
+curl -sf "http://$met_addr/metrics" >"$gate_dir/scrape2.txt"
+kill -TERM "$gate_pid"; wait "$gate_pid" 2>/dev/null || true
+gate_pid=""
+for page in scrape1 scrape2; do
+  grep -q 'tenant="acme"' "$gate_dir/$page.txt" && grep -q 'tenant="globex"' "$gate_dir/$page.txt" \
+    || { echo "FAIL: $page is not tenant-labeled"; exit 1; }
+  served=$(met_sum "$gate_dir/$page.txt" 'foss_served_total')
+  hist=$(met_sum "$gate_dir/$page.txt" 'foss_serve_latency_seconds_count')
+  [[ "$served" -ge 1 ]] || { echo "FAIL: $page shows no serves"; exit 1; }
+  [[ "$hist" -eq "$served" ]] || { echo "FAIL: $page histogram counts $hist != served $served"; exit 1; }
+done
+for fam in foss_served_total foss_recorded_total foss_serve_latency_seconds_count; do
+  a=$(met_sum "$gate_dir/scrape1.txt" "$fam")
+  b=$(met_sum "$gate_dir/scrape2.txt" "$fam")
+  [[ "$b" -gt "$a" ]] || { echo "FAIL: $fam not monotonic across traffic ($a -> $b)"; exit 1; }
+done
+echo "metrics gate OK: tenant-labeled scrape, counters monotonic, histogram counts == served on both pages"
+
 if [[ $quick -eq 0 ]]; then
   ncpu=$(nproc 2>/dev/null || echo 1)
   if [[ "$ncpu" -ge 4 ]]; then
-    echo "== perf snapshot (BENCH_6.json) =="
+    echo "== perf snapshot (BENCH_7.json) =="
     # Hardware-gated like the speedup check: on weak runners the numbers are
     # noise; run `make bench` manually to refresh the snapshot anywhere.
     scripts/bench.sh
+    echo "== metrics overhead (serve with scrape pressure vs plain serve) =="
+    # The budget is <=2% (two atomic adds and a bit-length per serve). Both
+    # benches serve the identical 100-query sequence, so the ratio is an
+    # apples-to-apples steady state; the gate fails at 15% — beyond run-to-
+    # run noise, so a pass is meaningful and a real regression (a lock or an
+    # allocation on the record path) still trips it.
+    go test -run xxx -bench 'BenchmarkServeOnline$|BenchmarkServeWithMetrics' -benchtime 100x . | tee /tmp/foss_metrics_bench.txt
+    awk '
+      /BenchmarkServeOnline/ { plain = $3 }
+      /BenchmarkServeWithMetrics/ { met = $3 }
+      END {
+        if (plain > 0 && met > 0) {
+          printf "serve with metrics: %.1fus vs plain %.1fus (%+.1f%%)\n", met/1000, plain/1000, (met/plain - 1) * 100
+          if (met > plain * 1.15) { print "FAIL: metrics overhead above 15%"; exit 1 }
+        }
+      }' /tmp/foss_metrics_bench.txt
     echo "== tiered serving speedup (tier-0 hit vs full turn) =="
     go test -run xxx -bench 'BenchmarkServeOnline$|BenchmarkServeTiered' -benchtime 3x . | tee /tmp/foss_tier_bench.txt
     awk '
