@@ -8,12 +8,16 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/foss-db/foss/internal/aam"
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/experiments"
+	"github.com/foss-db/foss/internal/gate"
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
 	"github.com/foss-db/foss/internal/runtime"
@@ -503,6 +507,68 @@ func BenchmarkShardedServe(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkGateProxy measures one serving round-trip through the fleet
+// gate: HTTP in at the gate, consistent-hash owner lookup, proxied optimize
+// on the owning member, response relayed back. Compare against
+// BenchmarkShardedServe for the wire + routing overhead on top of the
+// in-process serve path.
+func BenchmarkGateProxy(b *testing.B) {
+	sysCfg := core.DefaultConfig()
+	sysCfg.StateNet = aam.StateNetConfig{DModel: 16, Heads: 2, Layers: 1, FFDim: 32, StateDim: 16}
+	sysCfg.PlanCache = 256
+	sysCfg.Learner.Iterations = 1
+	sysCfg.Learner.RealPerIter = 6
+	sysCfg.Learner.SimPerIter = 20
+	sysCfg.Learner.ValidatePerIter = 6
+	sysCfg.Learner.InferenceRollouts = 2
+	router, err := shard.NewRouter(context.Background(), shard.Config{
+		System: sysCfg,
+		Loop: service.Config{
+			Detector:   service.DetectorConfig{Window: 32, Threshold: 1e12, MinSamples: 32},
+			Cooldown:   1 << 30,
+			Background: true,
+		},
+		Defaults: shard.TenantSpec{Workload: "job", Scale: 0.35, Seed: 1},
+		Workers:  2,
+	}, []shard.TenantSpec{{Name: "t0"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { router.Close(context.Background()) })
+	member := httptest.NewServer(service.NewMultiHTTPServer(router))
+	b.Cleanup(member.Close)
+	p, err := gate.NewProxy(gate.Options{Members: []string{member.URL}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw := httptest.NewServer(p)
+	b.Cleanup(gw.Close)
+
+	sh, err := router.Get("t0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(qid string) {
+		resp, err := http.Post(gw.URL+"/v1/t/t0/optimize", "application/json",
+			strings.NewReader(`{"query_id": "`+qid+`"}`))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("gate optimize: %s", resp.Status)
+		}
+	}
+	for _, q := range sh.W.Train {
+		post(q.ID) // warm plan caches through the full proxied path
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(sh.W.Train[i%len(sh.W.Train)].ID)
 	}
 }
 

@@ -1,0 +1,60 @@
+package main
+
+// The -gate mode: fossd as a fleet front end with no doctor of its own.
+// Shared by cmd/fossgate, which is the same gate as a standalone binary.
+//
+//	fossd -gate -serve-http :8400 -gate-members 127.0.0.1:8475,127.0.0.1:8476 -gate-failover
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/foss-db/foss/internal/gate"
+)
+
+// runGate serves the consistent-hash tenant router until SIGINT/SIGTERM.
+func runGate(addr, members string, failover bool, vnodes int) error {
+	var list []string
+	for _, m := range strings.Split(members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			list = append(list, m)
+		}
+	}
+	p, err := gate.NewProxy(gate.Options{Members: list, VNodes: vnodes, Failover: failover})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: addr, Handler: p}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\ngate shutting down...")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "gate shutdown:", err)
+		}
+	}()
+
+	fmt.Printf("gate up on %s: %d member(s), failover=%v\n", addr, len(p.Ring().Members()), failover)
+	fmt.Println("  /v1/t/{tenant}/*  → proxied to the tenant's owner on the hash ring")
+	fmt.Println("  GET /metrics      → merged fleet exposition (instance-labeled) + foss_gate_* counters")
+	fmt.Println("  GET /v1/stats     → per-member stats keyed by address")
+	fmt.Println("  GET /v1/gate      → membership; ?tenant=x shows x's preference list")
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	<-done
+	fmt.Println("gate stopped")
+	return nil
+}

@@ -89,8 +89,18 @@ func main() {
 		ckEvery     = flag.Int("checkpoint-every", 64, "recorded executions between periodic checkpoints when -state-dir is set (0 = only on hot-swaps and POST /v1/checkpoint)")
 
 		tenants      = flag.String("tenants", "", "comma-separated tenant names: serve a sharded multi-tenant fleet (requires -serve-http); each tenant gets a full doctor over the default workload/backend/scale with a name-derived seed")
-		tenantSpec   = flag.String("tenant-spec", "", "heterogeneous tenants: 'name=key:val,...;name2=...' with keys workload|backend|scale|seed (merges with -tenants)")
+		tenantSpec   = flag.String("tenant-spec", "", "heterogeneous tenants: 'name=key:val,...;name2=...' with keys workload|backend|scale|seed|leader (merges with -tenants)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "shutdown budget: in-flight retrains past it are canceled (final checkpoints are still taken)")
+
+		role            = flag.String("role", "leader", "replica role for -tenants mode: leader trains/journals/checkpoints; follower boots from the leader's newest checkpoint, serves read-only, and hot-swaps each published generation (needs -leader-addr or a shared -state-dir)")
+		leaderAddr      = flag.String("leader-addr", "", "leader base URL for -role follower (e.g. http://host:8475); checkpoints replicate over /v1/t/{tenant}/repl/* and /v1/feedback forwards to the leader")
+		replInterval    = flag.Duration("repl-interval", 500*time.Millisecond, "follower manifest poll cadence — the replication-lag SLO")
+		replBootTimeout = flag.Duration("repl-boot-timeout", 2*time.Minute, "how long a follower boot waits for the leader's first checkpoint")
+
+		gateMode     = flag.Bool("gate", false, "run as a fleet gate instead of a doctor: consistent-hash tenant routing over -gate-members, proxying /v1/t/{tenant}/* (uses -serve-http as the listen address)")
+		gateMembers  = flag.String("gate-members", "", "comma-separated fleet member addresses for -gate (host:port or http://host:port)")
+		gateFailover = flag.Bool("gate-failover", false, "retry the next member in a tenant's preference list when the owner is unreachable (transport errors only)")
+		gateVNodes   = flag.Int("gate-vnodes", 0, "virtual nodes per member on the gate's hash ring (0 = default)")
 
 		online       = flag.Bool("online", false, "after training, run the online doctor loop over a drift scenario (feedback ingestion, drift-aware background retraining, zero-downtime hot-swap)")
 		drift        = flag.String("drift", "selectivity", "drift scenario for -online: template-mix | selectivity | novel-template")
@@ -110,6 +120,19 @@ func main() {
 		advisorWin = flag.Int("advisor-window", 64, "advisor regression window (records); a regression finding needs a full window")
 	)
 	flag.Parse()
+
+	// Gate mode: no doctor at all — just the consistent-hash front end.
+	if *gateMode {
+		if *serveHTTP == "" || *gateMembers == "" {
+			fmt.Fprintln(os.Stderr, "-gate requires -serve-http (listen address) and -gate-members")
+			os.Exit(1)
+		}
+		if err := runGate(*serveHTTP, *gateMembers, *gateFailover, *gateVNodes); err != nil {
+			fmt.Fprintln(os.Stderr, "gate:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Sharded multi-tenant mode: the fleet path owns workload loading,
 	// training/warm-start, serving, and the drain lifecycle per tenant.
@@ -146,13 +169,22 @@ func main() {
 			Defaults:         shard.TenantSpec{Workload: *wl, Backend: *backendName, Scale: *scale, Seed: *seed},
 			StateDir:         *stateDir,
 			Workers:          *workers,
-			CheckpointOnBoot: *stateDir != "",
+			CheckpointOnBoot: *stateDir != "" && *role != "follower",
+			Role:             *role,
+			LeaderAddr:       *leaderAddr,
+			ReplInterval:     *replInterval,
+			ReplBootTimeout:  *replBootTimeout,
 		}, specs, *serveHTTP, *drainTimeout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fleet:", err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *role == "follower" {
+		fmt.Fprintln(os.Stderr, "-role follower requires fleet mode (-tenants / -tenant-spec)")
+		os.Exit(1)
 	}
 
 	start := time.Now()

@@ -70,8 +70,12 @@ func parseTenantSpecs(tenants, tenantSpec string) ([]shard.TenantSpec, error) {
 					s.Scale, err = strconv.ParseFloat(v, 64)
 				case "seed":
 					s.Seed, err = strconv.ParseInt(v, 10, 64)
+				case "leader":
+					// Cut split at the first colon only, so URL values
+					// ("leader:http://h:8475") keep their own colons intact.
+					s.Leader = v
 				default:
-					return nil, fmt.Errorf("tenant-spec %q: unknown key %q (want workload|backend|scale|seed)", name, k)
+					return nil, fmt.Errorf("tenant-spec %q: unknown key %q (want workload|backend|scale|seed|leader)", name, k)
 				}
 				if err != nil {
 					return nil, fmt.Errorf("tenant-spec %q: bad %s %q: %v", name, k, v, err)

@@ -205,6 +205,7 @@ var (
 	ErrServeIDExpired  = fosserr.ErrServeIDExpired
 	ErrStoreLocked     = fosserr.ErrStoreLocked
 	ErrUnknownTenant   = fosserr.ErrUnknownTenant
+	ErrNotLeader       = fosserr.ErrNotLeader
 )
 
 // StateStore re-exports the durability store: the state directory holding
@@ -218,6 +219,17 @@ type RecoveryInfo = core.RecoveryInfo
 
 // OpenStateDir opens (creating if needed) a durable state directory.
 func OpenStateDir(dir string) (*StateStore, error) { return store.Open(dir) }
+
+// ReadStateStore re-exports the read-only view of a state directory:
+// follower replicas tail a live leader's checkpoints through one without
+// contending for the writer lock (readers share LOCK.read; writers still
+// exclude each other on LOCK).
+type ReadStateStore = store.ReadStore
+
+// OpenStateDirReadOnly opens an existing state directory read-only. Any
+// number of readers coexist with one live writer; a second writer is still
+// refused with ErrStoreLocked.
+func OpenStateDirReadOnly(dir string) (*ReadStateStore, error) { return store.OpenReadOnly(dir) }
 
 // OnlineConfig re-exports the online doctor loop configuration
 // (System.EnableOnline).

@@ -125,6 +125,37 @@ func (s *System) RecoverOnline(cfg service.Config, st *store.Store) (RecoveryInf
 	}, nil
 }
 
+// EnableFollower turns this system into a read-only serving replica of the
+// leader whose checkpoint ck came from: the checkpoint's weights, buffer,
+// tier pins, and epoch are installed and the loop comes up with
+// cfg.Follower forced on and no store attached — a follower never trains,
+// never journals, and never checkpoints; it advances only by applying the
+// leader's published checkpoints (service.Loop.ApplyCheckpoint, typically
+// driven by a repl.Tailer).
+func (s *System) EnableFollower(cfg service.Config, ck store.Checkpoint) error {
+	if s.online != nil {
+		return fmt.Errorf("core: online loop already enabled")
+	}
+	// Load validates the envelope-free model image against this system's
+	// backend — a gaussim follower refuses a selinger leader's checkpoint.
+	if err := s.Load(ck.Model); err != nil {
+		return fmt.Errorf("core: follower boot model: %w", err)
+	}
+	if err := s.ImportBuffer(ck.Buffer); err != nil {
+		return fmt.Errorf("core: follower boot buffer: %w", err)
+	}
+	cfg.Follower = true
+	cfg.Store = nil
+	cfg.InitialEpoch = ck.Epoch
+	if err := s.EnableOnline(cfg); err != nil {
+		return err
+	}
+	if err := s.online.ImportTier(ck.Tier); err != nil {
+		return fmt.Errorf("core: follower boot tier memory: %w", err)
+	}
+	return nil
+}
+
 // ServeContext optimizes one query through the online loop's active replica
 // — lock-free with respect to background retraining and hot-swaps.
 // EnableOnline must have been called (errors.Is(err, foss.ErrNotOnline)

@@ -61,4 +61,10 @@ var (
 
 	// ErrUnknownTenant reports a route to a tenant no shard serves.
 	ErrUnknownTenant = errors.New("foss: unknown tenant")
+
+	// ErrNotLeader reports a write (feedback, checkpoint, server-side
+	// execute) addressed to a follower replica — only the tenant's leader
+	// trains and journals; the wire surface answers 403 with the leader's
+	// address so clients can redirect.
+	ErrNotLeader = errors.New("foss: replica is a follower; writes go to the leader")
 )

@@ -1,0 +1,276 @@
+package gate
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRingDeterministicAndBalanced: the same membership in any order maps
+// every key identically, and ownership spreads across members.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:1", "n3:1"}, 64)
+	b := NewRing([]string{"n3:1", "n1:1", "n2:1"}, 64)
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		key := "tenant" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("order-dependent owner for %q", key)
+		}
+		counts[a.Owner(key)]++
+	}
+	for _, m := range a.Members() {
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns nothing: %v", m, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one member of five reassigns only the
+// keys that member owned — everything else stays put.
+func TestRingMinimalMovement(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	before := NewRing(members, 64)
+	after := NewRing(members[:4], 64) // e leaves
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := "k" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob == "e:1" {
+			if oa == "e:1" {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			continue
+		}
+		if ob == oa {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving members (kept %d) — not minimal", moved, kept)
+	}
+}
+
+// TestRingOwnersPreferenceList: distinct members, owner first, capped at
+// membership size.
+func TestRingOwnersPreferenceList(t *testing.T) {
+	r := NewRing([]string{"x:1", "y:1", "z:1"}, 64)
+	owners := r.Owners("tenant-a", 5)
+	if len(owners) != 3 {
+		t.Fatalf("owners = %v, want 3 distinct", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate in preference list: %v", owners)
+		}
+		seen[o] = true
+	}
+	if owners[0] != r.Owner("tenant-a") {
+		t.Fatalf("preference list head %q != owner %q", owners[0], r.Owner("tenant-a"))
+	}
+}
+
+// member spins up a fake fleet process that records which paths it saw.
+func member(t *testing.T, name string) (*httptest.Server, *[]string) {
+	t.Helper()
+	var paths []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		paths = append(paths, r.URL.Path)
+		switch {
+		case r.URL.Path == "/metrics":
+			io.WriteString(w, "# HELP foss_served_total Queries served.\n# TYPE foss_served_total counter\nfoss_served_total 7\n")
+		case r.URL.Path == "/v1/stats":
+			io.WriteString(w, `{"backend":"`+name+`"}`)
+		default:
+			body, _ := io.ReadAll(r.Body)
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"member":"`+name+`","echo":`+strings.TrimSpace(string(body))+`}`)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &paths
+}
+
+// TestProxyRoutesToOwner: a tenant request lands on exactly the ring owner,
+// path intact.
+func TestProxyRoutesToOwner(t *testing.T) {
+	s1, p1 := member(t, "m1")
+	s2, p2 := member(t, "m2")
+	p, err := NewProxy(Options{Members: []string{s1.URL, s2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := httptest.NewServer(p)
+	defer gw.Close()
+
+	resp, err := http.Post(gw.URL+"/v1/t/acme/optimize", "application/json", strings.NewReader(`{"q":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"echo":{"q":1}`) {
+		t.Fatalf("status=%d body=%s", resp.StatusCode, body)
+	}
+	want := p.Ring().Owner("acme")
+	hits1, hits2 := len(*p1), len(*p2)
+	switch want {
+	case s1.URL:
+		if hits1 != 1 || hits2 != 0 {
+			t.Fatalf("owner %s: hits m1=%d m2=%d", want, hits1, hits2)
+		}
+		if (*p1)[0] != "/v1/t/acme/optimize" {
+			t.Fatalf("path rewritten: %v", *p1)
+		}
+	case s2.URL:
+		if hits2 != 1 || hits1 != 0 {
+			t.Fatalf("owner %s: hits m1=%d m2=%d", want, hits1, hits2)
+		}
+	default:
+		t.Fatalf("owner %q is neither member", want)
+	}
+}
+
+// TestProxyFailover: with the owner down, the request lands on the next
+// member of the preference list; without failover it is a 502.
+func TestProxyFailover(t *testing.T) {
+	s1, _ := member(t, "m1")
+	s2, _ := member(t, "m2")
+	// Find a tenant owned by s1, then kill s1.
+	probe, err := NewProxy(Options{Members: []string{s1.URL, s2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenant := ""
+	for _, cand := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		if probe.Ring().Owner(cand) == s1.URL {
+			tenant = cand
+			break
+		}
+	}
+	if tenant == "" {
+		t.Fatal("no tenant hashed onto s1")
+	}
+	s1.Close()
+
+	strict, _ := NewProxy(Options{Members: []string{s1.URL, s2.URL}})
+	gw := httptest.NewServer(strict)
+	resp, err := http.Get(gw.URL + "/v1/t/" + tenant + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	gw.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("no-failover status = %d, want 502", resp.StatusCode)
+	}
+
+	failover, _ := NewProxy(Options{Members: []string{s1.URL, s2.URL}, Failover: true})
+	gw2 := httptest.NewServer(failover)
+	defer gw2.Close()
+	resp2, err := http.Get(gw2.URL + "/v1/t/" + tenant + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 || !strings.Contains(string(body), `"member":"m2"`) {
+		t.Fatalf("failover: status=%d body=%s", resp2.StatusCode, body)
+	}
+}
+
+// TestProxyMetricsMerge: one scrape carries every member's series under
+// instance labels, family headers unrepeated, plus the gate's own counters.
+func TestProxyMetricsMerge(t *testing.T) {
+	s1, _ := member(t, "m1")
+	s2, _ := member(t, "m2")
+	p, err := NewProxy(Options{Members: []string{s1.URL, s2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := httptest.NewServer(p)
+	defer gw.Close()
+
+	resp, err := http.Get(gw.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if n := strings.Count(text, "# TYPE foss_served_total counter"); n != 1 {
+		t.Fatalf("family header repeated %d times:\n%s", n, text)
+	}
+	for _, m := range []string{s1.URL, s2.URL} {
+		if !strings.Contains(text, `foss_served_total{instance="`+m+`"} 7`) {
+			t.Fatalf("missing instance series for %s:\n%s", m, text)
+		}
+	}
+	if !strings.Contains(text, "foss_gate_proxied_total") || !strings.Contains(text, "foss_gate_failovers_total") {
+		t.Fatalf("gate counters missing:\n%s", text)
+	}
+}
+
+// TestProxyStatsFanOut: /v1/stats aggregates each member's body keyed by
+// address, and /v1/gate reports membership.
+func TestProxyStatsFanOut(t *testing.T) {
+	s1, _ := member(t, "m1")
+	s2, _ := member(t, "m2")
+	p, err := NewProxy(Options{Members: []string{s1.URL, s2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := httptest.NewServer(p)
+	defer gw.Close()
+
+	resp, err := http.Get(gw.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg struct {
+		Members map[string]json.RawMessage `json:"members"`
+		Errors  map[string]string          `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(agg.Members) != 2 || len(agg.Errors) != 0 {
+		t.Fatalf("agg = %+v", agg)
+	}
+
+	resp2, err := http.Get(gw.URL + "/v1/gate?tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Members []string `json:"members"`
+		Owners  []string `json:"owners"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if len(info.Members) != 2 || len(info.Owners) != 2 {
+		t.Fatalf("gate info = %+v", info)
+	}
+	if info.Owners[0] != p.Ring().Owner("acme") {
+		t.Fatalf("owners[0] = %q, want ring owner %q", info.Owners[0], p.Ring().Owner("acme"))
+	}
+}
+
+// TestInjectLabel covers both sample shapes.
+func TestInjectLabel(t *testing.T) {
+	if got := injectLabel(`foss_epoch 3`, "instance", "a:1"); got != `foss_epoch{instance="a:1"} 3` {
+		t.Fatalf("bare: %s", got)
+	}
+	if got := injectLabel(`foss_x{tenant="t"} 1`, "instance", "a:1"); got != `foss_x{instance="a:1",tenant="t"} 1` {
+		t.Fatalf("labeled: %s", got)
+	}
+}

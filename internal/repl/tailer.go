@@ -1,0 +1,213 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/foss-db/foss/internal/store"
+)
+
+// Config assembles a Tailer.
+type Config struct {
+	// Source is where checkpoints are fetched from.
+	Source Source
+	// Interval is the manifest poll cadence (default 500ms). One tail
+	// interval is the replication-lag SLO: a model hot-swapped on the
+	// leader serves on the follower within one interval plus the fetch.
+	Interval time.Duration
+	// Apply installs a fetched checkpoint into the serving loop (hot-swap).
+	// Called from the tailer goroutine only, never concurrently.
+	Apply func(m store.Manifest, ck store.Checkpoint) error
+	// InitialEpoch/InitialWALSeq record the checkpoint the follower booted
+	// from, so the tailer does not re-apply it on the first poll.
+	InitialEpoch  uint64
+	InitialWALSeq uint64
+	// OnEvent, when set, receives one-line progress strings.
+	OnEvent func(string)
+}
+
+// Stats snapshots replication progress — the /metrics repl gauges.
+type Stats struct {
+	// LastAppliedEpoch/WALSeq identify the newest checkpoint installed into
+	// the serving loop.
+	LastAppliedEpoch  uint64
+	LastAppliedWALSeq uint64
+	// LastSeenEpoch is the newest epoch the leader's manifest has named
+	// (applied or not).
+	LastSeenEpoch uint64
+	// LagCheckpoints is LastSeenEpoch − LastAppliedEpoch: how many
+	// published generations the follower has observed but not yet serving.
+	LagCheckpoints uint64
+	// AppliedSwaps counts checkpoints hot-swapped into the loop.
+	AppliedSwaps uint64
+	// FetchErrors counts failed manifest/checkpoint fetches and failed
+	// applies (each transient: the next poll retries from scratch).
+	FetchErrors uint64
+}
+
+// Tailer polls a Source and applies newly published checkpoints. A model
+// is applied when its epoch advances past the last applied one; same-epoch
+// republications (periodic checkpoints with a longer WAL horizon) carry
+// identical weights and are skipped — a follower's buffer is never
+// trained on, so only the generation matters.
+type Tailer struct {
+	cfg Config
+
+	appliedEpoch atomic.Uint64
+	appliedSeq   atomic.Uint64
+	seenEpoch    atomic.Uint64
+	swaps        atomic.Uint64
+	errs         atomic.Uint64
+
+	stop     chan struct{}
+	done     chan struct{}
+	startMu  sync.Mutex
+	started  bool
+	stopOnce sync.Once
+}
+
+// New builds a tailer (not yet polling; call Start).
+func New(cfg Config) *Tailer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	t := &Tailer{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	t.appliedEpoch.Store(cfg.InitialEpoch)
+	t.appliedSeq.Store(cfg.InitialWALSeq)
+	t.seenEpoch.Store(cfg.InitialEpoch)
+	return t
+}
+
+// Start launches the poll loop.
+func (t *Tailer) Start() {
+	t.startMu.Lock()
+	defer t.startMu.Unlock()
+	if t.started {
+		return
+	}
+	t.started = true
+	go func() {
+		defer close(t.done)
+		ticker := time.NewTicker(t.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-ticker.C:
+				ctx, cancel := context.WithTimeout(context.Background(), t.cfg.Interval*4+time.Second)
+				_, _ = t.Poll(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Poll runs one tail round: read the manifest, and if it names a newer
+// generation than the last applied one, fetch + decode + apply it.
+// Returns whether a checkpoint was applied. Errors are counted AND
+// returned (the background loop counts them; tests and boot probes
+// inspect them); a leader with no checkpoint yet is (false, nil).
+func (t *Tailer) Poll(ctx context.Context) (bool, error) {
+	m, ok, err := t.cfg.Source.Manifest(ctx)
+	if err != nil {
+		t.errs.Add(1)
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	if m.Epoch > t.seenEpoch.Load() {
+		t.seenEpoch.Store(m.Epoch)
+	}
+	if m.Epoch <= t.appliedEpoch.Load() {
+		return false, nil
+	}
+	blob, err := t.cfg.Source.FetchCheckpoint(ctx, m.Checkpoint)
+	if err != nil {
+		t.errs.Add(1)
+		return false, err
+	}
+	ck, _, err := store.DecodeCheckpoint(blob)
+	if err != nil {
+		t.errs.Add(1)
+		return false, err
+	}
+	if err := t.cfg.Apply(m, ck); err != nil {
+		t.errs.Add(1)
+		return false, fmt.Errorf("repl: apply %s: %w", m.Checkpoint, err)
+	}
+	t.appliedEpoch.Store(ck.Epoch)
+	t.appliedSeq.Store(ck.WALSeq)
+	t.swaps.Add(1)
+	if t.cfg.OnEvent != nil {
+		t.cfg.OnEvent(fmt.Sprintf("applied checkpoint %s (epoch %d, walseq %d) from %s",
+			m.Checkpoint, ck.Epoch, ck.WALSeq, t.cfg.Source))
+	}
+	return true, nil
+}
+
+// Stats snapshots replication progress.
+func (t *Tailer) Stats() Stats {
+	s := Stats{
+		LastAppliedEpoch:  t.appliedEpoch.Load(),
+		LastAppliedWALSeq: t.appliedSeq.Load(),
+		LastSeenEpoch:     t.seenEpoch.Load(),
+		AppliedSwaps:      t.swaps.Load(),
+		FetchErrors:       t.errs.Load(),
+	}
+	if s.LastSeenEpoch > s.LastAppliedEpoch {
+		s.LagCheckpoints = s.LastSeenEpoch - s.LastAppliedEpoch
+	}
+	return s
+}
+
+// Close stops the poll loop and waits for it to exit. Idempotent; safe on
+// a never-started tailer.
+func (t *Tailer) Close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	t.startMu.Lock()
+	started := t.started
+	t.startMu.Unlock()
+	if started {
+		<-t.done
+	}
+}
+
+// WaitForCheckpoint polls the source until a manifest is published or ctx
+// expires — the follower boot path's "leader not up yet" wait. Returns the
+// manifest and its decoded checkpoint.
+func WaitForCheckpoint(ctx context.Context, src Source, every time.Duration) (store.Manifest, store.Checkpoint, error) {
+	if every <= 0 {
+		every = 200 * time.Millisecond
+	}
+	var lastErr error
+	for {
+		m, ok, err := src.Manifest(ctx)
+		if err != nil {
+			lastErr = err
+		} else if ok {
+			blob, err := src.FetchCheckpoint(ctx, m.Checkpoint)
+			if err == nil {
+				ck, _, err := store.DecodeCheckpoint(blob)
+				if err == nil {
+					return m, ck, nil
+				}
+				lastErr = err
+			} else {
+				lastErr = err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return store.Manifest{}, store.Checkpoint{}, fmt.Errorf("repl: waiting for checkpoint from %s: %w (last: %v)", src, ctx.Err(), lastErr)
+			}
+			return store.Manifest{}, store.Checkpoint{}, fmt.Errorf("repl: waiting for checkpoint from %s: %w", src, ctx.Err())
+		case <-time.After(every):
+		}
+	}
+}

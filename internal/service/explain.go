@@ -57,10 +57,10 @@ type explainResponse struct {
 	Fingerprint string `json:"fingerprint"`
 	// Epoch is the model generation that served the plan (the candidate
 	// score card, if present, is computed under CandidatesEpoch instead).
-	Epoch        uint64 `json:"epoch"`
-	Tier         int    `json:"tier"`
-	TierDecision string `json:"tier_decision"`
-	CacheHit     bool   `json:"cache_hit"`
+	Epoch        uint64  `json:"epoch"`
+	Tier         int     `json:"tier"`
+	TierDecision string  `json:"tier_decision"`
+	CacheHit     bool    `json:"cache_hit"`
 	OptTimeMs    float64 `json:"opt_time_ms"`
 	// Recorded / LatencyMs report the feedback state: latency is present
 	// once the execution was recorded (either path).

@@ -37,6 +37,7 @@ import (
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/repl"
 )
 
 // HTTPOptions configures the HTTP projection of a Loop.
@@ -48,6 +49,20 @@ type HTTPOptions struct {
 	// MaxPending bounds the served-plan ring awaiting feedback (FIFO
 	// eviction). 0 defaults to 4096.
 	MaxPending int
+
+	// Follower marks this surface as fronting a read-only replica: write
+	// endpoints (/v1/feedback without a forwarder, /v1/checkpoint,
+	// "execute": true optimizes, the repl source endpoints) answer 403 with
+	// LeaderAddr in the body; read endpoints serve normally.
+	Follower bool
+	// LeaderAddr is the leader's address, reported in follower refusals.
+	LeaderAddr string
+	// ForwardFeedback, when set on a follower, relays /v1/feedback to the
+	// tenant's leader in durable identity form (see NewFeedbackForwarder).
+	ForwardFeedback func(ctx context.Context, q *query.Query, pe *planner.PlanEval, latencyMs float64) error
+	// ReplStats, when set, surfaces the follower's replication-tailer
+	// progress on /metrics (foss_repl_* families).
+	ReplStats func() repl.Stats
 }
 
 // HTTPServer is the http.Handler exposing a Loop. Safe for concurrent use.
@@ -105,6 +120,9 @@ func NewHTTPServer(lp *Loop, opts HTTPOptions) *HTTPServer {
 	s.mux.HandleFunc("/v1/explain/", s.handleExplain)
 	s.mux.HandleFunc("/v1/advisor", s.handleAdvisor)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/repl/manifest", s.handleReplManifest)
+	s.mux.HandleFunc("/v1/repl/checkpoint/", s.handleReplCheckpoint)
+	s.mux.HandleFunc("/v1/repl/feedback", s.handleReplFeedback)
 	return s
 }
 
@@ -232,10 +250,10 @@ type optimizeRow struct {
 	// "execute": true rows are recorded server-side, so their slot is
 	// already consumed: later feedback for one answers 404 (already
 	// reported) and cannot double-count the execution.
-	ServeID   string   `json:"serve_id,omitempty"`
-	QueryID   string   `json:"query_id"`
-	Epoch     uint64   `json:"epoch"`
-	CacheHit  bool     `json:"cache_hit"`
+	ServeID  string `json:"serve_id,omitempty"`
+	QueryID  string `json:"query_id"`
+	Epoch    uint64 `json:"epoch"`
+	CacheHit bool   `json:"cache_hit"`
 	// Tier reports the serving tier that produced the plan (0 = plan memory,
 	// 1 = greedy micro-planner, 2 = full AAM steering).
 	Tier      int      `json:"tier"`
@@ -293,6 +311,12 @@ func (s *HTTPServer) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	var req optimizeRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Execute && s.opts.Follower {
+		// Server-side execution records feedback — a write. Plain optimizes
+		// (plan out, no recording) serve fine from a follower.
+		writeFollowerErr(w, s.opts.LeaderAddr, "server-side execution")
 		return
 	}
 	single := req.QueryID != "" || req.Query != nil
@@ -382,6 +406,10 @@ func (s *HTTPServer) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "latency_ms must be >= 0")
 		return
 	}
+	if s.opts.Follower && s.opts.ForwardFeedback == nil {
+		writeFollowerErr(w, s.opts.LeaderAddr, "feedback ingestion")
+		return
+	}
 	ps, err := s.take(req.ServeID)
 	if err != nil {
 		if errors.Is(err, fosserr.ErrServeIDExpired) {
@@ -389,6 +417,18 @@ func (s *HTTPServer) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if s.opts.Follower {
+		// Follower with a forwarder: the serve happened here (the serve_id
+		// ring is local), but the observation trains the leader. Relay it in
+		// durable identity form; the next checkpoint carries it back.
+		if err := s.opts.ForwardFeedback(r.Context(), ps.q, ps.pe, req.LatencyMs); err != nil {
+			writeErr(w, http.StatusBadGateway, "forward to leader: "+err.Error())
+			return
+		}
+		s.noteLatency(ps, req.LatencyMs)
+		writeJSON(w, http.StatusOK, map[string]any{"recorded": true, "forwarded": true, "leader": s.opts.LeaderAddr})
 		return
 	}
 	if !s.lp.Record(ps.q, ps.pe, req.LatencyMs) {
@@ -439,6 +479,10 @@ func (s *HTTPServer) Loop() *Loop { return s.lp }
 func (s *HTTPServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.opts.Follower {
+		writeFollowerErr(w, s.opts.LeaderAddr, "checkpointing")
 		return
 	}
 	name, err := s.lp.Checkpoint()

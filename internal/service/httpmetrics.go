@@ -15,6 +15,7 @@ import (
 	"strconv"
 
 	"github.com/foss-db/foss/internal/metrics"
+	"github.com/foss-db/foss/internal/repl"
 	"github.com/foss-db/foss/internal/runtime"
 )
 
@@ -32,8 +33,14 @@ type scrapeRow struct {
 	pending int
 	expired uint64
 
-	advisorOn          bool
+	advisorOn              bool
 	advEmitted, advDropped uint64
+
+	// replOn marks a row whose server runs a replication tailer (a
+	// follower); the repl gauges are emitted only for such rows so a leader's
+	// scrape carries no misleading zero-lag series.
+	replOn bool
+	repl   repl.Stats
 }
 
 // scrape assembles this server's row. The histograms snapshot BEFORE Stats
@@ -47,7 +54,7 @@ func (s *HTTPServer) scrape(tenant string) scrapeRow {
 	pending := s.live
 	s.mu.Unlock()
 	emitted, dropped := s.lp.AdvisorCounters()
-	return scrapeRow{
+	row := scrapeRow{
 		tenant:     tenant,
 		backend:    active.BackendName(),
 		stats:      st,
@@ -59,6 +66,11 @@ func (s *HTTPServer) scrape(tenant string) scrapeRow {
 		advEmitted: emitted,
 		advDropped: dropped,
 	}
+	if s.opts.ReplStats != nil {
+		row.replOn = true
+		row.repl = s.opts.ReplStats()
+	}
+	return row
 }
 
 func (s *HTTPServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -152,6 +164,48 @@ func writeMetricsText(w http.ResponseWriter, rows []scrapeRow) {
 	})
 	counter("foss_advisor_findings_total", "Advisor findings emitted.", func(r scrapeRow) uint64 { return r.advEmitted })
 	counter("foss_advisor_dropped_total", "Advisor observations dropped under backpressure.", func(r scrapeRow) uint64 { return r.advDropped })
+
+	// Replication families: emitted only when some row runs a tailer (a
+	// follower), so leader scrapes carry no misleading zero-lag series and
+	// no sampleless family declarations.
+	anyRepl := false
+	for _, row := range rows {
+		if row.replOn {
+			anyRepl = true
+		}
+	}
+	replGauge := func(name, help string, get func(repl.Stats) float64) {
+		if !anyRepl {
+			return
+		}
+		e.Family(name, help, "gauge")
+		for _, row := range rows {
+			if row.replOn {
+				e.Sample(name, labels(row), get(row.repl))
+			}
+		}
+	}
+	replCounter := func(name, help string, get func(repl.Stats) uint64) {
+		if !anyRepl {
+			return
+		}
+		e.Family(name, help, "counter")
+		for _, row := range rows {
+			if row.replOn {
+				e.Uint(name, labels(row), get(row.repl))
+			}
+		}
+	}
+	replGauge("foss_repl_last_applied_walseq", "WAL horizon of the last checkpoint this follower applied.",
+		func(s repl.Stats) float64 { return float64(s.LastAppliedWALSeq) })
+	replGauge("foss_repl_last_applied_epoch", "Model generation of the last checkpoint this follower applied.",
+		func(s repl.Stats) float64 { return float64(s.LastAppliedEpoch) })
+	replGauge("foss_repl_lag_checkpoints", "Epochs the leader has published past what this follower applied.",
+		func(s repl.Stats) float64 { return float64(s.LagCheckpoints) })
+	replCounter("foss_repl_swaps_applied_total", "Leader checkpoints hot-swapped into this follower.",
+		func(s repl.Stats) uint64 { return s.AppliedSwaps })
+	replCounter("foss_repl_fetch_errors_total", "Replication polls that failed (manifest, fetch, decode, or apply).",
+		func(s repl.Stats) uint64 { return s.FetchErrors })
 
 	w.Header().Set("Content-Type", promContentType)
 	w.WriteHeader(http.StatusOK)

@@ -82,7 +82,7 @@ func (s *MultiHTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.
 // /v1/t/{tenant}/ is a 404 here rather than a confusing delegate miss.
 var tenantEndpoints = map[string]bool{
 	"optimize": true, "feedback": true, "stats": true, "checkpoint": true,
-	"explain": true, "advisor": true, "metrics": true,
+	"explain": true, "advisor": true, "metrics": true, "repl": true,
 }
 
 // handleTenantScoped peels /v1/t/{tenant}/{endpoint}[/{rest}] and delegates

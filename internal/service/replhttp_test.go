@@ -1,0 +1,298 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/repl"
+	"github.com/foss-db/foss/internal/store"
+)
+
+// newFollowerFixture builds the HTTP surface over a follower loop (never
+// trains, no store) with the standard q{v} resolver.
+func newFollowerFixture(t *testing.T, opts HTTPOptions) (*httptest.Server, *Loop) {
+	t.Helper()
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	cfg.Follower = true
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(cfg, blue, green, nil)
+	opts.Follower = true
+	if opts.Resolve == nil {
+		opts.Resolve = func(id string) *query.Query {
+			v, err := strconv.ParseInt(strings.TrimPrefix(id, "q"), 10, 64)
+			if err != nil || !strings.HasPrefix(id, "q") {
+				return nil
+			}
+			return fq(v)
+		}
+	}
+	h := NewHTTPServer(lp, opts)
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, lp
+}
+
+// TestFollowerWriteEndpointsRefuse: every write surface on a follower
+// answers 403 with the leader's address in the body; read surfaces serve.
+func TestFollowerWriteEndpointsRefuse(t *testing.T) {
+	ts, _ := newFollowerFixture(t, HTTPOptions{LeaderAddr: "http://leader:8475"})
+
+	writes := []struct{ path, body string }{
+		{"/v1/feedback", `{"serve_id": "s1", "latency_ms": 5}`},
+		{"/v1/checkpoint", `{}`},
+		{"/v1/optimize", `{"query_id": "q1", "execute": true}`},
+	}
+	for _, c := range writes {
+		code, out := postJSON(t, ts.URL+c.path, c.body)
+		if code != http.StatusForbidden {
+			t.Fatalf("%s on follower: %d %v", c.path, code, out)
+		}
+		if out["leader"] != "http://leader:8475" {
+			t.Fatalf("%s refusal names no leader: %v", c.path, out)
+		}
+	}
+	// A follower cannot be a replication source either (it has no store).
+	for _, path := range []string{"/v1/repl/manifest", "/v1/repl/checkpoint/x"} {
+		if code, out := getJSON(t, ts.URL+path); code != http.StatusForbidden {
+			t.Fatalf("%s on follower: %d %v", path, code, out)
+		}
+	}
+
+	// Reads serve normally: plain optimize, stats, explain, metrics.
+	code, out := postJSON(t, ts.URL+"/v1/optimize", `{"query_id": "q1"}`)
+	if code != http.StatusOK {
+		t.Fatalf("follower optimize: %d %v", code, out)
+	}
+	serveID, _ := out["serve_id"].(string)
+	if code, _ := getJSON(t, ts.URL+"/v1/stats"); code != http.StatusOK {
+		t.Fatalf("follower stats: %d", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/explain/"+serveID); code != http.StatusOK {
+		t.Fatalf("follower explain: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower metrics: %v %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestFollowerFeedbackForwarding: feedback on a follower with a forwarder
+// is relayed to the leader in durable identity form and recorded there; a
+// dead leader turns the relay into a 502.
+func TestFollowerFeedbackForwarding(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	leaderTS, _, _ := newWireFixture(t, cfg)
+
+	ts, _ := newFollowerFixture(t, HTTPOptions{
+		LeaderAddr:      leaderTS.URL,
+		ForwardFeedback: NewFeedbackForwarder(leaderTS.URL + "/v1"),
+	})
+
+	code, out := postJSON(t, ts.URL+"/v1/optimize", `{"query_id": "q7"}`)
+	if code != http.StatusOK {
+		t.Fatalf("optimize: %d %v", code, out)
+	}
+	serveID := out["serve_id"].(string)
+	code, out = postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "`+serveID+`", "latency_ms": 12.5}`)
+	if code != http.StatusOK || out["forwarded"] != true {
+		t.Fatalf("forwarded feedback: %d %v", code, out)
+	}
+	if _, st := getJSON(t, leaderTS.URL+"/v1/stats"); st["stats"].(map[string]any)["Recorded"] != float64(1) {
+		t.Fatalf("leader did not record forwarded feedback: %v", st["stats"])
+	}
+	// Duplicate feedback for the same serve stays a local 404 — the slot
+	// was consumed by the successful forward.
+	if code, _ := postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "`+serveID+`", "latency_ms": 12.5}`); code != http.StatusNotFound {
+		t.Fatalf("duplicate forwarded feedback: %d", code)
+	}
+
+	// Leader gone: the relay fails loudly instead of pretending to record.
+	code, out = postJSON(t, ts.URL+"/v1/optimize", `{"query_id": "q8"}`)
+	if code != http.StatusOK {
+		t.Fatalf("optimize: %d %v", code, out)
+	}
+	serveID = out["serve_id"].(string)
+	leaderTS.Close()
+	if code, out = postJSON(t, ts.URL+"/v1/feedback", `{"serve_id": "`+serveID+`", "latency_ms": 3}`); code != http.StatusBadGateway {
+		t.Fatalf("feedback with dead leader: %d %v", code, out)
+	}
+}
+
+// TestLeaderReplEndpoints: the replication source surface — manifest 412
+// without a store, 404 before the first checkpoint, then manifest +
+// decodable blob; traversal names are refused.
+func TestLeaderReplEndpoints(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	ts, _, _ := newWireFixture(t, cfg)
+	if code, _ := getJSON(t, ts.URL+"/v1/repl/manifest"); code != http.StatusPreconditionFailed {
+		t.Fatalf("manifest without store: %d", code)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg.Store = st
+	ts2, _, _ := newWireFixture(t, cfg)
+	if code, _ := getJSON(t, ts2.URL+"/v1/repl/manifest"); code != http.StatusNotFound {
+		t.Fatalf("manifest before first checkpoint: %d", code)
+	}
+	if code, out := postJSON(t, ts2.URL+"/v1/checkpoint", `{}`); code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %v", code, out)
+	}
+	code, m := getJSON(t, ts2.URL+"/v1/repl/manifest")
+	if code != http.StatusOK {
+		t.Fatalf("manifest: %d %v", code, m)
+	}
+	name, _ := m["checkpoint"].(string)
+	resp, err := http.Get(ts2.URL + "/v1/repl/checkpoint/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := make([]byte, 0)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		blob = append(blob, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint fetch: %d %s", resp.StatusCode, blob)
+	}
+	if ck, backend, err := store.DecodeCheckpoint(blob); err != nil || backend != "fake" || ck.Epoch == 0 {
+		t.Fatalf("fetched blob does not decode: err=%v backend=%q", err, backend)
+	}
+	// ("../MANIFEST" traversal is covered at the source/name-validation
+	// layer; http.Get normalizes dot-segments before they reach the server.)
+	for _, bad := range []string{"MANIFEST", "nope.snap", "ckpt-1-2.snap"} {
+		if code, _ := getJSON(t, ts2.URL+"/v1/repl/checkpoint/"+bad); code != http.StatusNotFound {
+			t.Fatalf("bad name %q: %d", bad, code)
+		}
+	}
+}
+
+// TestApplyCheckpoint: a newer-generation checkpoint hot-swaps into the
+// loop (epoch adopted, swap counted, both replicas converge); stale and
+// same-epoch checkpoints are no-ops.
+func TestApplyCheckpoint(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	cfg.Follower = true
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(cfg, blue, green, nil)
+
+	if err := lp.ApplyCheckpoint(store.Checkpoint{Model: []byte("g5"), Epoch: 5, WALSeq: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if lp.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", lp.Epoch())
+	}
+	if lp.Stats().Swaps != 1 {
+		t.Fatalf("swaps = %d", lp.Stats().Swaps)
+	}
+	// Both replicas loaded the image (standby mirrored after the swap).
+	if blue.loads.Load() == 0 || green.loads.Load() == 0 {
+		t.Fatalf("loads: blue=%d green=%d", blue.loads.Load(), green.loads.Load())
+	}
+
+	for _, stale := range []uint64{5, 4} {
+		if err := lp.ApplyCheckpoint(store.Checkpoint{Model: []byte("old"), Epoch: stale}); err != nil {
+			t.Fatalf("stale epoch %d: %v", stale, err)
+		}
+	}
+	if lp.Epoch() != 5 || lp.Stats().Swaps != 1 {
+		t.Fatalf("stale apply moved the loop: epoch=%d swaps=%d", lp.Epoch(), lp.Stats().Swaps)
+	}
+}
+
+// TestFollowerNeverRetrains: drift that would trigger a retrain on a
+// leader is ignored on a follower — its model moves only by checkpoint.
+func TestFollowerNeverRetrains(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Detector = DetectorConfig{Window: 2, Threshold: 1.05, MinSamples: 2, NoveltyFrac: 0}
+	cfg.Follower = true
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(cfg, blue, green, nil)
+
+	for i := int64(0); i < 8; i++ {
+		res, err := lp.Serve(t.Context(), fq(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ever-worse latencies: guaranteed drift pressure.
+		lp.Record(fq(i), res.Eval, float64(100*(i+1)))
+	}
+	if n := blue.trains.Load() + green.trains.Load(); n != 0 || lp.Stats().Retrains != 0 {
+		t.Fatalf("follower retrained: trains=%d stats=%+v", n, lp.Stats())
+	}
+}
+
+// TestMetricsReplFamilies: a server with ReplStats exposes the replication
+// gauges; one without does not.
+func TestMetricsReplFamilies(t *testing.T) {
+	ts, _ := newFollowerFixture(t, HTTPOptions{
+		LeaderAddr: "http://leader:8475",
+		ReplStats: func() repl.Stats {
+			return repl.Stats{LastAppliedEpoch: 7, LastAppliedWALSeq: 42, LagCheckpoints: 1, AppliedSwaps: 3, FetchErrors: 2}
+		},
+	})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	text := sb.String()
+	for _, want := range []string{
+		"foss_repl_last_applied_walseq 42",
+		"foss_repl_last_applied_epoch 7",
+		"foss_repl_lag_checkpoints 1",
+		"foss_repl_swaps_applied_total 3",
+		"foss_repl_fetch_errors_total 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// No ReplStats (a leader): families may appear, series must not.
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100
+	ts2, _, _ := newWireFixture(t, cfg)
+	resp2, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	for {
+		n, err := resp2.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	resp2.Body.Close()
+	if strings.Contains(sb.String(), "foss_repl_last_applied_walseq 0") {
+		t.Fatalf("leader scrape carries repl series:\n%s", sb.String())
+	}
+}

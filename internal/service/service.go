@@ -125,6 +125,15 @@ type Config struct {
 	// full tier-2 path, the pre-PR-6 behavior.
 	Tier tier.Config
 
+	// Follower marks this loop as a read-only serving replica in a
+	// replicated fleet: it serves traffic and hot-swaps models published by
+	// its leader (ApplyCheckpoint), but never triggers retraining of its
+	// own — drift observations still feed the detector's window (visible in
+	// stats), they just cannot start a training run. Followers run without
+	// a Store; feedback reaching one is the wire layer's problem (it
+	// forwards to the leader).
+	Follower bool
+
 	// Advisor configures the async self-diagnosis advisor: a background
 	// goroutine (owned by the loop, drained by Close) that watches the
 	// feedback stream and emits structured findings — sustained regression
@@ -843,7 +852,7 @@ func (lp *Loop) spawn(f func()) bool {
 // spawn refuses (Close won the race) leaves the stats truthful: no retrain
 // ran, none is counted.
 func (lp *Loop) triggerRetrain() {
-	if lp.closed.Load() {
+	if lp.closed.Load() || lp.cfg.Follower {
 		return
 	}
 	if !lp.retraining.CompareAndSwap(false, true) {
@@ -930,6 +939,90 @@ func (lp *Loop) retrain() {
 			lp.ckErrors.Add(1)
 		}
 	}
+}
+
+// ApplyCheckpoint hot-swaps a leader-published checkpoint into this loop —
+// the follower half of the blue/green machinery. The checkpoint's model
+// loads into the standby replica (its exclusive load lock waits only for
+// that replica's draining stragglers, never blocking serving), the standby
+// publishes at the checkpoint's epoch — so leader and follower agree on the
+// generation a plan came from — tier pins re-import under the new epoch,
+// and the demoted replica mirrors the new weights to become the next
+// standby. Stale or already-applied generations (epoch ≤ current) are
+// skipped. Safe to call while traffic serves; callers serialize with each
+// other (the repl tailer is a single goroutine).
+func (lp *Loop) ApplyCheckpoint(ck store.Checkpoint) error {
+	if lp.closed.Load() {
+		return fmt.Errorf("service: apply checkpoint: %w", fosserr.ErrLoopClosed)
+	}
+	if ck.Epoch <= lp.active.Load().epoch {
+		return nil
+	}
+	lp.mu.Lock()
+	standby := lp.standby
+	lp.mu.Unlock()
+	if standby == nil {
+		return fmt.Errorf("service: apply checkpoint: no standby replica")
+	}
+	// Load validates the sealed model (backend identity, version, checksum)
+	// — a checkpoint from a differently-configured leader is refused here,
+	// before anything is published.
+	if err := standby.Load(ck.Model); err != nil {
+		return fmt.Errorf("service: apply checkpoint: %w", err)
+	}
+	lp.mu.Lock()
+	old := lp.active.Load()
+	if ck.Epoch <= old.epoch {
+		// A competing apply (or local swap) got there first.
+		lp.mu.Unlock()
+		return nil
+	}
+	lp.active.Store(&slot{r: standby, epoch: ck.Epoch})
+	lp.standby = old.r
+	if lp.tiers != nil {
+		// Same invalidation contract as a local hot-swap: the new model's
+		// pins arrive below from the checkpoint's exported tier state.
+		lp.tiers.Invalidate()
+	}
+	lp.mu.Unlock()
+	lp.swaps.Add(1)
+	lp.det.Reset()
+
+	// Mirror onto the demoted replica so the next apply loads into a
+	// replica already carrying the current generation.
+	if err := old.r.Load(ck.Model); err != nil {
+		return fmt.Errorf("service: apply checkpoint: mirror: %w", err)
+	}
+	// The leader's feedback-proven plan memory rides the checkpoint:
+	// followers serve tier-0 repeats without ever having recorded the
+	// feedback that earned the pins.
+	if err := lp.ImportTier(ck.Tier); err != nil {
+		return fmt.Errorf("service: apply checkpoint: tier import: %w", err)
+	}
+	return nil
+}
+
+// Follower reports whether this loop is a read-only serving replica.
+func (lp *Loop) Follower() bool { return lp.cfg.Follower }
+
+// ReplManifest returns the durable manifest this loop's store currently
+// publishes — the leader half of checkpoint replication. ok=false when no
+// checkpoint has landed yet; fosserr.ErrNoStore without a store.
+func (lp *Loop) ReplManifest() (store.Manifest, bool, error) {
+	if lp.st == nil {
+		return store.Manifest{}, false, fmt.Errorf("service: repl manifest: %w", fosserr.ErrNoStore)
+	}
+	m, ok := lp.st.Latest()
+	return m, ok, nil
+}
+
+// ReplCheckpointBlob returns the raw sealed blob of a named checkpoint from
+// this loop's store (name validated against the checkpoint scheme).
+func (lp *Loop) ReplCheckpointBlob(name string) ([]byte, error) {
+	if lp.st == nil {
+		return nil, fmt.Errorf("service: repl checkpoint: %w", fosserr.ErrNoStore)
+	}
+	return lp.st.ReadCheckpoint(name)
 }
 
 // Checkpoint writes a durable image of the active replica — sealed model

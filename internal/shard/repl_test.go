@@ -1,0 +1,184 @@
+package shard
+
+// Follower integration: a follower router boots from the leader's
+// checkpoint (shared state dir or the leader's wire surface), serves the
+// leader's exact model, refuses writes, tails new generations, and relays
+// feedback back to the leader.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/foss-db/foss/internal/service"
+	"github.com/foss-db/foss/internal/store"
+)
+
+// followerConfig derives a follower router config from a leader's.
+func followerConfig(stateDir, leaderAddr string) Config {
+	cfg := tinyRouterConfig(stateDir)
+	cfg.CheckpointOnBoot = false
+	cfg.Role = "follower"
+	cfg.LeaderAddr = leaderAddr
+	cfg.ReplInterval = 30 * time.Millisecond
+	cfg.ReplBootTimeout = 30 * time.Second
+	return cfg
+}
+
+// TestFollowerSharedDirReplication: follower over the leader's state dir —
+// identical serving at boot, 403 writes, and hot-swap of a later
+// generation within the tail interval.
+func TestFollowerSharedDirReplication(t *testing.T) {
+	dir := t.TempDir()
+	leaderR, err := NewRouter(context.Background(), tinyRouterConfig(dir), []TenantSpec{{Name: "acme"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaderR.Close(context.Background())
+	leadSh, _ := leaderR.Get("acme")
+	q := leadSh.W.Test[0]
+	leadRes, err := leadSh.Serve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	folR, err := NewRouter(context.Background(), followerConfig(dir, ""), []TenantSpec{{Name: "acme"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer folR.Close(context.Background())
+	folSh, _ := folR.Get("acme")
+	if folSh.Tailer == nil || folSh.Store != nil || folSh.Recovery.Recovered {
+		t.Fatalf("follower shape wrong: tailer=%v store=%v recovery=%+v", folSh.Tailer, folSh.Store, folSh.Recovery)
+	}
+
+	// Same model, same generation, same decision.
+	folRes, err := folSh.Serve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folRes.Eval.ICP.Key() != leadRes.Eval.ICP.Key() || folRes.Epoch != leadRes.Epoch {
+		t.Fatalf("follower serves (%s, epoch %d), leader (%s, epoch %d)",
+			folRes.Eval.ICP.Key(), folRes.Epoch, leadRes.Eval.ICP.Key(), leadRes.Epoch)
+	}
+
+	// Writes are refused with no leader address configured (dir transport).
+	ts := httptest.NewServer(folSh.HTTP)
+	defer ts.Close()
+	for _, c := range []struct{ path, body string }{
+		{"/v1/checkpoint", `{}`},
+		{"/v1/feedback", `{"serve_id": "s1", "latency_ms": 1}`},
+	} {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("%s on follower: %d", c.path, resp.StatusCode)
+		}
+	}
+
+	// The leader publishes a new generation; the tailer hot-swaps it.
+	model, err := leadSh.Sys.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := leadRes.Epoch + 1
+	if _, err := leadSh.Store.WriteCheckpoint(leadSh.Spec.Backend, store.Checkpoint{Model: model, Epoch: next, WALSeq: 999}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait on the tailer's own stats, not the online loop's epoch: the
+	// epoch bumps inside the apply callback, a beat before the tailer
+	// stamps LastAppliedEpoch/AppliedSwaps.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := folSh.Tailer.Stats()
+		if st.LastAppliedEpoch == next && st.AppliedSwaps >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never applied epoch %d (stats %+v)", next, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := folSh.Sys.Online().Epoch(); got != next {
+		t.Fatalf("follower epoch %d after applied swap, want %d", got, next)
+	}
+}
+
+// TestFollowerHTTPReplicationAndForwarding: follower with no filesystem
+// access replicates over the leader's /v1/t/{tenant}/repl endpoints, and
+// /v1/feedback on the follower lands in the leader's learning loop.
+func TestFollowerHTTPReplicationAndForwarding(t *testing.T) {
+	dir := t.TempDir()
+	leaderR, err := NewRouter(context.Background(), tinyRouterConfig(dir), []TenantSpec{{Name: "acme"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaderR.Close(context.Background())
+	leaderSrv := httptest.NewServer(service.NewMultiHTTPServer(leaderR))
+	defer leaderSrv.Close()
+
+	folR, err := NewRouter(context.Background(), followerConfig("", leaderSrv.URL), []TenantSpec{{Name: "acme"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer folR.Close(context.Background())
+	folSh, _ := folR.Get("acme")
+	leadSh, _ := leaderR.Get("acme")
+
+	q := folSh.W.Test[0]
+	folRes, err := folSh.Serve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leadRes, err := leadSh.Serve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folRes.Eval.ICP.Key() != leadRes.Eval.ICP.Key() {
+		t.Fatalf("follower key %s != leader key %s", folRes.Eval.ICP.Key(), leadRes.Eval.ICP.Key())
+	}
+
+	// Serve on the follower's wire surface, report latency there, observe
+	// the record on the leader.
+	ts := httptest.NewServer(folSh.HTTP)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/optimize", "application/json",
+		strings.NewReader(`{"query_id": "`+q.ID+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row struct {
+		ServeID string `json:"serve_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&row); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if row.ServeID == "" {
+		t.Fatal("no serve_id from follower optimize")
+	}
+	before := leadSh.Sys.OnlineStats().Recorded
+	resp2, err := http.Post(ts.URL+"/v1/feedback", "application/json",
+		strings.NewReader(`{"serve_id": "`+row.ServeID+`", "latency_ms": 7.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&fb); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || fb["forwarded"] != true {
+		t.Fatalf("forwarded feedback: %d %v", resp2.StatusCode, fb)
+	}
+	if got := leadSh.Sys.OnlineStats().Recorded; got != before+1 {
+		t.Fatalf("leader Recorded = %d, want %d", got, before+1)
+	}
+}

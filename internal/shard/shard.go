@@ -22,11 +22,13 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/foss-db/foss/internal/backend"
 	"github.com/foss-db/foss/internal/core"
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/query"
+	"github.com/foss-db/foss/internal/repl"
 	"github.com/foss-db/foss/internal/runtime"
 	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/store"
@@ -45,6 +47,11 @@ type TenantSpec struct {
 	Backend  string  // optimizer backend: selinger | gaussim
 	Scale    float64 // data scale factor
 	Seed     int64   // workload + model seed
+	// Leader overrides Config.LeaderAddr for this tenant on a follower
+	// process ("http://host:port"); ignored on leaders. This is the
+	// per-tenant leader identity: on a fleet different tenants may be led
+	// from different processes.
+	Leader string
 }
 
 // Config assembles a router.
@@ -73,6 +80,23 @@ type Config struct {
 	// OnEvent, when set, receives one-line boot/drain progress strings
 	// (fossd narrates them; tests leave it nil).
 	OnEvent func(tenant, event string)
+
+	// Role selects what each shard does with its model: "" or "leader"
+	// trains, journals, and checkpoints as always; "follower" boots from the
+	// leader's newest checkpoint, serves read-only, and tails the leader's
+	// MANIFEST for hot-swaps — it never trains and never opens a writable
+	// store.
+	Role string
+	// LeaderAddr is the default leader base URL for followers
+	// ("http://host:port"); per-tenant TenantSpec.Leader overrides it. With
+	// StateDir set a follower replicates through the shared filesystem
+	// instead and LeaderAddr is used only for feedback forwarding.
+	LeaderAddr string
+	// ReplInterval is the follower's manifest poll cadence (0 = 500ms).
+	ReplInterval time.Duration
+	// ReplBootTimeout bounds how long a follower boot waits for the leader's
+	// first checkpoint (0 = 2m).
+	ReplBootTimeout time.Duration
 }
 
 // Shard is one tenant's doctor: the trained system, its workload, its wire
@@ -89,6 +113,11 @@ type Shard struct {
 	// Recovery reports what the boot restored (zero value for cold starts
 	// and in-memory shards).
 	Recovery core.RecoveryInfo
+	// Tailer is the follower's checkpoint tailer, nil on leaders.
+	Tailer *repl.Tailer
+	// srcClose releases the follower's replication source (the shared read
+	// lock for directory sources); nil otherwise.
+	srcClose func() error
 }
 
 // Serve optimizes one query on this shard's active replica.
@@ -105,9 +134,19 @@ func (sh *Shard) Step(ctx context.Context, q *query.Query) (service.Result, floa
 // canceled past ctx's deadline), a final checkpoint lands, and only then is
 // the store — and with it the WAL lock — released.
 func (sh *Shard) Close(ctx context.Context) error {
+	// Follower order: stop the tailer first (no hot-swap mid-drain), then
+	// drain the loop, then release the replication source's read lock.
+	if sh.Tailer != nil {
+		sh.Tailer.Close()
+	}
 	err := sh.Sys.Close(ctx)
 	if sh.Store != nil {
 		if cerr := sh.Store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if sh.srcClose != nil {
+		if cerr := sh.srcClose(); err == nil {
 			err = cerr
 		}
 	}
@@ -119,8 +158,8 @@ type Router struct {
 	cfg  Config
 	pool *runtime.Pool
 
-	mu        sync.RWMutex
-	shards    map[string]*Shard
+	mu     sync.RWMutex
+	shards map[string]*Shard
 	// creating reserves names whose shard is still booting, so two
 	// concurrent creates for one name fail fast (one boots, the other gets
 	// the duplicate error immediately) instead of both paying a training run
@@ -143,6 +182,11 @@ type Router struct {
 // already parallel inside each shard via the shared pool). On any boot
 // failure the shards already up are drained and the error is returned.
 func NewRouter(ctx context.Context, cfg Config, specs []TenantSpec) (*Router, error) {
+	switch cfg.Role {
+	case "", "leader", "follower":
+	default:
+		return nil, fmt.Errorf("shard: role %q (want leader or follower): %w", cfg.Role, fosserr.ErrBadConfig)
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = cfg.System.Workers
 	}
@@ -357,6 +401,10 @@ func (r *Router) boot(ctx context.Context, spec TenantSpec) (*Shard, error) {
 	sh := &Shard{Spec: spec, Sys: sys, W: w}
 	loopCfg := r.cfg.Loop
 
+	if r.cfg.Role == "follower" {
+		return r.bootFollower(ctx, sh, loopCfg, event)
+	}
+
 	if r.cfg.StateDir != "" {
 		st, err := store.Open(filepath.Join(r.cfg.StateDir, spec.Name))
 		if err != nil {
@@ -410,6 +458,104 @@ func (r *Router) boot(ctx context.Context, spec TenantSpec) (*Shard, error) {
 		Resolve:    func(id string) *query.Query { return byID[id] },
 		MaxPending: r.cfg.MaxPending,
 	})
+	return sh, nil
+}
+
+// bootFollower brings a shard up as a read-only replica: open a replication
+// source (the leader's state dir over a shared filesystem, or the leader's
+// /v1/t/{tenant}/repl endpoints over HTTP), wait for the leader's first
+// checkpoint, install it, and start the tailer that hot-swaps every later
+// generation. A follower never trains — boot cost is one checkpoint fetch.
+func (r *Router) bootFollower(ctx context.Context, sh *Shard, loopCfg service.Config, event func(string, ...any)) (*Shard, error) {
+	spec, sys := sh.Spec, sh.Sys
+	leader := spec.Leader
+	if leader == "" {
+		leader = r.cfg.LeaderAddr
+	}
+	bootTimeout := r.cfg.ReplBootTimeout
+	if bootTimeout <= 0 {
+		bootTimeout = 2 * time.Minute
+	}
+	wctx, cancel := context.WithTimeout(ctx, bootTimeout)
+	defer cancel()
+
+	var src repl.Source
+	switch {
+	case r.cfg.StateDir != "":
+		// Shared-filesystem replication: tail the leader's own state dir
+		// under a shared read lock. The dir appears when the leader boots, so
+		// retry within the boot window instead of racing it.
+		dir := filepath.Join(r.cfg.StateDir, spec.Name)
+		for {
+			ds, err := repl.NewDirSource(dir)
+			if err == nil {
+				src = ds
+				sh.srcClose = ds.Close
+				break
+			}
+			select {
+			case <-wctx.Done():
+				return nil, fmt.Errorf("shard: follower %q: open replication source %s: %w", spec.Name, dir, err)
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+	case leader != "":
+		src = repl.NewHTTPSource(leader + "/v1/t/" + spec.Name)
+	default:
+		return nil, fmt.Errorf("shard: follower %q needs a shared -state-dir or a -leader-addr: %w", spec.Name, fosserr.ErrBadConfig)
+	}
+
+	event("follower boot: waiting for leader checkpoint (source=%s timeout=%s)", src, bootTimeout)
+	m, ck, err := repl.WaitForCheckpoint(wctx, src, 0)
+	if err != nil {
+		if sh.srcClose != nil {
+			_ = sh.srcClose()
+		}
+		return nil, fmt.Errorf("shard: follower %q: %w", spec.Name, err)
+	}
+	if m.Backend != "" && m.Backend != spec.Backend {
+		if sh.srcClose != nil {
+			_ = sh.srcClose()
+		}
+		return nil, fmt.Errorf("shard: follower %q: leader checkpoint is backend %q, shard configured %q: %w",
+			spec.Name, m.Backend, spec.Backend, fosserr.ErrBackendMismatch)
+	}
+	if err := sys.EnableFollower(loopCfg, ck); err != nil {
+		if sh.srcClose != nil {
+			_ = sh.srcClose()
+		}
+		return nil, fmt.Errorf("shard: follower %q: %w", spec.Name, err)
+	}
+	event("follower serving: checkpoint=%s epoch=%d walseq=%d", m.Checkpoint, ck.Epoch, ck.WALSeq)
+
+	tl := repl.New(repl.Config{
+		Source:        src,
+		Interval:      r.cfg.ReplInterval,
+		InitialEpoch:  ck.Epoch,
+		InitialWALSeq: ck.WALSeq,
+		Apply: func(_ store.Manifest, ck store.Checkpoint) error {
+			return sys.Online().ApplyCheckpoint(ck)
+		},
+		OnEvent: func(msg string) { event("%s", msg) },
+	})
+	tl.Start()
+	sh.Tailer = tl
+
+	byID := map[string]*query.Query{}
+	for _, q := range sh.W.All() {
+		byID[q.ID] = q
+	}
+	opts := service.HTTPOptions{
+		Resolve:    func(id string) *query.Query { return byID[id] },
+		MaxPending: r.cfg.MaxPending,
+		Follower:   true,
+		LeaderAddr: leader,
+		ReplStats:  tl.Stats,
+	}
+	if leader != "" {
+		opts.ForwardFeedback = service.NewFeedbackForwarder(leader + "/v1/t/" + spec.Name)
+	}
+	sh.HTTP = service.NewHTTPServer(sys.Online(), opts)
 	return sh, nil
 }
 

@@ -1,0 +1,87 @@
+package store
+
+// Read-only store access: the follower's view of a leader's state
+// directory. A ReadStore never writes — no WAL open (opening the journal
+// would truncate the writer's torn tail out from under it), no MkdirAll, no
+// manifest updates — and holds a SHARED flock on its own LOCK.read file
+// instead of the writer's exclusive LOCK, so any number of followers can
+// tail a directory concurrently with the live leader, and a restarting
+// leader is never blocked by a lingering reader. The writer's atomic
+// publish protocol (temp + fsync + rename) is what makes lock-free reading
+// sound: every file a reader opens is either absent or complete.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+const readLockName = "LOCK.read"
+
+// ReadStore is a read-only handle on a state directory: manifest tailing
+// plus checkpoint fetches, safe concurrently with the owning writer and
+// with other readers.
+type ReadStore struct {
+	dir  string
+	lock *os.File
+}
+
+// OpenReadOnly opens a state directory for tailing. The directory must
+// exist (a follower pointed at a typo'd path should fail loudly, not
+// create an empty directory and tail it forever); it need not hold a
+// checkpoint yet — Latest reports ok=false until the leader publishes one.
+func OpenReadOnly(dir string) (*ReadStore, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open read-only %s: %w", dir, err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("store: open read-only %s: not a directory", dir)
+	}
+	lock, err := acquireSharedLock(filepath.Join(dir, readLockName))
+	if err != nil {
+		return nil, err
+	}
+	return &ReadStore{dir: dir, lock: lock}, nil
+}
+
+// Dir returns the state directory path.
+func (rs *ReadStore) Dir() string { return rs.dir }
+
+// Latest returns the current manifest, or ok=false when no durable
+// checkpoint is published yet. Reads are tolerant of torn observation: a
+// manifest that fails to parse or checksum (possible when the directory is
+// a non-atomically synced copy) is retried briefly and then reported as
+// absent — the tailer's next poll picks it up; nothing errors.
+func (rs *ReadStore) Latest() (Manifest, bool) {
+	for attempt := 0; ; attempt++ {
+		if m, ok := readManifest(rs.dir); ok {
+			return m, true
+		}
+		// Distinguish "no manifest yet" (nothing to retry) from "file
+		// present but unreadable" (likely mid-copy: give the writer a
+		// moment).
+		if _, err := os.Stat(filepath.Join(rs.dir, manifestName)); err != nil || attempt >= 3 {
+			return Manifest{}, false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// ReadCheckpoint returns the raw sealed blob of a checkpoint by name. The
+// caller validates and decodes it with DecodeCheckpoint; a checkpoint the
+// manifest names is complete by the publish protocol (blob rename precedes
+// manifest rename).
+func (rs *ReadStore) ReadCheckpoint(name string) ([]byte, error) {
+	return readCheckpointBlob(rs.dir, name)
+}
+
+// Close releases the shared read lock.
+func (rs *ReadStore) Close() error {
+	if rs.lock != nil {
+		releaseLock(rs.lock)
+		rs.lock = nil
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -79,6 +80,20 @@ type Manifest struct {
 	Backend    string `json:"backend"`
 	Epoch      uint64 `json:"epoch"`
 	WALSeq     uint64 `json:"wal_seq"`
+	// CRC is the IEEE checksum over the other fields' canonical form. It
+	// guards readers that observe the manifest through a non-atomic channel
+	// (an rsync'd copy, a snapshotting filesystem, a partial HTTP body): a
+	// torn manifest fails the check and reads as "not yet published" instead
+	// of poisoning a follower. 0 (absent in pre-repl manifests) skips the
+	// check for backward compatibility.
+	CRC uint32 `json:"crc,omitempty"`
+}
+
+// checksum computes the manifest's integrity check over every field except
+// CRC itself.
+func (m Manifest) checksum() uint32 {
+	return crc32.ChecksumIEEE([]byte(fmt.Sprintf("%d|%s|%s|%d|%d",
+		m.Version, m.Checkpoint, m.Backend, m.Epoch, m.WALSeq)))
 }
 
 const (
@@ -149,7 +164,17 @@ func (s *Store) Close() error {
 // Latest returns the current manifest, or ok=false when the directory has
 // no durable checkpoint yet (cold start).
 func (s *Store) Latest() (Manifest, bool) {
-	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	return readManifest(s.dir)
+}
+
+// readManifest loads and validates a directory's manifest. A missing file,
+// malformed JSON, or a CRC mismatch all read as "no manifest" — on the
+// writer's own filesystem the atomic rename makes those impossible in
+// steady state, but a reader observing a synced copy mid-transfer sees a
+// torn file as not-yet-published rather than an error. Manifests without a
+// CRC (written before the field existed) are accepted.
+func readManifest(dir string) (Manifest, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return Manifest{}, false
 	}
@@ -157,7 +182,70 @@ func (s *Store) Latest() (Manifest, bool) {
 	if err := json.Unmarshal(data, &m); err != nil || m.Checkpoint == "" {
 		return Manifest{}, false
 	}
+	if m.CRC != 0 && m.CRC != m.checksum() {
+		return Manifest{}, false
+	}
 	return m, true
+}
+
+// ReadCheckpoint returns the raw sealed blob of a checkpoint file by name —
+// the replication fetch path. The name is validated against the checkpoint
+// naming scheme so a wire-supplied name can never escape the checkpoints
+// directory.
+func (s *Store) ReadCheckpoint(name string) ([]byte, error) {
+	return readCheckpointBlob(s.dir, name)
+}
+
+func readCheckpointBlob(dir, name string) ([]byte, error) {
+	if !ValidCheckpointName(name) {
+		return nil, fmt.Errorf("store: invalid checkpoint name %q", name)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, checkpointDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: read checkpoint %s: %w", name, err)
+	}
+	return blob, nil
+}
+
+// ValidCheckpointName reports whether name matches the ckpt-<epoch>-<seq>.snap
+// scheme WriteCheckpoint produces — the allowlist for wire-supplied
+// checkpoint fetches (no separators, no traversal).
+func ValidCheckpointName(name string) bool {
+	const prefix, suffix = "ckpt-", ".snap"
+	if len(name) != len(prefix)+8+1+12+len(suffix) {
+		return false
+	}
+	if name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	for i, c := range mid {
+		if i == 8 {
+			if c != '-' {
+				return false
+			}
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeCheckpoint validates a sealed checkpoint blob and decodes it,
+// returning the checkpoint and the backend tag it was sealed under — the
+// follower-side half of WriteCheckpoint.
+func DecodeCheckpoint(blob []byte) (Checkpoint, string, error) {
+	env, err := Unseal(blob)
+	if err != nil {
+		return Checkpoint{}, "", err
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&ck); err != nil {
+		return Checkpoint{}, "", fmt.Errorf("store: checkpoint decode: %v: %w", err, fosserr.ErrSnapshotCorrupt)
+	}
+	return ck, env.Backend, nil
 }
 
 // WriteCheckpoint seals the checkpoint into an envelope, writes it with
@@ -188,6 +276,7 @@ func (s *Store) WriteCheckpoint(backend string, ck Checkpoint) (string, error) {
 		return name, nil
 	}
 	m := Manifest{Version: 1, Checkpoint: name, Backend: backend, Epoch: ck.Epoch, WALSeq: ck.WALSeq}
+	m.CRC = m.checksum()
 	mj, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return "", err

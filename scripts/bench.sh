@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # bench.sh — the repository's perf snapshot: runs the parallel-training,
 # online-serving, metrics-overhead, tiered-serving, batched-serving,
-# durability (checkpoint + WAL-replay), and multi-tenant sharded-serving
-# benchmarks and emits a machine-readable BENCH_7.json.
+# durability (checkpoint + WAL-replay), multi-tenant sharded-serving, and
+# gate-proxied serving benchmarks and emits a machine-readable BENCH_8.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh      # more iterations per benchmark
@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 benchtime="${BENCHTIME:-1x}"
 # The parallelism actually benched, not the machine's core count: an explicit
 # CPUS sweep, else the ambient GOMAXPROCS cap, else every hardware thread.
@@ -19,8 +19,8 @@ cpus="${CPUS:-${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-echo "== go test -bench TrainParallel|ServeOnline|ServeWithMetrics|ServeTiered|TierRouter|ServeBatch|Checkpoint|WALReplay|ShardedServe (benchtime=$benchtime cpu=$cpus) =="
-go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeWithMetrics|BenchmarkServeTiered|BenchmarkTierRouter|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay|BenchmarkShardedServe' \
+echo "== go test -bench TrainParallel|ServeOnline|ServeWithMetrics|ServeTiered|TierRouter|ServeBatch|Checkpoint|WALReplay|ShardedServe|GateProxy (benchtime=$benchtime cpu=$cpus) =="
+go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeWithMetrics|BenchmarkServeTiered|BenchmarkTierRouter|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay|BenchmarkShardedServe|BenchmarkGateProxy' \
   -benchtime "$benchtime" -cpu "$cpus" . | tee "$tmp"
 
 awk -v arch="$(uname -m)" -v cpus="$cpus" -v benchtime="$benchtime" '
@@ -38,7 +38,7 @@ awk -v arch="$(uname -m)" -v cpus="$cpus" -v benchtime="$benchtime" '
     if (rows == "") { print "no benchmark rows parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"schema\": \"foss-bench/1\",\n"
-    printf "  \"pr\": 7,\n"
+    printf "  \"pr\": 8,\n"
     printf "  \"arch\": \"%s\",\n", arch
     printf "  \"cpus\": %s,\n", (cpus ~ /^[0-9]+$/ ? cpus : "\"" cpus "\"")
     printf "  \"benchtime\": \"%s\",\n", benchtime

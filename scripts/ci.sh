@@ -2,8 +2,9 @@
 # ci.sh — the repository's verification pipeline.
 #
 #   vet, build, race-enabled tests, the Workers determinism checks, the
-#   tiered-serving and allocation gates, and (on multi-core machines) the
-#   parallel-training and tier-0 speedup measurements.
+#   tiered-serving, allocation, durability, drain, metrics, and replication
+#   gates, and (on multi-core machines) the parallel-training and tier-0
+#   speedup measurements.
 #
 # Usage: scripts/ci.sh [--quick]
 #   --quick skips the race detector and the speedup bench.
@@ -271,10 +272,112 @@ for fam in foss_served_total foss_recorded_total foss_serve_latency_seconds_coun
 done
 echo "metrics gate OK: tenant-labeled scrape, counters monotonic, histogram counts == served on both pages"
 
+echo "== replication: leader + 2 followers + gate, kill -9 leader mid-traffic, zero dropped reads =="
+# The fleet gate: a leader trains and checkpoints; two followers replicate
+# over HTTP (/v1/t/{tenant}/repl/*) and must serve the leader's exact plan;
+# a fossgate with failover fronts all three. The leader takes a kill -9
+# under live gate traffic — every read must keep answering (followers hold
+# the last published generation) — and a restarted leader must warm-resume
+# from its MANIFEST.
+repl_lead=127.0.0.1:8500
+repl_f1=127.0.0.1:8501
+repl_f2=127.0.0.1:8502
+repl_gate=127.0.0.1:8503
+repl_pids=""
+trap 'kill -9 $gate_pid $repl_pids 2>/dev/null || true; rm -rf "$gate_dir"' EXIT
+gate_pid=""
+go build -o "$gate_dir/fossgate" ./cmd/fossgate
+up() { # $1 = addr
+  for _ in $(seq 1 180); do
+    curl -sf "http://$1/v1/tenants" >/dev/null 2>&1 && return 0
+    sleep 1
+  done
+  return 1
+}
+# shellcheck disable=SC2086
+"$gate_dir/fossd" $gate_train -tenants acme -state-dir "$gate_dir/repl" -checkpoint-every 4 -serve-http "$repl_lead" >"$gate_dir/lead1.log" 2>&1 &
+lead_pid=$!
+repl_pids="$lead_pid"
+up "$repl_lead" || { cat "$gate_dir/lead1.log"; echo "FAIL: replication leader never came up"; exit 1; }
+for f in "$repl_f1" "$repl_f2"; do
+  # shellcheck disable=SC2086
+  "$gate_dir/fossd" $gate_train -tenants acme -role follower -leader-addr "http://$repl_lead" -repl-interval 200ms -serve-http "$f" >"$gate_dir/follower-${f##*:}.log" 2>&1 &
+  repl_pids="$repl_pids $!"
+done
+up "$repl_f1" && up "$repl_f2" || { cat "$gate_dir"/follower-*.log; echo "FAIL: a follower never came up"; exit 1; }
+"$gate_dir/fossgate" -listen "$repl_gate" -members "$repl_lead,$repl_f1,$repl_f2" -failover >"$gate_dir/gate.log" 2>&1 &
+repl_pids="$repl_pids $!"
+for _ in $(seq 1 60); do
+  curl -sf "http://$repl_gate/v1/gate" >/dev/null 2>&1 && break
+  sleep 1
+done
+# Replication correctness: the leader's plan and both followers' plans for
+# the same query must carry the same icp_key (same model generation).
+curl -sf "http://$repl_lead/v1/t/acme/optimize" -d '{"query_id": "1_1"}' >"$gate_dir/lead-plan.json"
+lead_key=$(sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p' "$gate_dir/lead-plan.json")
+[[ -n "$lead_key" ]] || { echo "FAIL: leader served no plan"; exit 1; }
+for f in "$repl_f1" "$repl_f2"; do
+  grep -q "follower serving" "$gate_dir/follower-${f##*:}.log" || { cat "$gate_dir/follower-${f##*:}.log"; echo "FAIL: $f did not boot as a follower"; exit 1; }
+  fk=$(curl -sf "http://$f/v1/t/acme/optimize" -d '{"query_id": "1_1"}' | sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p')
+  [[ "$fk" == "$lead_key" ]] || { echo "FAIL: follower $f plan '$fk' != leader plan '$lead_key'"; exit 1; }
+done
+# Feedback on a follower forwards to the leader instead of 403ing.
+sid=$(curl -sf "http://$repl_f1/v1/t/acme/optimize" -d '{"query_id": "2_1"}' | sed -n 's/.*"serve_id":"\([^"]*\)".*/\1/p')
+[[ -n "$sid" ]] || { echo "FAIL: follower optimize returned no serve_id"; exit 1; }
+fwd=$(curl -s "http://$repl_f1/v1/t/acme/feedback" -d "{\"serve_id\": \"$sid\", \"latency_ms\": 12.5}")
+echo "$fwd" | grep -q '"forwarded":true' || { echo "FAIL: follower feedback not forwarded to leader: $fwd"; exit 1; }
+# The merged gate scrape sees replication lag per instance.
+curl -sf "http://$repl_gate/metrics" >"$gate_dir/gate-metrics.txt"
+grep -q 'foss_repl_last_applied_walseq{' "$gate_dir/gate-metrics.txt" || { echo "FAIL: gate scrape missing replication gauges"; exit 1; }
+grep -q 'instance="' "$gate_dir/gate-metrics.txt" || { echo "FAIL: gate scrape not instance-labeled"; exit 1; }
+# Live reads through the gate across the leader kill: with failover on, a
+# request whose owner died must land on a follower — zero failed requests.
+: >"$gate_dir/repl-traffic.out"
+(
+  set +e
+  while :; do
+    curl -sf "http://$repl_gate/v1/t/acme/optimize" -d '{"query_id": "1_1"}' >>"$gate_dir/repl-traffic.out" || echo -n FAILED >>"$gate_dir/repl-traffic.out"
+    echo >>"$gate_dir/repl-traffic.out"
+  done
+) &
+traffic_pid=$!
+sleep 1
+kill -9 "$lead_pid" 2>/dev/null; wait "$lead_pid" 2>/dev/null || true
+sleep 2
+pre=$(wc -l <"$gate_dir/repl-traffic.out")
+sleep 2
+kill "$traffic_pid" 2>/dev/null || true
+wait "$traffic_pid" 2>/dev/null || true
+post=$(wc -l <"$gate_dir/repl-traffic.out")
+[[ "$post" -gt "$pre" ]] || { echo "FAIL: gate traffic stalled after leader kill ($pre -> $post)"; exit 1; }
+if grep -q FAILED "$gate_dir/repl-traffic.out"; then echo "FAIL: requests failed through the gate during leader kill"; exit 1; fi
+answered=0
+while IFS= read -r line; do
+  [[ -z "$line" ]] && continue
+  echo "$line" | grep -q "\"icp_key\":\"$lead_key\"" || { echo "FAIL: torn or wrong-generation response through gate: $line"; exit 1; }
+  answered=$((answered + 1))
+done <"$gate_dir/repl-traffic.out"
+[[ "$answered" -ge 1 ]] || { echo "FAIL: gate traffic loop landed no answers"; exit 1; }
+# A follower answers directly too: the fleet's reads survived leader death.
+fk=$(curl -sf "http://$repl_f2/v1/t/acme/optimize" -d '{"query_id": "1_1"}' | sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p')
+[[ "$fk" == "$lead_key" ]] || { echo "FAIL: follower lost the generation after leader death ('$fk')"; exit 1; }
+# The restarted leader resumes from its own MANIFEST — warm, not retrained.
+# shellcheck disable=SC2086
+"$gate_dir/fossd" $gate_train -tenants acme -state-dir "$gate_dir/repl" -checkpoint-every 4 -serve-http "$repl_lead" >"$gate_dir/lead2.log" 2>&1 &
+repl_pids="$repl_pids $!"
+up "$repl_lead" || { cat "$gate_dir/lead2.log"; echo "FAIL: restarted leader never came up"; exit 1; }
+grep -q "warm restart" "$gate_dir/lead2.log" || { cat "$gate_dir/lead2.log"; echo "FAIL: restarted leader retrained instead of resuming"; exit 1; }
+lk2=$(curl -sf "http://$repl_lead/v1/t/acme/optimize" -d '{"query_id": "1_1"}' | sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p')
+[[ "$lk2" == "$lead_key" ]] || { echo "FAIL: restarted leader plan '$lk2' != pre-crash plan '$lead_key'"; exit 1; }
+kill $repl_pids 2>/dev/null || true
+wait 2>/dev/null || true
+repl_pids=""
+echo "replication gate OK: 2 followers served leader's generation '$lead_key', $answered gate reads intact across kill -9, leader warm-resumed"
+
 if [[ $quick -eq 0 ]]; then
   ncpu=$(nproc 2>/dev/null || echo 1)
   if [[ "$ncpu" -ge 4 ]]; then
-    echo "== perf snapshot (BENCH_7.json) =="
+    echo "== perf snapshot (BENCH_8.json) =="
     # Hardware-gated like the speedup check: on weak runners the numbers are
     # noise; run `make bench` manually to refresh the snapshot anywhere.
     scripts/bench.sh
