@@ -1,0 +1,132 @@
+// Command fosslint runs FOSS's in-tree static-analysis suite: six analyzers
+// that mechanically enforce the invariants the codebase's PRs established —
+// seeded determinism on decision paths, lifecycle-tracked goroutines,
+// errors.Is-only sentinel comparisons, fsync-before-rename durability,
+// ctx-first exported APIs, and counter-before-histogram stats ordering.
+//
+// Usage:
+//
+//	fosslint [-json] [-rules r1,r2] [-unscoped] [-list] [packages...]
+//
+// Packages default to ./... . Exit status is 0 when clean, 1 when findings
+// were reported, 2 on usage or load errors. Findings print one per line as
+//
+//	file:line: [rule] message
+//
+// and can be suppressed in source with //lint:ignore <rule> <reason>
+// (reason mandatory; suppressions are counted in the summary).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/foss-db/foss/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json output shape (stable tooling contract).
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Counts   jsonCounts    `json:"counts"`
+	Duration float64       `json:"duration_ms"`
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+type jsonCounts struct {
+	Findings         int `json:"findings"`
+	Suppressed       int `json:"suppressed"`
+	IgnoreDirectives int `json:"ignore_directives"`
+	Packages         int `json:"packages"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fosslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		asJSON   = fs.Bool("json", false, "emit findings as a JSON report")
+		rules    = fs.String("rules", "", "comma-separated rule subset (default: all)")
+		unscoped = fs.Bool("unscoped", false, "lift per-rule package/file scoping (fixture verification)")
+		list     = fs.Bool("list", false, "list rules and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	opts := lint.Options{Patterns: fs.Args(), Unscoped: *unscoped}
+	if *rules != "" {
+		opts.Rules = strings.Split(*rules, ",")
+	}
+	sum, err := lint.Run(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "fosslint: %v\n", err)
+		return 2
+	}
+
+	wd, _ := os.Getwd()
+	rel := func(path string) string {
+		if wd != "" {
+			if r, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(r, "..") {
+				return r
+			}
+		}
+		return path
+	}
+
+	if *asJSON {
+		rep := jsonReport{
+			Findings: []jsonFinding{},
+			Counts: jsonCounts{
+				Findings:         len(sum.Findings),
+				Suppressed:       sum.Suppressed,
+				IgnoreDirectives: sum.IgnoreDirectives,
+				Packages:         sum.Packages,
+			},
+			Duration: float64(sum.Duration.Microseconds()) / 1e3,
+		}
+		for _, d := range sum.Findings {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "fosslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range sum.Findings {
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Rule, d.Message)
+		}
+		fmt.Fprintf(stderr, "fosslint: %d finding(s), %d suppressed by %d ignore directive(s), %d package(s), %s\n",
+			len(sum.Findings), sum.Suppressed, sum.IgnoreDirectives, sum.Packages,
+			sum.Duration.Round(1e6))
+	}
+	if len(sum.Findings) > 0 {
+		return 1
+	}
+	return 0
+}

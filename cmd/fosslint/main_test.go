@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const (
+	fixtureDeterminism = "../../internal/lint/testdata/determinism"
+	fixtureIgnore      = "../../internal/lint/testdata/ignore"
+	cleanPkg           = "../../internal/fosserr"
+)
+
+// TestExitCodes pins the driver's contract: 0 clean, 1 findings, 2 errors.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+	}{
+		{"clean package", []string{cleanPkg}, 0},
+		{"seeded violations", []string{"-unscoped", fixtureDeterminism}, 1},
+		{"rule not firing when deselected", []string{"-unscoped", "-rules", "fsyncrename", fixtureDeterminism}, 0},
+		{"unknown rule", []string{"-rules", "nope", cleanPkg}, 2},
+		{"bad pattern", []string{"./does-not-exist-xyz"}, 2},
+		{"list rules", []string{"-list"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(c.args, &stdout, &stderr); got != c.exit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", got, c.exit, &stdout, &stderr)
+			}
+		})
+	}
+}
+
+// TestTextOutputShape: findings print as "file:line: [rule] message".
+func TestTextOutputShape(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-unscoped", "-rules", "determinism", fixtureDeterminism}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", got, &stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no findings printed")
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "fixture.go:") || !strings.Contains(l, ": [determinism] ") {
+			t.Errorf("finding line %q does not match file:line: [rule] message", l)
+		}
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("summary missing from stderr: %q", stderr.String())
+	}
+}
+
+// TestJSONShape: the -json report is stable, parseable tooling input.
+func TestJSONShape(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", "-unscoped", "-rules", "determinism", fixtureDeterminism}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", got, &stderr)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("unmarshaling -json output: %v\n%s", err, &stdout)
+	}
+	if len(rep.Findings) == 0 || rep.Counts.Findings != len(rep.Findings) {
+		t.Fatalf("inconsistent counts: %+v", rep.Counts)
+	}
+	for _, f := range rep.Findings {
+		if f.File == "" || f.Line <= 0 || f.Rule != "determinism" || f.Message == "" {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+	if rep.Counts.Packages != 1 {
+		t.Errorf("packages = %d, want 1", rep.Counts.Packages)
+	}
+	if rep.Duration <= 0 {
+		t.Errorf("duration_ms = %v, want > 0", rep.Duration)
+	}
+}
+
+// TestIgnoreDirectives: a valid //lint:ignore suppresses and is counted; a
+// reasonless or ruleless one is itself a finding and suppresses nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", "-unscoped", fixtureIgnore}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", got, &stderr)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("unmarshaling: %v", err)
+	}
+	byRule := map[string]int{}
+	for _, f := range rep.Findings {
+		byRule[f.Rule]++
+	}
+	if byRule["ignore"] != 2 {
+		t.Errorf("ignore findings = %d, want 2 (one reasonless, one ruleless): %+v", byRule["ignore"], rep.Findings)
+	}
+	if byRule["determinism"] != 1 {
+		t.Errorf("determinism findings = %d, want 1 (reasonless directive must not suppress): %+v", byRule["determinism"], rep.Findings)
+	}
+	if rep.Counts.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", rep.Counts.Suppressed)
+	}
+	if rep.Counts.IgnoreDirectives != 3 {
+		t.Errorf("ignore_directives = %d, want 3", rep.Counts.IgnoreDirectives)
+	}
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces PR 3's context plumbing convention on the public
+// surface of the blocking layers (internal/core, service, shard, repl,
+// gate): when an exported function, exported method, or exported interface
+// method takes a context.Context, it takes it as the FIRST parameter. A ctx
+// buried mid-signature reads as optional, breaks the mechanical
+// "first-arg-cancels" expectation every caller in the tree relies on, and
+// diverges from the stdlib convention the rest of the API follows.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported blocking APIs take context.Context as their first parameter",
+	PkgScope: func(path string) bool {
+		return pathHasSuffix(path,
+			"internal/core", "internal/service", "internal/shard",
+			"internal/repl", "internal/gate")
+	},
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !exportedAPI(d) {
+					continue
+				}
+				checkCtxPosition(p, d.Name.Name, d.Type)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					iface, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range iface.Methods.List {
+						ft, ok := m.Type.(*ast.FuncType)
+						if !ok || len(m.Names) == 0 || !m.Names[0].IsExported() {
+							continue
+						}
+						checkCtxPosition(p, ts.Name.Name+"."+m.Names[0].Name, ft)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedAPI: exported name, and for methods an exported receiver type
+// (methods on unexported types are not part of the package's surface).
+func exportedAPI(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func checkCtxPosition(p *Pass, name string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(p.Info.TypeOf(field.Type)) && idx != 0 {
+			p.Reportf(field.Pos(),
+				"%s takes context.Context as parameter %d; exported blocking APIs take ctx first", name, idx+1)
+		}
+		idx += n
+	}
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && namedTypeIs(t, "context", "Context")
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the bit-identical replay guarantee on the decision
+// paths: the packages whose outputs land in plans, hints, tier routes, and
+// WAL records (internal/planner, internal/learner, internal/tier,
+// internal/aam, and the gate's hash ring) must not consult ambient entropy.
+//
+// Three concrete prohibitions:
+//
+//  1. Global math/rand functions (Intn, Float64, Shuffle, ...). Seeded
+//     generators — rand.New(rand.NewSource(seed)) and methods on a
+//     *rand.Rand — are the sanctioned idiom and stay legal.
+//
+//  2. Wall-clock reads outside the latency-measurement idiom. time.Now()
+//     is allowed only when its result is assigned to a variable that the
+//     same function later feeds to time.Since or (time.Time).Sub — i.e.
+//     `start := time.Now(); ...; elapsed := time.Since(start)`. Anything
+//     else (seeding a generator from time.Now().UnixNano() being the
+//     classic offender) is a finding.
+//
+//  3. Raw map-range emission: a `for k, v := range m` over a map whose body
+//     appends into a slice visible outside the loop, sends on a channel, or
+//     calls an emission-verb method (Append/Write/Encode/Emit/Journal)
+//     publishes Go's randomized iteration order. Appending is forgiven when
+//     the same function sorts the destination after the loop — the
+//     collect-then-sort idiom tier.Memory.Export uses.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "decision paths must not read ambient entropy or emit map order",
+	PkgScope: func(path string) bool {
+		return pathHasSuffix(path,
+			"internal/planner", "internal/learner", "internal/tier",
+			"internal/aam", "internal/gate")
+	},
+	FileScope: func(path, filename string) bool {
+		// Only the consistent-hash ring in internal/gate is a decision
+		// path; the proxy around it does timeouts and failover on purpose.
+		if pathHasSuffix(path, "internal/gate") {
+			return strings.HasSuffix(filename, "/ring.go")
+		}
+		return true
+	},
+	Run: runDeterminism,
+}
+
+// globalRandFuncs are the math/rand (and v2) package functions backed by the
+// shared, non-reproducible global source. Constructors (New, NewSource,
+// NewZipf, NewPCG, NewChaCha8) are deliberately absent.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "Uint64N": true, "Uint32N": true,
+}
+
+// emissionVerbs are method names whose invocation inside a map-range body is
+// treated as publishing the iteration order (WAL appends, hint encoders,
+// buffer writers).
+var emissionVerbs = map[string]bool{
+	"Append": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true, "Emit": true, "Journal": true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGlobalRand(p, fd.Body)
+			checkWallClock(p, fd.Body)
+			checkMapEmission(p, fd.Body)
+		}
+	}
+}
+
+func checkGlobalRand(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pkgFuncOf(p.Info, call)
+		if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") {
+			return true
+		}
+		if globalRandFuncs[name] {
+			p.Reportf(call.Pos(),
+				"global math/rand.%s uses the shared unseeded source; thread a seeded *rand.Rand through instead", name)
+		}
+		return true
+	})
+}
+
+// checkWallClock flags time.Now() calls that are not part of a timing idiom.
+func checkWallClock(p *Pass, body *ast.BlockStmt) {
+	// First pass: variables consumed by time.Since(v) or by either side of
+	// x.Sub(v), anywhere in the function (including deferred closures) —
+	// both ends of a Sub are part of the elapsed-time idiom.
+	timed := map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			timed[p.Info.Uses[id]] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if pkgFuncCall(p.Info, call, "time", "Since") {
+			mark(call.Args[0])
+			return true
+		}
+		if recv, fn, isMethod := methodCallOf(p.Info, call); isMethod &&
+			fn.Name() == "Sub" && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			mark(call.Args[0])
+			mark(recv)
+		}
+		return true
+	})
+
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !pkgFuncCall(p.Info, call, "time", "Now") {
+			return true
+		}
+		if !timingIdiom(p, call, stack, timed) {
+			p.Reportf(call.Pos(),
+				"wall-clock read outside a timing idiom; only `v := time.Now()` later consumed by time.Since(v)/x.Sub(v) is deterministic-replay safe")
+		}
+		return true
+	})
+}
+
+// timingIdiom reports whether the time.Now() call at the top of stack is the
+// sole RHS of an assignment to a variable the function times with
+// time.Since/Sub.
+func timingIdiom(p *Pass, call *ast.CallExpr, stack []ast.Node, timed map[types.Object]bool) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	asg, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Rhs[0] != call {
+		return false
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Defs[lhs]
+	if obj == nil {
+		obj = p.Info.Uses[lhs]
+	}
+	return obj != nil && timed[obj]
+}
+
+// sortFuncs are the package sort entry points that neutralize collect-order.
+var sortFuncs = map[string]bool{
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+}
+
+// checkMapEmission flags order-publishing statements inside map ranges.
+func checkMapEmission(p *Pass, body *ast.BlockStmt) {
+	// Destinations sorted anywhere in this function, by expression text:
+	// append targets matching one are exempt (collect-then-sort idiom).
+	sorted := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if pkg, name, isFn := pkgFuncOf(p.Info, call); isFn {
+			isSort := (pkg == "sort" && sortFuncs[name]) ||
+				(pkg == "slices" && strings.HasPrefix(name, "Sort"))
+			if isSort {
+				sorted[types.ExprString(call.Args[0])] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.SendStmt:
+				p.Reportf(s.Pos(), "channel send inside a map range publishes map iteration order")
+			case *ast.CallExpr:
+				if id, isID := s.Fun.(*ast.Ident); isID && id.Name == "append" && len(s.Args) > 0 {
+					dst := types.ExprString(s.Args[0])
+					if !sorted[dst] {
+						p.Reportf(s.Pos(),
+							"append to %s inside a map range emits map iteration order; sort %s after the loop or iterate sorted keys", dst, dst)
+					}
+					return true
+				}
+				if _, fn, isMethod := methodCallOf(p.Info, s); isMethod && emissionVerbs[fn.Name()] {
+					p.Reportf(s.Pos(),
+						"%s call inside a map range emits map iteration order; collect and sort first", fn.Name())
+				}
+			}
+			return true
+		})
+		return true
+	})
+}

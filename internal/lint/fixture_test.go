@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expectation comment: `// want `regex“ trailing the line a
+// finding must land on.
+type want struct {
+	file  string
+	line  int
+	regex *regexp.Regexp
+	hit   bool
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex: %v", e.Name(), i+1, err)
+			}
+			wants = append(wants, &want{file: e.Name(), line: i + 1, regex: re})
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+	return wants
+}
+
+// TestFixtures proves every analyzer fires on its seeded-violation corpus
+// and stays silent everywhere else in it: findings and want comments must
+// match one-to-one.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			wants := collectWants(t, dir)
+			sum, err := Run(Options{
+				Patterns: []string{"./" + filepath.ToSlash(dir)},
+				Rules:    []string{a.Name},
+				Unscoped: true,
+			})
+			if err != nil {
+				t.Fatalf("lint run: %v", err)
+			}
+			for _, d := range sum.Findings {
+				if matchDiag(wants, d.Pos.Filename, d.Pos.Line, fmt.Sprintf("[%s] %s", d.Rule, d.Message)) {
+					continue
+				}
+				t.Errorf("unexpected finding: %s", d)
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.regex)
+				}
+			}
+		})
+	}
+}
+
+func matchDiag(wants []*want, filename string, line int, rendered string) bool {
+	base := filepath.Base(filename)
+	for _, w := range wants {
+		if w.hit || w.file != base || w.line != line {
+			continue
+		}
+		if w.regex.MatchString(rendered) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestSuiteCleanOnOwnPackage is the self-check: the analyzer suite, run
+// scoped exactly as CI runs it, reports nothing on internal/lint itself.
+func TestSuiteCleanOnOwnPackage(t *testing.T) {
+	sum, err := Run(Options{Patterns: []string{"."}})
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	for _, d := range sum.Findings {
+		t.Errorf("finding on internal/lint: %s", d)
+	}
+}
+
+// TestUnknownRule pins the error path -rules takes on a typo.
+func TestUnknownRule(t *testing.T) {
+	_, err := Run(Options{Patterns: []string{"."}, Rules: []string{"nope"}})
+	if err == nil || !strings.Contains(err.Error(), `unknown rule "nope"`) {
+		t.Fatalf("want unknown-rule error, got %v", err)
+	}
+}

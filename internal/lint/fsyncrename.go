@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FsyncRename enforces PR 4's durability point in internal/store: the
+// temp-write → fsync → rename protocol. An os.Rename that publishes a file
+// into the state dir without a preceding (*os.File).Sync in the same
+// function can surface a zero-length or torn file after a crash — the
+// rename is only atomic about *which* inode appears, not about whether its
+// bytes reached the platter.
+//
+// The mechanical form: every os.Rename call must be preceded, lexically
+// within the same function, by a Sync() call on an *os.File.
+var FsyncRename = &Analyzer{
+	Name: "fsyncrename",
+	Doc:  "store renames must be dominated by a File.Sync durability point",
+	PkgScope: func(path string) bool {
+		return pathHasSuffix(path, "internal/store")
+	},
+	Run: runFsyncRename,
+}
+
+func runFsyncRename(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRenames(p, fd)
+		}
+	}
+}
+
+func checkRenames(p *Pass, fd *ast.FuncDecl) {
+	// Positions of every (*os.File).Sync call in the function.
+	var syncs []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, fn, isMethod := methodCallOf(p.Info, call); isMethod &&
+			fn.Name() == "Sync" && isOSFile(p.Info.TypeOf(recv)) {
+			syncs = append(syncs, call)
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !pkgFuncCall(p.Info, call, "os", "Rename") {
+			return true
+		}
+		dominated := false
+		for _, s := range syncs {
+			if s.Pos() < call.Pos() {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			p.Reportf(call.Pos(),
+				"os.Rename in %s without a preceding File.Sync: the rename publishes bytes that may not be durable yet (fsync the temp file first)", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+func isOSFile(t types.Type) bool {
+	return t != nil && namedTypeIs(t, "os", "File")
+}

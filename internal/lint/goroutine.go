@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroutine enforces PR 5's lifecycle contract in internal/service and
+// internal/shard: Loop.Close proves quiescence by draining a WaitGroup, so
+// every goroutine in those packages must be accounted for. A `go` statement
+// is legal only when it is
+//
+//   - inside the spawn helper itself (the one place the wg.Add/Done pairing
+//     is centralized),
+//   - a wg-tracked launch: the spawned closure defers W.Done() and the same
+//     function called W.Add(...) before the go statement (Router.Close's
+//     parallel drain), or
+//   - an awaited waiter: the spawned closure closes a channel the enclosing
+//     function receives from (Loop.Close's bounded wg.Wait select).
+//
+// Anything else is a raw goroutine Close cannot see — exactly the leak the
+// lifecycle work eliminated.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "service/shard goroutines must flow through spawn or tracked drain machinery",
+	PkgScope: func(path string) bool {
+		return pathHasSuffix(path, "internal/service", "internal/shard")
+	},
+	Run: runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "spawn" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !trackedGoroutine(p, fd.Body, g) {
+					p.Reportf(g.Pos(),
+						"raw goroutine in %s: route it through the wg-tracked spawn helper or an awaited drain pattern so Close can drain it", fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// trackedGoroutine reports whether the go statement matches one of the two
+// sanctioned shapes (wg-tracked or awaited-waiter).
+func trackedGoroutine(p *Pass, fnBody *ast.BlockStmt, g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	return wgTracked(p, fnBody, g, lit) || awaitedWaiter(p, fnBody, lit)
+}
+
+// wgTracked: closure defers W.Done() and W.Add(...) appears in the function
+// before the go statement, for the same waitgroup expression W.
+func wgTracked(p *Pass, fnBody *ast.BlockStmt, g *ast.GoStmt, lit *ast.FuncLit) bool {
+	var wgExpr string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if recv, fn, isMethod := methodCallOf(p.Info, d.Call); isMethod &&
+			fn.Name() == "Done" && isWaitGroup(p.Info.TypeOf(recv)) {
+			wgExpr = types.ExprString(recv)
+			return false
+		}
+		return true
+	})
+	if wgExpr == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		if recv, fn, isMethod := methodCallOf(p.Info, call); isMethod &&
+			fn.Name() == "Add" && isWaitGroup(p.Info.TypeOf(recv)) &&
+			types.ExprString(recv) == wgExpr {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// awaitedWaiter: closure closes a channel the enclosing function receives
+// from (directly or in a select), so the goroutine's lifetime is bounded by
+// the function's.
+func awaitedWaiter(p *Pass, fnBody *ast.BlockStmt, lit *ast.FuncLit) bool {
+	closed := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isID := call.Fun.(*ast.Ident); isID && id.Name == "close" && len(call.Args) == 1 {
+			if arg, isArg := call.Args[0].(*ast.Ident); isArg {
+				closed[p.Info.Uses[arg]] = true
+			}
+		}
+		return true
+	})
+	if len(closed) == 0 {
+		return false
+	}
+	awaited := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return true
+		}
+		if id, isID := u.X.(*ast.Ident); isID && closed[p.Info.Uses[id]] {
+			awaited = true
+		}
+		return true
+	})
+	return awaited
+}
+
+func isWaitGroup(t types.Type) bool {
+	return t != nil && namedTypeIs(t, "sync", "WaitGroup")
+}

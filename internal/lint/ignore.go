@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	rules  []string // rule names, or ["all"]
+	reason string
+	used   bool
+}
+
+// parseIgnores scans a package's comments for //lint:ignore directives.
+// The accepted grammar is
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// and a directive suppresses findings of the named rules on its own line or
+// the line immediately below (so it can trail the offending statement or sit
+// on its own line above it). A directive with no reason is returned with an
+// empty reason — the runner turns that into a finding instead of honoring it.
+func parseIgnores(fset *token.FileSet, pkg *Package) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := &ignoreDirective{pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.rules = strings.Split(fields[0], ",")
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether the directive covers a diagnostic.
+func (d *ignoreDirective) matches(diag Diagnostic) bool {
+	if diag.Pos.Filename != d.pos.Filename {
+		return false
+	}
+	if diag.Pos.Line != d.pos.Line && diag.Pos.Line != d.pos.Line+1 {
+		return false
+	}
+	for _, r := range d.rules {
+		if r == "all" || r == diag.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// applyIgnores filters diags through the package's directives. Malformed
+// directives (no rule, or no reason) suppress nothing and are reported as
+// rule-"ignore" findings; valid ones knock out matching diagnostics and are
+// tallied. The returned slice is the surviving findings plus the directive
+// findings.
+func applyIgnores(diags []Diagnostic, dirs []*ignoreDirective) (kept []Diagnostic, suppressed int) {
+	valid := make([]*ignoreDirective, 0, len(dirs))
+	for _, d := range dirs {
+		switch {
+		case len(d.rules) == 0:
+			kept = append(kept, Diagnostic{
+				Pos:     d.pos,
+				Rule:    "ignore",
+				Message: "lint:ignore directive names no rule (want //lint:ignore <rule> <reason>)",
+			})
+		case d.reason == "":
+			kept = append(kept, Diagnostic{
+				Pos:     d.pos,
+				Rule:    "ignore",
+				Message: "lint:ignore directive has no reason — the reason is mandatory, it is the audit trail",
+			})
+		default:
+			valid = append(valid, d)
+		}
+	}
+	for _, diag := range diags {
+		ignored := false
+		for _, d := range valid {
+			if d.matches(diag) {
+				d.used = true
+				ignored = true
+				suppressed++
+				break
+			}
+		}
+		if !ignored {
+			kept = append(kept, diag)
+		}
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,202 @@
+// Package lint is FOSS's in-tree static-analysis suite: a zero-dependency
+// driver (stdlib go/parser + go/types only — go.mod stays empty) that loads
+// the whole module, type-checks it, and runs a pluggable set of analyzers,
+// each encoding one load-bearing invariant the repository's PRs established
+// in prose:
+//
+//   - determinism: decision paths never consult ambient entropy (global
+//     math/rand, wall clock outside timing idioms) and never emit
+//     map-iteration order into plans, hints, or WAL records (PR 1/2).
+//   - goroutine: internal/service and internal/shard never start raw
+//     goroutines — everything flows through the wg-tracked Loop.spawn /
+//     drain machinery so Close can prove the loop quiesced (PR 5).
+//   - sentinel: fosserr sentinels are compared with errors.Is, never ==,
+//     and every sentinel is re-exported at the root package (PR 3).
+//   - fsyncrename: in internal/store an os.Rename durability point is
+//     always preceded by a File.Sync in the same function (PR 4).
+//   - ctxfirst: exported blocking APIs take context.Context first (PR 3).
+//   - statsorder: atomic counters bump before Histogram.Observe on the
+//     same stats struct, preserving the torn-read snapshot audit (PR 7).
+//
+// Diagnostics print as "file:line: [rule] message". A finding can be
+// suppressed in source with a mandatory-reason directive on the same or the
+// preceding line:
+//
+//	//lint:ignore <rule> <reason>
+//
+// A directive without a reason is itself a finding (rule "ignore");
+// suppressions are counted and surfaced in the run summary, never silent.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, positioned in the loaded fileset.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical "file:line: [rule] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one pluggable rule. PkgScope limits which packages the rule
+// inspects (nil = every loaded package); FileScope refines that to
+// individual files (nil = every file of an in-scope package). Scoping is
+// lifted wholesale when the runner is Unscoped — that is how the seeded
+// violation fixtures under testdata/ are proven to fire.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	PkgScope  func(pkgPath string) bool
+	FileScope func(pkgPath, filename string) bool
+
+	Run func(p *Pass)
+}
+
+// Pass is one (analyzer, package) unit of work. Files holds only the files
+// the analyzer's scope admits; TypesInfo/TypesPkg cover the whole package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding for this pass's rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ---- shared AST/type helpers used by several analyzers ----
+
+// pkgFuncCall reports whether call invokes the package-level function
+// pkg.name (matching the import path, not the local alias), e.g.
+// pkgFuncCall(info, c, "math/rand", "Intn").
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	p, n, ok := pkgFuncOf(info, call)
+	return ok && p == pkgPath && n == name
+}
+
+// pkgFuncOf resolves call's callee as a package-qualified function,
+// returning its import path and name.
+func pkgFuncOf(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodCallOf resolves call as a method invocation, returning the receiver
+// expression and the *types.Func. Package-qualified function calls are
+// rejected (they have no receiver expression).
+func methodCallOf(info *types.Info, call *ast.CallExpr) (recv ast.Expr, fn *types.Func, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return nil, nil, false
+		}
+	}
+	f, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || f.Type().(*types.Signature).Recv() == nil {
+		return nil, nil, false
+	}
+	return sel.X, f, true
+}
+
+// rootIdent strips selectors, indexes, parens, stars, and type asserts off
+// an expression and returns the root identifier, or nil (e.g. the root is a
+// call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// namedTypeIs reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// pathHasSuffix reports whether an import path ends with one of the given
+// slash-separated suffixes (matched on component boundaries, so
+// "internal/gate" matches ".../internal/gate" but not ".../internal/gateway").
+func pathHasSuffix(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortDiags orders diagnostics by file, line, column, then rule — the
+// stable presentation order of every run.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

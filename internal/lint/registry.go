@@ -1,0 +1,15 @@
+package lint
+
+// All returns the full analyzer suite in presentation order. The pseudo-rule
+// "ignore" (malformed //lint:ignore directives) is not listed here — it is
+// part of the runner and cannot be deselected.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Goroutine,
+		Sentinel,
+		FsyncRename,
+		CtxFirst,
+		StatsOrder,
+	}
+}

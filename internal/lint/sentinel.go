@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Sentinel enforces PR 3's error-classification contract, module-wide:
+//
+//  1. A comparison against a sentinel error value — any package-level Err*
+//     variable of type error, which covers internal/fosserr and the root
+//     package's re-exports — must go through errors.Is, never == or !=.
+//     Every layer wraps sentinels with %w, so an identity comparison is a
+//     latent bug that works in unit tests and fails across one wrap.
+//
+//  2. Any package that re-exports fosserr sentinels (declares a var
+//     initialized from one, as the root foss package does) must re-export
+//     every sentinel fosserr declares: a partial surface strands callers
+//     who classify errors without importing internal packages.
+var Sentinel = &Analyzer{
+	Name: "sentinel",
+	Doc:  "fosserr sentinels: errors.Is comparisons only, complete root re-exports",
+	Run:  runSentinel,
+}
+
+const fosserrPath = "internal/fosserr"
+
+func runSentinel(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				if name, isSentinel := sentinelRef(p.Info, side); isSentinel {
+					p.Reportf(be.Pos(),
+						"%s compared with %s; sentinels travel wrapped (%%w) — use errors.Is(err, %s)",
+						name, be.Op, name)
+					break
+				}
+			}
+			return true
+		})
+	}
+	checkReexports(p)
+}
+
+// sentinelRef reports whether e denotes a package-level Err* variable of
+// type error, returning its display name.
+func sentinelRef(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || !strings.HasPrefix(obj.Name(), "Err") {
+		return "", false
+	}
+	// Package-level (sentinel) vars only: locals named err... don't match
+	// the Err prefix anyway, but be precise about scope.
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if !types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	return types.ExprString(e), true
+}
+
+// checkReexports: if this package aliases at least one fosserr sentinel
+// (var X = fosserr.ErrY), it is a re-export surface and must carry all of
+// them under their original names.
+func checkReexports(p *Pass) {
+	var fosserrPkg *types.Package
+	for _, imp := range p.Pkg.Types.Imports() {
+		if pathHasSuffix(imp.Path(), fosserrPath) {
+			fosserrPkg = imp
+			break
+		}
+	}
+	if fosserrPkg == nil {
+		return
+	}
+
+	// Collect this package's aliases of fosserr sentinels, remembering where
+	// the re-export block lives so the diagnostic lands on it.
+	aliased := map[string]bool{}
+	var anchor token.Pos
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, v := range vs.Values {
+					sel, ok := v.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					obj, ok := p.Info.Uses[sel.Sel].(*types.Var)
+					if !ok || obj.Pkg() == nil || !pathHasSuffix(obj.Pkg().Path(), fosserrPath) {
+						continue
+					}
+					if strings.HasPrefix(obj.Name(), "Err") {
+						aliased[vs.Names[i].Name] = true
+						if !anchor.IsValid() {
+							anchor = vs.Names[i].Pos()
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(aliased) == 0 {
+		return
+	}
+
+	var missing []string
+	scope := fosserrPkg.Scope()
+	for _, name := range scope.Names() {
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+			continue
+		}
+		if !aliased[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		p.Reportf(anchor, "%s re-exports fosserr sentinels but is missing %d of them: %s",
+			p.Pkg.Types.Name(), len(missing), strings.Join(missing, ", "))
+	}
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// StatsOrder enforces PR 7's torn-read audit, module-wide: on any write
+// path that touches both, atomic counters bump BEFORE the latency histogram
+// observes. Readers snapshot histograms before counters, so this pairing is
+// what makes every concurrent scrape satisfy Σ histogram counts ≤ served —
+// an Observe that precedes its counters lets a scrape land in between and
+// read a histogram ahead of the counter that bounds it.
+//
+// Mechanical form: within one statement list (block, case clause, comm
+// clause — branches of a switch are independent paths and never compared
+// against each other), no atomic-counter Add rooted at the same stats
+// struct may appear in a statement AFTER one containing a Histogram.Observe
+// on that struct. Function literals are separate bodies: a deferred
+// closure's events are not part of the enclosing sequence.
+var StatsOrder = &Analyzer{
+	Name: "statsorder",
+	Doc:  "atomic counters bump before Histogram.Observe on the same stats struct",
+	Run:  runStatsOrder,
+}
+
+func runStatsOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkStatsBody(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkStatsBody(p, fn.Body)
+				return false // its nested blocks are checked via the recursion below
+			}
+			return true
+		})
+	}
+}
+
+// checkStatsBody walks every statement list reachable from body without
+// crossing into nested function literals.
+func checkStatsBody(p *Pass, body *ast.BlockStmt) {
+	var walkList func(list []ast.Stmt)
+	walkList = func(list []ast.Stmt) {
+		// A switch or select body surfaces as a list of clauses. Clauses are
+		// alternative paths, not a sequence — each body is its own list and
+		// siblings are never compared against each other.
+		if len(list) > 0 {
+			switch list[0].(type) {
+			case *ast.CaseClause, *ast.CommClause:
+				for _, c := range list {
+					switch cc := c.(type) {
+					case *ast.CaseClause:
+						walkList(cc.Body)
+					case *ast.CommClause:
+						walkList(cc.Body)
+					}
+				}
+				return
+			}
+		}
+		checkList(p, list)
+		for _, s := range list {
+			ast.Inspect(s, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.BlockStmt:
+					walkList(x.List)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walkList(body.List)
+}
+
+// checkList compares the order of counter-adds and histogram-observes among
+// the top-level statements of one list. Events inside a statement's subtree
+// share that statement's index, so an if/else containing both kinds is
+// judged by its own inner lists, not here.
+func checkList(p *Pass, list []ast.Stmt) {
+	type event struct {
+		idx     int
+		pos     ast.Node
+		observe bool
+		root    string
+	}
+	var events []event
+	for i, s := range list {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if root, ok := atomicAddRoot(p, call); ok {
+				events = append(events, event{i, call, false, root})
+			} else if root, ok := histObserveRoot(p, call); ok {
+				events = append(events, event{i, call, true, root})
+			}
+			return true
+		})
+	}
+	firstObserve := map[string]int{}
+	for _, e := range events {
+		if e.observe {
+			if _, seen := firstObserve[e.root]; !seen {
+				firstObserve[e.root] = e.idx
+			}
+		}
+	}
+	for _, e := range events {
+		if e.observe {
+			continue
+		}
+		if oi, seen := firstObserve[e.root]; seen && e.idx > oi {
+			p.Reportf(e.pos.Pos(),
+				"atomic counter on %q bumps after a Histogram.Observe on the same stats struct; counters must precede observes so concurrent scrapes stay coherent", e.root)
+		}
+	}
+}
+
+// atomicAddRoot matches X.Add(...) on a sync/atomic integer (or the
+// package-level atomic.Add* forms) and returns the root identifier of the
+// stats struct the counter hangs off.
+func atomicAddRoot(p *Pass, call *ast.CallExpr) (string, bool) {
+	if recv, fn, isMethod := methodCallOf(p.Info, call); isMethod && fn.Name() == "Add" {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+			if id := rootIdent(recv); id != nil {
+				return id.Name, true
+			}
+		}
+		return "", false
+	}
+	if pkg, name, ok := pkgFuncOf(p.Info, call); ok && pkg == "sync/atomic" &&
+		strings.HasPrefix(name, "Add") && len(call.Args) > 0 {
+		arg := call.Args[0]
+		if u, isU := arg.(*ast.UnaryExpr); isU {
+			arg = u.X
+		}
+		if id := rootIdent(arg); id != nil {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+// histObserveRoot matches X.Observe(...) where X is the metrics Histogram
+// and returns the root identifier the histogram hangs off.
+func histObserveRoot(p *Pass, call *ast.CallExpr) (string, bool) {
+	recv, fn, isMethod := methodCallOf(p.Info, call)
+	if !isMethod || fn.Name() != "Observe" {
+		return "", false
+	}
+	if fn.Pkg() == nil || !pathHasSuffix(fn.Pkg().Path(), "internal/metrics") {
+		return "", false
+	}
+	if id := rootIdent(recv); id != nil {
+		return id.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,30 @@
+// Package fixture seeds ctxfirst-rule violations: exported APIs burying
+// context.Context past the first parameter.
+package fixture
+
+import "context"
+
+type Server struct{}
+
+func (s *Server) Serve(ctx context.Context, addr string) error { // ok: ctx first
+	return nil
+}
+
+func (s *Server) Drain(timeout int, ctx context.Context) error { // want `Drain takes context\.Context as parameter 2`
+	return nil
+}
+
+func Run(name string, seed int64, ctx context.Context) error { // want `Run takes context\.Context as parameter 3`
+	return nil
+}
+
+func helper(name string, ctx context.Context) {} // ok: unexported
+
+type internalServer struct{}
+
+func (s *internalServer) Wait(gen uint64, ctx context.Context) {} // ok: unexported receiver type
+
+type Source interface {
+	Fetch(ctx context.Context, name string) ([]byte, error) // ok: ctx first
+	Wait(gen uint64, ctx context.Context) error             // want `Source\.Wait takes context\.Context as parameter 2`
+}

@@ -1,0 +1,88 @@
+// Package fixture seeds determinism-rule violations: every `want` line must
+// fire, every other line must stay silent. Loaded unscoped by the fixture
+// tests and by the ci.sh rule-fires gate.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type wal struct{}
+
+func (w *wal) Append(rec string) {}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed)) // ok: seeded generator
+	return rng.Intn(n)
+}
+
+func seedFromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock read outside a timing idiom`
+}
+
+func stamp() int64 {
+	now := time.Now() // want `wall-clock read outside a timing idiom`
+	return now.UnixNano()
+}
+
+func timing() time.Duration {
+	start := time.Now() // ok: consumed by time.Since below
+	work()
+	return time.Since(start)
+}
+
+func timingSub() time.Duration {
+	t0 := time.Now() // ok: consumed by Sub below
+	work()
+	t1 := time.Now() // ok: receiver of Sub below
+	return t1.Sub(t0)
+}
+
+func work() {}
+
+func emitUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map range`
+	}
+	return keys
+}
+
+func emitSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted after the loop
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func journal(w *wal, m map[string]int) {
+	for k := range m {
+		w.Append(k) // want `Append call inside a map range`
+	}
+}
+
+func send(ch chan string, m map[string]int) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range`
+	}
+}
+
+func accumulate(m map[string]int) int {
+	n := 0
+	for _, v := range m { // ok: commutative fold, no order emitted
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,26 @@
+// Package fixture seeds fsyncrename-rule violations: renames that publish
+// bytes no Sync made durable.
+package fixture
+
+import "os"
+
+func publishUnsynced(tmp *os.File, from, to string) error {
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(from, to) // want `os\.Rename in publishUnsynced without a preceding File\.Sync`
+}
+
+func publishSynced(tmp *os.File, from, to string) error {
+	if err := tmp.Sync(); err != nil { // ok: durability point before the rename
+		return err
+	}
+	return os.Rename(from, to)
+}
+
+func syncAfterRename(tmp *os.File, from, to string) error {
+	if err := os.Rename(from, to); err != nil { // want `without a preceding File\.Sync`
+		return err
+	}
+	return tmp.Sync()
+}

@@ -1,0 +1,55 @@
+// Package fixture seeds goroutine-rule violations: raw goroutines outside
+// the spawn / wg-tracked / awaited-waiter shapes must fire.
+package fixture
+
+import "sync"
+
+type loop struct{ wg sync.WaitGroup }
+
+// spawn is the allowlisted centralization point: the analyzer skips it by
+// name, mirroring service.Loop.spawn.
+func (l *loop) spawn(f func()) {
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		f()
+	}()
+}
+
+func raw() {
+	go func() {}() // want `raw goroutine in raw`
+}
+
+func rawNamed(f func()) {
+	go f() // want `raw goroutine in rawNamed`
+}
+
+func tracked(l *loop, f func()) {
+	l.wg.Add(1)
+	go func() { // ok: wg-tracked (Add before, deferred Done inside)
+		defer l.wg.Done()
+		f()
+	}()
+}
+
+func waiter(l *loop) {
+	done := make(chan struct{})
+	go func() { // ok: awaited waiter (closes done, received below)
+		l.wg.Wait()
+		close(done)
+	}()
+	<-done
+}
+
+func doneWithoutAdd(l *loop) {
+	go func() { // want `raw goroutine in doneWithoutAdd`
+		defer l.wg.Done()
+	}()
+}
+
+func closeWithoutAwait(l *loop) {
+	done := make(chan struct{})
+	go func() { // want `raw goroutine in closeWithoutAwait`
+		close(done)
+	}()
+}

@@ -1,0 +1,21 @@
+// Package fixture exercises the //lint:ignore directive machinery: a valid
+// directive suppresses, a reasonless one is itself a finding and suppresses
+// nothing.
+package fixture
+
+import "math/rand"
+
+func suppressed(n int) int {
+	//lint:ignore determinism fixture proves suppression works
+	return rand.Intn(n) // ok: suppressed by the directive above
+}
+
+func reasonless(n int) int {
+	//lint:ignore determinism
+	return rand.Intn(n) // NOT suppressed: the directive above has no reason
+}
+
+func ruleless(n int) int {
+	//lint:ignore
+	return n
+}

@@ -1,0 +1,29 @@
+// Package fixture seeds sentinel-rule violations: identity comparisons
+// against sentinel errors, and a deliberately partial re-export surface.
+package fixture
+
+import (
+	"errors"
+
+	"github.com/foss-db/foss/internal/fosserr"
+)
+
+// Partial re-export surface: aliasing one sentinel obliges the package to
+// carry all of them, so this line anchors the completeness finding.
+var ErrNoPlan = fosserr.ErrNoPlan // want `fixture re-exports fosserr sentinels but is missing`
+
+func classify(err error) string {
+	if err == fosserr.ErrNotOnline { // want `fosserr\.ErrNotOnline compared with ==`
+		return "offline"
+	}
+	if err != ErrNoPlan { // want `ErrNoPlan compared with !=`
+		return "other"
+	}
+	if errors.Is(err, fosserr.ErrLoopClosed) { // ok: errors.Is
+		return "closed"
+	}
+	if err == nil { // ok: nil check, not a sentinel comparison
+		return "none"
+	}
+	return "plan"
+}

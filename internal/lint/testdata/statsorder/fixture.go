@@ -1,0 +1,56 @@
+// Package fixture seeds statsorder-rule violations: counters bumping after
+// the histogram they bound has already observed.
+package fixture
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/foss-db/foss/internal/metrics"
+)
+
+type stats struct {
+	served  atomic.Uint64
+	hits    atomic.Uint64
+	rawHits uint64
+	hist    metrics.Histogram
+}
+
+func good(s *stats, d time.Duration) {
+	s.served.Add(1)
+	s.hits.Add(1)
+	s.hist.Observe(d) // ok: counters first
+}
+
+func bad(s *stats, d time.Duration) {
+	s.hist.Observe(d)
+	s.served.Add(1) // want `atomic counter on "s" bumps after a Histogram\.Observe`
+}
+
+func badLegacyAtomic(s *stats, d time.Duration) {
+	s.hist.Observe(d)
+	atomic.AddUint64(&s.rawHits, 1) // want `atomic counter on "s" bumps after a Histogram\.Observe`
+}
+
+func branches(s *stats, d time.Duration, fast bool) {
+	switch {
+	case fast:
+		s.hist.Observe(d)
+	default:
+		s.served.Add(1) // ok: sibling branch, not the same path
+		s.hist.Observe(d)
+	}
+}
+
+func twoStructs(a, b *stats, d time.Duration) {
+	a.hist.Observe(d)
+	b.served.Add(1) // ok: different stats struct
+}
+
+func guarded(s *stats, d time.Duration, tiered bool) {
+	s.served.Add(1)
+	if tiered {
+		s.hits.Add(1) // ok: nested block preceding the observe
+	}
+	s.hist.Observe(d)
+}
