@@ -7,6 +7,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -51,7 +52,7 @@ func runGate(addr, members string, failover bool, vnodes int) error {
 	fmt.Println("  GET /metrics      → merged fleet exposition (instance-labeled) + foss_gate_* counters")
 	fmt.Println("  GET /v1/stats     → per-member stats keyed by address")
 	fmt.Println("  GET /v1/gate      → membership; ?tenant=x shows x's preference list")
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	<-done

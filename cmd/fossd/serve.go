@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -92,7 +93,7 @@ func runHTTP(sys *core.System, w *workload.Workload, addr string, o onlineOpts) 
 	fmt.Println("  GET  /v1/explain/{serve_id}  (served vs expert plan, hint diff, tier decision, candidate scores)")
 	fmt.Println("  GET  /v1/advisor     (async self-diagnosis findings)")
 	fmt.Println("  GET  /metrics        (Prometheus text format)")
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	<-done

@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -137,7 +138,7 @@ func runSharded(ctx context.Context, cfg shard.Config, specs []shard.TenantSpec,
 	fmt.Println("  GET  /v1/t/{tenant}/explain/{serve_id}   GET /v1/t/{tenant}/advisor")
 	fmt.Println("  GET  /v1/t/{tenant}/metrics     GET /metrics (aggregate, tenant-labeled)")
 	fmt.Println("  GET  /v1/stats (aggregate)      GET|POST /v1/tenants")
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	<-done

@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -73,7 +74,7 @@ func main() {
 	for _, m := range p.Ring().Members() {
 		fmt.Printf("  member %s\n", m)
 	}
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "gate:", err)
 		os.Exit(1)
 	}
