@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci ci-quick bench bench-all clean
+.PHONY: all build test race vet lint ci ci-quick bench bench-all clean
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-invariant static analysis (see cmd/fosslint and the README's
+# "Static analysis" section). Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/fosslint ./...
 
 test:
 	$(GO) test ./...
@@ -26,9 +31,9 @@ ci-quick:
 
 # Perf snapshot: parallel-training + online-serving + tiered-serving +
 # batched-serving + durability (checkpoint, WAL replay) + sharded
-# multi-tenant serving benchmarks, written to BENCH_7.json (see
-# scripts/bench.sh; BENCHTIME=3x make bench for longer runs, CPUS=1,2,4 to
-# sweep GOMAXPROCS).
+# multi-tenant serving benchmarks plus the fosslint wall-time figure,
+# written to BENCH_9.json (see scripts/bench.sh; BENCHTIME=3x make bench
+# for longer runs, CPUS=1,2,4 to sweep GOMAXPROCS).
 bench:
 	scripts/bench.sh
 

@@ -2,7 +2,8 @@
 # bench.sh — the repository's perf snapshot: runs the parallel-training,
 # online-serving, metrics-overhead, tiered-serving, batched-serving,
 # durability (checkpoint + WAL-replay), multi-tenant sharded-serving, and
-# gate-proxied serving benchmarks and emits a machine-readable BENCH_8.json.
+# gate-proxied serving benchmarks, times a full fosslint pass over the
+# module, and emits a machine-readable BENCH_9.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh      # more iterations per benchmark
@@ -11,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 benchtime="${BENCHTIME:-1x}"
 # The parallelism actually benched, not the machine's core count: an explicit
 # CPUS sweep, else the ambient GOMAXPROCS cap, else every hardware thread.
@@ -23,7 +24,18 @@ echo "== go test -bench TrainParallel|ServeOnline|ServeWithMetrics|ServeTiered|T
 go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeWithMetrics|BenchmarkServeTiered|BenchmarkTierRouter|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay|BenchmarkShardedServe|BenchmarkGateProxy' \
   -benchtime "$benchtime" -cpu "$cpus" . | tee "$tmp"
 
-awk -v arch="$(uname -m)" -v cpus="$cpus" -v benchtime="$benchtime" '
+# Static-analysis wall time: the whole-module fosslint pass is part of every
+# CI run, so the snapshot records how much it costs (ci.sh gates it at 10s).
+lintbin=$(mktemp -d)
+go build -o "$lintbin/fosslint" ./cmd/fosslint
+lint_t0=$(date +%s%N)
+"$lintbin/fosslint" ./... >/dev/null
+lint_t1=$(date +%s%N)
+rm -rf "$lintbin"
+lint_ms=$(( (lint_t1 - lint_t0) / 1000000 ))
+echo "fosslint full-module pass: ${lint_ms}ms"
+
+awk -v arch="$(uname -m)" -v cpus="$cpus" -v benchtime="$benchtime" -v lintms="$lint_ms" '
   /^Benchmark/ {
     name = $1; procs = 1
     if (match(name, /-[0-9]+$/)) {
@@ -38,10 +50,11 @@ awk -v arch="$(uname -m)" -v cpus="$cpus" -v benchtime="$benchtime" '
     if (rows == "") { print "no benchmark rows parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"schema\": \"foss-bench/1\",\n"
-    printf "  \"pr\": 8,\n"
+    printf "  \"pr\": 9,\n"
     printf "  \"arch\": \"%s\",\n", arch
     printf "  \"cpus\": %s,\n", (cpus ~ /^[0-9]+$/ ? cpus : "\"" cpus "\"")
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"fosslint_ms\": %s,\n", lintms
     printf "  \"benchmarks\": [\n%s\n  ]\n", rows
     printf "}\n"
   }' "$tmp" > "$out"

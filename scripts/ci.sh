@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # ci.sh — the repository's verification pipeline.
 #
-#   vet, build, race-enabled tests, the Workers determinism checks, the
-#   tiered-serving, allocation, durability, drain, metrics, and replication
-#   gates, and (on multi-core machines) the parallel-training and tier-0
-#   speedup measurements.
+#   vet, gofmt cleanliness, the fosslint invariant suite (clean tree +
+#   every rule proven to fire on its seeded fixture), build, race-enabled
+#   tests, the Workers determinism checks, the tiered-serving, allocation,
+#   durability, drain, metrics, and replication gates, and (on multi-core
+#   machines) the parallel-training and tier-0 speedup measurements.
 #
 # Usage: scripts/ci.sh [--quick]
 #   --quick skips the race detector and the speedup bench.
@@ -16,6 +17,40 @@ quick=0
 
 echo "== go vet =="
 go vet ./...
+# the analyzers the repo leans on hardest, named explicitly so a future
+# change to vet's default set can never silently drop them
+go vet -unreachable -copylocks -atomic ./...
+
+echo "== gofmt cleanliness =="
+unformatted=$(gofmt -l .)
+[[ -z "$unformatted" ]] || { printf 'FAIL: gofmt-unclean files:\n%s\n' "$unformatted"; exit 1; }
+
+echo "== fosslint: repo invariants (clean tree, firing fixtures, self-check) =="
+# The static-analysis gate runs before any test gate: it is the cheapest
+# whole-module check and its findings usually explain later test failures.
+lint_dir=$(mktemp -d)
+go build -o "$lint_dir/fosslint" ./cmd/fosslint
+# 1) the production tree must be clean, and fast (budget: 10s wall)
+lint_t0=$(date +%s)
+"$lint_dir/fosslint" ./...
+lint_t1=$(date +%s)
+lint_secs=$((lint_t1 - lint_t0))
+echo "fosslint full-module run: ${lint_secs}s"
+[[ "$lint_secs" -le 10 ]] || { echo "FAIL: fosslint took ${lint_secs}s, budget is 10s"; exit 1; }
+# 2) every rule must fire on its seeded-violation fixture (exit 1 =
+# findings; 0 would mean the rule rotted, 2 would mean the run broke)
+for rule in determinism goroutine sentinel fsyncrename ctxfirst statsorder; do
+  rc=0
+  "$lint_dir/fosslint" -unscoped -rules "$rule" "./internal/lint/testdata/$rule" >/dev/null 2>&1 || rc=$?
+  [[ "$rc" -eq 1 ]] || { echo "FAIL: rule $rule exited $rc on its fixture, want 1 (findings)"; exit 1; }
+done
+# 3) reasonless ignore directives are findings, valid ones suppress
+rc=0
+"$lint_dir/fosslint" -unscoped "./internal/lint/testdata/ignore" >/dev/null 2>&1 || rc=$?
+[[ "$rc" -eq 1 ]] || { echo "FAIL: ignore fixture exited $rc, want 1"; exit 1; }
+# 4) the linter holds itself to the same invariants
+"$lint_dir/fosslint" ./internal/lint || { echo "FAIL: fosslint findings on internal/lint itself"; exit 1; }
+rm -rf "$lint_dir"
 
 echo "== go build (library, cmd, and all examples) =="
 go build ./...
@@ -377,7 +412,7 @@ echo "replication gate OK: 2 followers served leader's generation '$lead_key', $
 if [[ $quick -eq 0 ]]; then
   ncpu=$(nproc 2>/dev/null || echo 1)
   if [[ "$ncpu" -ge 4 ]]; then
-    echo "== perf snapshot (BENCH_8.json) =="
+    echo "== perf snapshot (BENCH_9.json) =="
     # Hardware-gated like the speedup check: on weak runners the numbers are
     # noise; run `make bench` manually to refresh the snapshot anywhere.
     scripts/bench.sh
