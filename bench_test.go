@@ -16,6 +16,7 @@ import (
 
 	"github.com/foss-db/foss/internal/aam"
 	"github.com/foss-db/foss/internal/core"
+	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/experiments"
 	"github.com/foss-db/foss/internal/gate"
 	"github.com/foss-db/foss/internal/planner"
@@ -203,6 +204,61 @@ func BenchmarkServeTiered(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCatalogApply measures one live DDL apply on a trained, tiered
+// online loop: the copy-on-write world rebuild (storage, statistics,
+// backend), the bumped-epoch republish, and the tier invalidation — the
+// whole schema-evolution critical section, with no store attached so the
+// number is the in-memory apply cost. Iterations alternate drop-index /
+// add-index on the same hot column so every statement is valid.
+func BenchmarkCatalogApply(b *testing.B) {
+	sys := tieredBenchSystem(b, tier.Config{Memory: true, PromoteAfter: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kind := catalog.DDLDropIndex
+		if i%2 == 1 {
+			kind = catalog.DDLAddIndex
+		}
+		if _, err := sys.Online().ApplyDDL([]catalog.DDL{{Kind: kind, Table: "title", Column: "id"}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTier0RewarmAfterDDL measures the serving cost of a migration:
+// one DDL apply (which invalidates every tier-0 pin) plus the serves it
+// takes the hot fingerprint to re-earn its pin and land back on tier 0 —
+// the end-to-end latency tax a schema change levies on plan memory.
+func BenchmarkTier0RewarmAfterDDL(b *testing.B) {
+	sys := tieredBenchSystem(b, tier.Config{Memory: true, PromoteAfter: 2})
+	ctx := context.Background()
+	q := sys.W.Train[0]
+	rewarm := func() {
+		for i := 0; i < 10; i++ {
+			res, err := sys.ServeContext(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Tier == tier.Tier0 {
+				return
+			}
+			sys.Online().Record(q, res.Eval, 0.001)
+		}
+		b.Fatal("fingerprint never re-promoted after DDL")
+	}
+	rewarm() // initial promotion, outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kind := catalog.DDLDropIndex
+		if i%2 == 1 {
+			kind = catalog.DDLAddIndex
+		}
+		if _, err := sys.Online().ApplyDDL([]catalog.DDL{{Kind: kind, Table: "title", Column: "id"}}); err != nil {
+			b.Fatal(err)
+		}
+		rewarm()
+	}
 }
 
 // BenchmarkServeWithMetrics measures the steady-state serve turn with the

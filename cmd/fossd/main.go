@@ -17,8 +17,8 @@
 //	      -tenants acme,globex -tenant-spec 'globex=backend:gaussim'
 //
 // With -serve-http the trained doctor stays up as a JSON HTTP service
-// (POST /v1/optimize, POST /v1/feedback, GET /v1/stats, POST /v1/checkpoint)
-// until interrupted.
+// (POST /v1/optimize, POST /v1/feedback, GET /v1/stats, POST /v1/checkpoint,
+// POST /v1/catalog for live DDL) until interrupted.
 //
 // With -state-dir the doctor is durable: trained weights checkpoint to disk
 // (atomically, on every hot-swap and every -checkpoint-every records),
@@ -103,7 +103,7 @@ func main() {
 		gateVNodes   = flag.Int("gate-vnodes", 0, "virtual nodes per member on the gate's hash ring (0 = default)")
 
 		online       = flag.Bool("online", false, "after training, run the online doctor loop over a drift scenario (feedback ingestion, drift-aware background retraining, zero-downtime hot-swap)")
-		drift        = flag.String("drift", "selectivity", "drift scenario for -online: template-mix | selectivity | novel-template")
+		drift        = flag.String("drift", "selectivity", "drift scenario for -online: template-mix | selectivity | novel-template | schema-evolution (applies a live DDL batch at the shift)")
 		driftSeed    = flag.Int64("drift-seed", 7, "drift scenario seed")
 		preLen       = flag.Int("pre", 40, "queries served before the distribution shift")
 		postLen      = flag.Int("post", 80, "queries served after the distribution shift")
@@ -116,7 +116,7 @@ func main() {
 		tierMemory = flag.Bool("tier-memory", true, "tier-0 plan memory: pin feedback-proven plans per fingerprint and serve repeats in microseconds (invalidated on hot-swap, persisted with -state-dir)")
 		tierGreedy = flag.Bool("tier-greedy", false, "tier-1 greedy micro-planner: statistics-free join ordering for seen-but-unpinned fingerprints (plans may differ from the doctor's until feedback escalates them)")
 
-		advisor    = flag.Bool("advisor", true, "async self-diagnosis advisor: watch the feedback stream off the serve path and emit structured findings (regression-vs-expert, plan-memory thrash, cooldown-blocked drift) on GET /v1/advisor")
+		advisor    = flag.Bool("advisor", true, "async self-diagnosis advisor: watch the feedback stream off the serve path and emit structured findings (regression-vs-expert, plan-memory thrash, cooldown-blocked drift, schema churn) on GET /v1/advisor")
 		advisorWin = flag.Int("advisor-window", 64, "advisor regression window (records); a regression finding needs a full window")
 	)
 	flag.Parse()

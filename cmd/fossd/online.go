@@ -80,6 +80,25 @@ func runOnline(ctx context.Context, sys *core.System, frozen *core.System, w *wo
 	firstSwap := -1
 	start := time.Now()
 	for i, q := range stream {
+		if i == scen.ShiftAt() && len(scen.DDL) > 0 {
+			// Schema-evolution scenarios land their DDL batch exactly at the
+			// shift: the live catalog moves under the doctor mid-stream.
+			epoch, err := sys.Online().ApplyDDL(scen.DDL)
+			if err != nil {
+				return fmt.Errorf("apply ddl at shift: %w", err)
+			}
+			if frozen != nil {
+				// The frozen model's weights stay offline, but it must plan
+				// and execute in the same evolved world — otherwise the
+				// post-shift comparison measures two different schemas. The
+				// clone shares the live system's catalog world, so the batch
+				// is already applied; the clone only needs to repoint.
+				if err := frozen.ResyncCatalog(); err != nil {
+					return fmt.Errorf("resync frozen copy after ddl: %w", err)
+				}
+			}
+			fmt.Printf("ddl applied at shift (%d statements) — catalog epoch %d\n", len(scen.DDL), epoch)
+		}
 		_, lat, err := sys.ServeStepContext(ctx, q)
 		if err != nil {
 			return fmt.Errorf("serve %s: %w", q.ID, err)

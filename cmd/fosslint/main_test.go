@@ -48,7 +48,7 @@ func TestTextOutputShape(t *testing.T) {
 		t.Fatal("no findings printed")
 	}
 	for _, l := range lines {
-		if !strings.Contains(l, "fixture.go:") || !strings.Contains(l, ": [determinism] ") {
+		if !strings.Contains(l, ".go:") || !strings.Contains(l, ": [determinism] ") {
 			t.Errorf("finding line %q does not match file:line: [rule] message", l)
 		}
 	}

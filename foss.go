@@ -206,6 +206,8 @@ var (
 	ErrStoreLocked     = fosserr.ErrStoreLocked
 	ErrUnknownTenant   = fosserr.ErrUnknownTenant
 	ErrNotLeader       = fosserr.ErrNotLeader
+	ErrCatalogStale    = fosserr.ErrCatalogStale
+	ErrCatalogMismatch = fosserr.ErrCatalogMismatch
 )
 
 // StateStore re-exports the durability store: the state directory holding

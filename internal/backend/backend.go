@@ -36,6 +36,13 @@ type Backend interface {
 	// Schema exposes the backend's catalog (sizes the plan encoder).
 	Schema() *catalog.Schema
 
+	// CatalogEpoch is the catalog (schema) generation this backend was
+	// derived at: 0 for the load-time schema, the versioned catalog's epoch
+	// after a DDL apply rebuilds the backend over the evolved schema. The
+	// runtime mixes it into every plan-cache key so plans never cross schema
+	// generations.
+	CatalogEpoch() uint64
+
 	// Stats exposes the backend's statistics catalog (the believed
 	// cardinalities the doctor's baselines and workload generators consult).
 	Stats() *stats.Catalog
@@ -56,13 +63,20 @@ type Backend interface {
 }
 
 // New constructs a registered backend by name over a database + statistics
-// catalog. Unknown names wrap fosserr.ErrUnknownBackend.
+// catalog, at catalog epoch 0. Unknown names wrap fosserr.ErrUnknownBackend.
 func New(name string, db *storage.DB, st *stats.Catalog) (Backend, error) {
+	return NewAt(name, db, st, 0)
+}
+
+// NewAt constructs a registered backend at a specific catalog epoch — the
+// rebuild path after a DDL apply re-derives the database, statistics, and
+// encoder sizing over the evolved schema.
+func NewAt(name string, db *storage.DB, st *stats.Catalog, catalogEpoch uint64) (Backend, error) {
 	switch name {
 	case "selinger", "":
-		return NewSelinger(db, st), nil
+		return NewSelingerAt(db, st, catalogEpoch), nil
 	case "gaussim":
-		return NewGaussim(db, st), nil
+		return NewGaussimAt(db, st, catalogEpoch), nil
 	}
 	return nil, fmt.Errorf("backend: %q: %w", name, fosserr.ErrUnknownBackend)
 }

@@ -16,15 +16,23 @@ import (
 // delegates without any translation, so a doctor over this backend behaves
 // bit-for-bit like the pre-interface system.
 type Selinger struct {
-	db  *storage.DB
-	st  *stats.Catalog
-	opt *optimizer.Optimizer
-	ex  *exec.Executor
+	db       *storage.DB
+	st       *stats.Catalog
+	opt      *optimizer.Optimizer
+	ex       *exec.Executor
+	catEpoch uint64
 }
 
-// NewSelinger builds the default backend over a database + statistics pair.
+// NewSelinger builds the default backend over a database + statistics pair,
+// at catalog epoch 0.
 func NewSelinger(db *storage.DB, st *stats.Catalog) *Selinger {
-	return &Selinger{db: db, st: st, opt: optimizer.New(db, st), ex: exec.New(db)}
+	return NewSelingerAt(db, st, 0)
+}
+
+// NewSelingerAt builds the backend at a specific catalog epoch (the DDL
+// rebuild path).
+func NewSelingerAt(db *storage.DB, st *stats.Catalog, catalogEpoch uint64) *Selinger {
+	return &Selinger{db: db, st: st, opt: optimizer.New(db, st), ex: exec.New(db), catEpoch: catalogEpoch}
 }
 
 // Name implements Backend.
@@ -32,6 +40,9 @@ func (s *Selinger) Name() string { return "selinger" }
 
 // Schema implements Backend.
 func (s *Selinger) Schema() *catalog.Schema { return s.db.Schema }
+
+// CatalogEpoch implements Backend.
+func (s *Selinger) CatalogEpoch() uint64 { return s.catEpoch }
 
 // Stats implements Backend.
 func (s *Selinger) Stats() *stats.Catalog { return s.st }

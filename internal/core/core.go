@@ -14,6 +14,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,18 @@ type Config struct {
 	// serving deployments like cmd/fossd opt in.
 	PlanCache int
 
+	// CatalogHeadroom reserves embedding-vocabulary capacity for online
+	// schema evolution: up to CatalogHeadroom DDL-added tables (and
+	// 8×CatalogHeadroom added columns) get real encoder ids instead of
+	// folding into the none bucket. The reservation sizes the state network
+	// and agent vocabularies at construction, so it must match across
+	// replicas and restarts (snapshots refuse shape mismatches). 0 — the
+	// default — sizes everything exactly to the load-time schema: encodings
+	// stay bit-identical to a headroom-less build, and post-DDL additions
+	// fold to the none bucket (still served correctly, just undistinguished
+	// by the model).
+	CatalogHeadroom int
+
 	StateNet aam.StateNetConfig
 	Planner  planner.Config
 	Learner  learner.Config
@@ -81,6 +94,7 @@ type options struct {
 	workers   *int
 	planCache *int
 	pool      *runtime.Pool
+	world     *catalogWorld
 }
 
 // WithBackend builds the system over an explicit optimizer backend instead
@@ -97,6 +111,14 @@ func WithWorkers(n int) Option {
 // WithPlanCache overrides Config.PlanCache.
 func WithPlanCache(entries int) Option {
 	return func(o *options) { o.planCache = &entries }
+}
+
+// withWorld shares an existing live-catalog world instead of minting a fresh
+// one — Clone threads it through so a blue/green replica pair sees a single
+// schema generation per DDL apply. Unexported: external callers always start
+// from the backend they pass (or the default).
+func withWorld(w *catalogWorld) Option {
+	return func(o *options) { o.world = w }
 }
 
 // WithPool runs the system's training fan-out on an externally owned worker
@@ -136,6 +158,11 @@ type System struct {
 	// bounded workers instead of minting a private pool.
 	sharedPool *runtime.Pool
 
+	// world is the live-catalog substrate (versioned schema + rebuilt
+	// DB/stats/backend). Shared with Clone-built replicas, so one DDL apply
+	// yields one new generation both replicas repoint to.
+	world *catalogWorld
+
 	// trainTime accumulates wall-clock spent training, in nanoseconds;
 	// atomic because background retrains write it while serving code reads.
 	trainTime atomic.Int64
@@ -165,17 +192,33 @@ func New(w *workload.Workload, cfg Config, opts ...Option) (*System, error) {
 	if cfg.Agents < 1 {
 		cfg.Agents = 1
 	}
+	world := o.world
 	b := o.backend
+	if b == nil && world != nil {
+		b, _, _ = world.snapshot()
+	}
 	if b == nil {
 		b = backend.NewSelinger(w.DB, w.Stats)
 	}
-	enc := planenc.NewEncoder(b.Schema())
+	if world == nil {
+		world = newCatalogWorld(w.DB, b.Stats(), b)
+	}
+
+	// The encoder's vocabulary is anchored at the world's epoch-0 schema
+	// plus the configured evolution headroom, then extended to the current
+	// schema — so a replica built after a DDL apply assigns the same ids (and
+	// sizes the same model shapes) as one that lived through it.
+	enc := planenc.NewEncoder(world.baseSchema()).
+		WithHeadroom(cfg.CatalogHeadroom, 8*cfg.CatalogHeadroom)
+	enc.Extend(world.schema())
 
 	// Every component gets an independent seeded source: the AAM's weight
 	// init, each agent's weight init, and each agent's action-sampling
 	// stream never share a *rand.Rand, so constructing components in any
 	// order (or in parallel) cannot perturb another component's stream.
-	model := aam.NewModel(rand.New(rand.NewSource(cfg.Seed)), cfg.StateNet, enc.NumTables, enc.NumCols)
+	// Vocabularies size from the encoder's capacity (base schema + headroom),
+	// not its current occupancy, so weight shapes never change under DDL.
+	model := aam.NewModel(rand.New(rand.NewSource(cfg.Seed)), cfg.StateNet, enc.CapTables, enc.CapCols)
 
 	space := plan.NewSpace(w.MaxTables)
 	plCfg := cfg.Planner
@@ -193,7 +236,7 @@ func New(w *workload.Workload, cfg Config, opts ...Option) (*System, error) {
 		agentCfg.PPO.Gamma = plCfg.PPO.Gamma - 0.02*float64(a)
 		lr := agentCfg.PPO.LR * (1 + 0.5*float64(a))
 		agent := planner.NewAgent(rand.New(rand.NewSource(cfg.Seed+int64(100+a))),
-			cfg.StateNet, enc.NumTables, enc.NumCols, space.Size(), agentCfg.Hidden, lr)
+			cfg.StateNet, enc.CapTables, enc.CapCols, space.Size(), agentCfg.Hidden, lr)
 		// Decouple action sampling from the construction stream: weight init
 		// consumed the rng above; sampling draws from its own source.
 		agent.Rng = rand.New(rand.NewSource(cfg.Seed + int64(500+a)))
@@ -221,6 +264,7 @@ func New(w *workload.Workload, cfg Config, opts ...Option) (*System, error) {
 		AAM:        model,
 		Planners:   planners,
 		sharedPool: o.pool,
+		world:      world,
 	}
 	sys.Learner = learner.New(w, planners, model, b, lCfg)
 	sys.RT = runtime.New(runtime.Config{
@@ -232,6 +276,14 @@ func New(w *workload.Workload, cfg Config, opts ...Option) (*System, error) {
 	// The runtime owns the worker pool; the learner's episode fan-out
 	// borrows it rather than running a pool of its own.
 	sys.Learner.UsePool(sys.RT.Pool())
+	// A replica built over an already-evolved world starts its cache
+	// identity at the world's catalog epoch (nothing is cached yet; the
+	// rekey just aligns the identity).
+	if _, _, ep := world.snapshot(); ep > 0 {
+		if err := sys.RT.RekeyCatalog(ep, nil); err != nil {
+			return nil, err
+		}
+	}
 	return sys, nil
 }
 
@@ -268,6 +320,9 @@ func (s *System) SetBackend(b backend.Backend) error {
 			pl.Opt = b
 		}
 		s.Learner.Exec = b
+		// The live-catalog world follows the swap: a later DDL apply rebuilds
+		// the new engine, not the one it replaced.
+		s.world.setBackend(b)
 		return nil
 	})
 }
@@ -421,9 +476,19 @@ func (s *System) ExplainCandidates(ctx context.Context, q *query.Query) ([]plann
 }
 
 // ExpertPlan exposes the backend's native cost-based plan (the baseline).
+// It runs under the runtime's shared lock: concurrent with serving, never
+// interleaved with a backend swap or catalog rekey repointing s.Backend.
 func (s *System) ExpertPlan(q *query.Query) (*plan.CP, time.Duration, error) {
 	start := time.Now()
-	cp, err := s.Backend.Plan(q)
+	var cp *plan.CP
+	err := s.RT.Shared(func() error {
+		if err := s.CheckCatalog(q); err != nil {
+			return err
+		}
+		var err error
+		cp, err = s.Backend.Plan(q)
+		return err
+	})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -431,7 +496,21 @@ func (s *System) ExpertPlan(q *query.Query) (*plan.CP, time.Duration, error) {
 }
 
 // Execute runs a plan to completion (no timeout) and returns its simulated
-// latency in milliseconds, as charged by the current backend.
+// latency in milliseconds, as charged by the current backend. It runs under
+// the runtime's shared lock, so the backend pointer read can never race a
+// swap or catalog rekey. A plan whose query references a DDL-dropped table
+// (served just before the drop landed) returns NaN instead of executing —
+// the online loop counts it as a stale invalidation and drops the feedback.
 func (s *System) Execute(cp *plan.CP) float64 {
-	return s.Backend.Execute(cp, 0).LatencyMs
+	lat := math.NaN()
+	_ = s.RT.Shared(func() error {
+		if cp.Q != nil {
+			if err := s.CheckCatalog(cp.Q); err != nil {
+				return err
+			}
+		}
+		lat = s.Backend.Execute(cp, 0).LatencyMs
+		return nil
+	})
+	return lat
 }

@@ -63,6 +63,7 @@ type RecoveryInfo struct {
 	Recovered      bool
 	Checkpoint     string // checkpoint filename recovered from
 	Epoch          uint64 // serving epoch resumed at
+	CatalogEpoch   uint64 // catalog epoch restored (0 = load-time schema)
 	BufferRestored int    // execution-buffer entries restored from the checkpoint
 	WALReplayed    int    // feedback records replayed from the WAL tail
 }
@@ -94,6 +95,15 @@ func (s *System) RecoverOnline(cfg service.Config, st *store.Store) (RecoveryInf
 	if rec == nil {
 		return RecoveryInfo{}, s.EnableOnline(cfg)
 	}
+	// The checkpoint's catalog restores BEFORE any weights or feedback load:
+	// buffer import and WAL replay re-derive plans through the backend,
+	// which must be the schema generation the records were produced against.
+	// A system whose live catalog already moved past the checkpoint's epoch
+	// refuses the warm start (fosserr.ErrCatalogMismatch) rather than serve
+	// cross-epoch state.
+	if err := s.SyncCatalog(rec.Checkpoint.CatalogEpoch, rec.Checkpoint.CatalogHash, rec.Checkpoint.CatalogDDL); err != nil {
+		return RecoveryInfo{}, fmt.Errorf("core: recover catalog: %w", err)
+	}
 	// Load validates the envelope: backend identity, format version,
 	// checksum. This is where a gaussim system refuses a selinger snapshot.
 	if err := s.Load(rec.Checkpoint.Model); err != nil {
@@ -120,6 +130,7 @@ func (s *System) RecoverOnline(cfg service.Config, st *store.Store) (RecoveryInf
 		Recovered:      true,
 		Checkpoint:     rec.Manifest.Checkpoint,
 		Epoch:          rec.Checkpoint.Epoch,
+		CatalogEpoch:   s.CatalogEpoch(),
 		BufferRestored: len(rec.Checkpoint.Buffer),
 		WALReplayed:    n,
 	}, nil
@@ -135,6 +146,11 @@ func (s *System) RecoverOnline(cfg service.Config, st *store.Store) (RecoveryInf
 func (s *System) EnableFollower(cfg service.Config, ck store.Checkpoint) error {
 	if s.online != nil {
 		return fmt.Errorf("core: online loop already enabled")
+	}
+	// The leader's catalog restores first: a follower booting from a
+	// post-DDL checkpoint must rebuild plans against the evolved schema.
+	if err := s.SyncCatalog(ck.CatalogEpoch, ck.CatalogHash, ck.CatalogDDL); err != nil {
+		return fmt.Errorf("core: follower boot catalog: %w", err)
 	}
 	// Load validates the envelope-free model image against this system's
 	// backend — a gaussim follower refuses a selinger leader's checkpoint.

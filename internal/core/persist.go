@@ -130,10 +130,24 @@ func (s *System) load(data []byte) error {
 // the incomplete plan is hint-completed by the backend and re-encoded, both
 // deterministic, so a candidate rebuilt from a checkpoint or WAL record is
 // interchangeable with the one that was executed live. Latency is NaN on
-// return; callers restore the journaled outcome. Not safe under concurrent
-// training — recovery runs before the system takes traffic.
+// return; callers restore the journaled outcome. Runs under the runtime's
+// shared lock (the tier-1 serving path rebuilds greedy candidates live, and
+// a catalog rekey repoints the planner's backend), and refuses queries whose
+// tables a DDL has since dropped with fosserr.ErrCatalogStale.
 func (s *System) RebuildEval(q *query.Query, icp plan.ICP, step int) (*planner.PlanEval, error) {
-	return s.Planners[0].NewEval(q, icp, step)
+	var pe *planner.PlanEval
+	err := s.RT.Shared(func() error {
+		if err := s.CheckCatalog(q); err != nil {
+			return err
+		}
+		var err error
+		pe, err = s.Planners[0].NewEval(q, icp, step)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pe, nil
 }
 
 // ExportBuffer snapshots the execution buffer in durable form (checkpoint
@@ -141,9 +155,18 @@ func (s *System) RebuildEval(q *query.Query, icp plan.ICP, step int) (*planner.P
 func (s *System) ExportBuffer() []store.ExecRecord { return s.Learner.Buf.Export() }
 
 // ImportBuffer restores an exported execution buffer, rebuilding each
-// record's complete plan and encoding through this system's backend.
+// record's complete plan and encoding through this system's backend. Records
+// whose tables a later DDL dropped are skipped, not failed: a checkpoint
+// imaged around a drop-table legitimately carries pre-DDL experience the
+// evolved schema cannot re-derive.
 func (s *System) ImportBuffer(recs []store.ExecRecord) error {
-	return s.Learner.Buf.Import(recs, func(r store.ExecRecord) (*planner.PlanEval, error) {
+	keep := recs[:0:0]
+	for _, r := range recs {
+		if s.CheckCatalog(r.Query) == nil {
+			keep = append(keep, r)
+		}
+	}
+	return s.Learner.Buf.Import(keep, func(r store.ExecRecord) (*planner.PlanEval, error) {
 		return s.RebuildEval(r.Query, r.ICP, r.Step)
 	})
 }
@@ -151,9 +174,11 @@ func (s *System) ImportBuffer(recs []store.ExecRecord) error {
 // Clone builds a fresh System over the same workload, configuration, and
 // backend with the trained weights mirrored in. Execution buffer, plan
 // cache, and RNG streams start fresh — callers that need shared experience
-// copy the buffer themselves (as EnableOnline does).
+// copy the buffer themselves (as EnableOnline does). The clone shares the
+// source's live-catalog world: a DDL applied through either replica rebuilds
+// one generation that both repoint to.
 func (s *System) Clone() (*System, error) {
-	opts := []Option{WithBackend(s.Backend)}
+	opts := []Option{withWorld(s.world)}
 	if s.sharedPool != nil {
 		opts = append(opts, WithPool(s.sharedPool))
 	}

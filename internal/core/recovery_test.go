@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/foss-db/foss/internal/backend"
+	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/service"
 	"github.com/foss-db/foss/internal/store"
@@ -168,6 +169,75 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 	stA, stB := sysA.OnlineStats(), sysB.OnlineStats()
 	if stA.WindowMean != stB.WindowMean || stA.WindowNovel != stB.WindowNovel || stA.Replayed != stB.Replayed {
 		t.Fatalf("detector state diverges: %+v vs %+v", stA, stB)
+	}
+}
+
+// TestDDLWarmRestartResumesAtPostDDLCatalogEpoch: a DDL applied mid-stream
+// checkpoints immediately, so a crash after it warm-starts on the evolved
+// schema — same catalog epoch and hash, no re-applied migration, serving
+// intact.
+func TestDDLWarmRestartResumesAtPostDDLCatalogEpoch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := smallSystem(t, recoveryConfig)
+	if err := sys.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RecoverOnline(durableLoopConfig(st), st); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range sys.W.Train[:3] {
+		if _, _, err := sys.ServeStep(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch, err := sys.Online().ApplyDDL([]catalog.DDL{
+		{Kind: catalog.DDLAddTable, Table: "evolved", Columns: []catalog.Column{{Name: "id", Indexed: true}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("catalog epoch %d after one DDL, want 1", epoch)
+	}
+	for _, q := range sys.W.Train[3:6] {
+		if _, _, err := sys.ServeStep(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantHash := sys.CatalogHash()
+	if err := st.Close(); err != nil { // crash
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	fresh := smallSystem(t, func(c *Config) { recoveryConfig(c); c.Seed = 999 })
+	info, err := fresh.RecoverOnline(durableLoopConfig(st2), st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Recovered || info.CatalogEpoch != epoch {
+		t.Fatalf("recovery info %+v, want recovered at catalog epoch %d", info, epoch)
+	}
+	if got := fresh.CatalogEpoch(); got != epoch {
+		t.Fatalf("recovered system at catalog epoch %d, want %d", got, epoch)
+	}
+	if got := fresh.CatalogHash(); got != wantHash {
+		t.Fatalf("recovered catalog hash %016x, want %016x", got, wantHash)
+	}
+	if got := fresh.Online().CatalogEpoch(); got != epoch {
+		t.Fatalf("recovered loop at catalog epoch %d, want %d", got, epoch)
+	}
+	// The recovered doctor serves the steady workload on the evolved schema.
+	if _, err := fresh.Serve(sys.W.Test[0]); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -34,16 +34,37 @@ type Table struct {
 	colIdx map[string]int
 }
 
-// NewTable creates table metadata with the given columns.
+// NewTable creates table metadata with the given columns, panicking on a
+// duplicate column. It exists for test fixtures and static workload builders
+// whose schemas are compile-time constants; anything handling wire- or
+// runtime-supplied schemas goes through NewTableE instead.
 func NewTable(name string, cols ...Column) *Table {
-	t := &Table{Name: name, Columns: cols, colIdx: map[string]int{}}
-	for i, c := range cols {
+	t, err := NewTableE(name, cols...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// NewTableE creates table metadata with the given columns, returning an
+// error on a duplicate column name — the non-panicking constructor for DDL
+// and other untrusted paths. The column slice is copied, so callers may
+// reuse theirs.
+func NewTableE(name string, cols ...Column) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: empty table name")
+	}
+	t := &Table{Name: name, Columns: append([]Column(nil), cols...), colIdx: map[string]int{}}
+	for i, c := range t.Columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("catalog: empty column name in table %s", name)
+		}
 		if _, dup := t.colIdx[c.Name]; dup {
-			panic(fmt.Sprintf("catalog: duplicate column %s.%s", name, c.Name))
+			return nil, fmt.Errorf("catalog: duplicate column %s.%s", name, c.Name)
 		}
 		t.colIdx[c.Name] = i
 	}
-	return t
+	return t, nil
 }
 
 // ColIndex returns the position of the named column, or -1.
@@ -77,13 +98,23 @@ func NewSchema() *Schema {
 	return &Schema{Tables: map[string]*Table{}}
 }
 
-// AddTable registers a table; the name must be unique.
+// AddTable registers a table, panicking on a duplicate name. Like NewTable,
+// it is for compile-time-constant schemas; DDL paths use TryAddTable.
 func (s *Schema) AddTable(t *Table) {
+	if err := s.TryAddTable(t); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryAddTable registers a table, returning an error on a duplicate name —
+// the non-panicking sibling of AddTable for wire-facing DDL.
+func (s *Schema) TryAddTable(t *Table) error {
 	if _, dup := s.Tables[t.Name]; dup {
-		panic(fmt.Sprintf("catalog: duplicate table %s", t.Name))
+		return fmt.Errorf("catalog: duplicate table %s", t.Name)
 	}
 	s.Tables[t.Name] = t
 	s.Order = append(s.Order, t.Name)
+	return nil
 }
 
 // AddFK registers a foreign-key relationship.

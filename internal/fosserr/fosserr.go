@@ -67,4 +67,15 @@ var (
 	// trains and journals; the wire surface answers 403 with the leader's
 	// address so clients can redirect.
 	ErrNotLeader = errors.New("foss: replica is a follower; writes go to the leader")
+
+	// ErrCatalogStale reports a query that references schema objects the
+	// live catalog no longer has (a table dropped by DDL) — the request is
+	// rejected instead of planning against a stale schema.
+	ErrCatalogStale = errors.New("foss: query references a stale catalog object")
+
+	// ErrCatalogMismatch reports an operation that would cross catalog-epoch
+	// boundaries, e.g. warm-starting from a checkpoint taken at a different
+	// catalog epoch than the one the WAL's DDL records reconstruct — the
+	// schema-evolution sibling of ErrBackendMismatch.
+	ErrCatalogMismatch = errors.New("foss: catalog epoch mismatch")
 )

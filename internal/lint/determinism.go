@@ -7,9 +7,11 @@ import (
 )
 
 // Determinism enforces the bit-identical replay guarantee on the decision
-// paths: the packages whose outputs land in plans, hints, tier routes, and
-// WAL records (internal/planner, internal/learner, internal/tier,
-// internal/aam, and the gate's hash ring) must not consult ambient entropy.
+// paths: the packages whose outputs land in plans, hints, tier routes, WAL
+// records, and catalog fingerprints (internal/planner, internal/learner,
+// internal/tier, internal/aam, the gate's hash ring, and the versioned
+// catalog — whose epoch hash replicas compare to detect divergence) must not
+// consult ambient entropy.
 //
 // Three concrete prohibitions:
 //
@@ -36,7 +38,7 @@ var Determinism = &Analyzer{
 	PkgScope: func(path string) bool {
 		return pathHasSuffix(path,
 			"internal/planner", "internal/learner", "internal/tier",
-			"internal/aam", "internal/gate")
+			"internal/aam", "internal/gate", "internal/engine/catalog")
 	},
 	FileScope: func(path, filename string) bool {
 		// Only the consistent-hash ring in internal/gate is a decision

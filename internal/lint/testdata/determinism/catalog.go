@@ -1,0 +1,44 @@
+// Catalog-shaped determinism violations: the versioned catalog's epoch hash
+// is compared across replicas, so feeding a hasher in map order (or salting
+// it with entropy) silently forks the fleet. Every `want` line must fire,
+// every other line must stay silent.
+package fixture
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+type column struct{ name string }
+
+func hashSchemaUnsorted(tables map[string][]column) uint64 {
+	h := fnv.New64a()
+	for name, cols := range tables {
+		h.Write([]byte(name)) // want `Write call inside a map range`
+		for _, c := range cols {
+			h.Write([]byte(c.name)) // want `Write call inside a map range`
+		}
+	}
+	return h.Sum64()
+}
+
+func hashSchemaSorted(tables map[string][]column) uint64 {
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name) // ok: sorted after the loop
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, name := range names {
+		h.Write([]byte(name))
+		for _, c := range tables[name] {
+			h.Write([]byte(c.name))
+		}
+	}
+	return h.Sum64()
+}
+
+func saltEpoch(epoch uint64) uint64 {
+	return epoch ^ rand.Uint64() // want `global math/rand\.Uint64`
+}

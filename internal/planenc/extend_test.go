@@ -1,0 +1,88 @@
+package planenc
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/foss-db/foss/internal/engine/catalog"
+)
+
+// TestZeroHeadroomBitIdentical: an encoder built without headroom must
+// produce the exact encoding it did before capacities existed — the none
+// bucket stays at NumTables/NumCols.
+func TestZeroHeadroomBitIdentical(t *testing.T) {
+	enc := NewEncoder(testSchema())
+	if enc.CapTables != enc.NumTables || enc.CapCols != enc.NumCols {
+		t.Fatalf("zero headroom caps: %d/%d vs %d/%d", enc.CapTables, enc.CapCols, enc.NumTables, enc.NumCols)
+	}
+	e := enc.Encode(testCP())
+	// join nodes (pre-order 0,1) carry the none table id
+	if e.Tables[0] != enc.NumTables || e.Tables[1] != enc.NumTables {
+		t.Fatalf("none bucket moved: %v (numTables=%d)", e.Tables, enc.NumTables)
+	}
+}
+
+// TestExtendDeterministic: two encoders extended with the same evolved
+// schema assign identical ids — the property replica convergence rests on.
+func TestExtendDeterministic(t *testing.T) {
+	evolved, err := testSchema().Apply([]catalog.DDL{
+		{Kind: catalog.DDLAddTable, Table: "t4", Columns: []catalog.Column{{Name: "id", Indexed: true}, {Name: "y"}}},
+		{Kind: catalog.DDLAddColumn, Table: "t1", Column: "z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewEncoder(testSchema()).WithHeadroom(2, 4)
+	b := NewEncoder(testSchema()).WithHeadroom(2, 4)
+	at, ac := a.Extend(evolved)
+	bt, bc := b.Extend(evolved)
+	if at != bt || ac != bc || at != 1 || ac != 3 {
+		t.Fatalf("assigned (%d,%d) vs (%d,%d)", at, ac, bt, bc)
+	}
+	if !reflect.DeepEqual(a.TableIDs, b.TableIDs) || !reflect.DeepEqual(a.ColumnIDs, b.ColumnIDs) {
+		t.Fatal("two replicas derived different vocabularies from the same DDL")
+	}
+	if a.TableIDs["t4"] != 3 {
+		t.Fatalf("t4 id = %d, want 3 (next free)", a.TableIDs["t4"])
+	}
+	// Re-extending with the same schema is idempotent.
+	if nt, nc := a.Extend(evolved); nt != 0 || nc != 0 {
+		t.Fatalf("re-extend assigned (%d,%d)", nt, nc)
+	}
+}
+
+// TestExtendOverflowFoldsToNone: additions past the capacity fold into the
+// none bucket instead of resizing tensors.
+func TestExtendOverflowFoldsToNone(t *testing.T) {
+	evolved, err := testSchema().Apply([]catalog.DDL{
+		{Kind: catalog.DDLAddTable, Table: "t4", Columns: []catalog.Column{{Name: "id"}}},
+		{Kind: catalog.DDLAddTable, Table: "t5", Columns: []catalog.Column{{Name: "id"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(testSchema()).WithHeadroom(1, 1)
+	nt, _ := enc.Extend(evolved)
+	if nt != 1 {
+		t.Fatalf("assigned %d table ids with headroom 1", nt)
+	}
+	if enc.NumTables != enc.CapTables {
+		t.Fatal("capacity not exhausted")
+	}
+	if _, ok := enc.TableIDs["t5"]; ok {
+		t.Fatal("overflow table got a real id")
+	}
+	// Dropped tables keep their ids: encodings of old plans never change.
+	shrunk, err := evolved.Apply([]catalog.DDL{{Kind: catalog.DDLDropTable, Table: "t1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := enc.TableIDs["t2"]
+	enc.Extend(shrunk)
+	if enc.TableIDs["t2"] != before {
+		t.Fatal("extend reassigned a live id")
+	}
+	if _, ok := enc.TableIDs["t1"]; !ok {
+		t.Fatal("dropped table's id must remain (ids are never reused)")
+	}
+}

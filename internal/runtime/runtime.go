@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"github.com/foss-db/foss/internal/planner"
@@ -55,9 +56,10 @@ type Runtime struct {
 	source Source
 
 	// mu is the train/serve arbiter: Optimize holds it shared, Exclusive
-	// holds it exclusively. It also guards backendID.
-	mu        sync.RWMutex
-	backendID string
+	// holds it exclusively. It also guards backendID and catalogEpoch.
+	mu           sync.RWMutex
+	backendID    string
+	catalogEpoch uint64
 }
 
 // New assembles a runtime over a plan-producing source.
@@ -91,7 +93,7 @@ func (r *Runtime) BackendID() string {
 // Identity (the tier router's plan memory) agree on when an entry became
 // stale — one invalidation source, two caches, no desynchronization.
 func (r *Runtime) identityLocked() Identity {
-	return Identity{Backend: r.backendID, Epoch: r.cache.Epoch()}
+	return Identity{Backend: r.backendID, Epoch: r.cache.Epoch(), Catalog: r.catalogEpoch}
 }
 
 // Optimize returns the chosen plan for the query, serving from the plan
@@ -201,6 +203,38 @@ func (r *Runtime) Rekey(backendID string, fn func() error) error {
 		}
 	}
 	r.backendID = backendID
+	r.cache.Invalidate()
+	return nil
+}
+
+// CatalogEpoch returns the catalog (schema) epoch the cache is currently
+// scoped to.
+func (r *Runtime) CatalogEpoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.catalogEpoch
+}
+
+// RekeyCatalog atomically advances the cache's catalog epoch (quiescing the
+// serving path), runs fn — the caller's schema/backend repoint — inside the
+// same exclusive section, and invalidates every cached plan. The sibling of
+// Rekey for schema evolution: entries planned against the old schema are
+// dropped by the invalidation and, even if resurrected, unreachable under
+// the new composite key. If fn errors the epoch and cache are untouched.
+// fn may be nil. The epoch only moves forward; a stale epoch is rejected
+// without running fn.
+func (r *Runtime) RekeyCatalog(epoch uint64, fn func() error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch < r.catalogEpoch {
+		return fmt.Errorf("runtime: catalog epoch moved backwards (%d < %d)", epoch, r.catalogEpoch)
+	}
+	if fn != nil {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	r.catalogEpoch = epoch
 	r.cache.Invalidate()
 	return nil
 }

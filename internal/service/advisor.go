@@ -29,6 +29,12 @@ const (
 	// consecutive records — the doctor knows it is behind and is not allowed
 	// to catch up.
 	FindingCooldownBlocked = "cooldown-blocked"
+	// FindingSchemaChurn: a DDL apply invalidated tier-0 plan memory and the
+	// hit rate stayed collapsed over the following observation window — the
+	// workload's hot set is not re-earning its pins against the evolved
+	// schema (a dropped index changed plan stability, or traffic shifted
+	// with the schema change).
+	FindingSchemaChurn = "schema-churn"
 )
 
 // AdvisorConfig tunes the async advisor. The zero value disables it.
@@ -106,7 +112,8 @@ type Finding struct {
 	Count int `json:"count,omitempty"`
 }
 
-// advisorObs is what Record hands the advisor per ingested execution.
+// advisorObs is what Record hands the advisor per ingested execution (and
+// what ApplyDDL hands it as a schema-change marker, ddl=true).
 type advisorObs struct {
 	fp           uint64
 	qid          string
@@ -115,6 +122,15 @@ type advisorObs struct {
 	promoted     bool
 	demoted      bool
 	driftBlocked bool // detector signalled drift but the cooldown suppressed it
+
+	// Schema-evolution channel: ddl marks a catalog apply; every obs carries
+	// the loop's cumulative tier-0 hit and serve counters so the advisor can
+	// compare the hit rate before and after the marker without touching loop
+	// state.
+	ddl      bool
+	catEpoch uint64
+	t0Hits   uint64
+	served   uint64
 }
 
 // advisor owns the analysis state. All fields below mu are touched only by
@@ -138,6 +154,14 @@ type advisor struct {
 	cycles     map[uint64]int // per-fingerprint demotion count this epoch
 	blocked    int            // consecutive cooldown-suppressed drift signals
 	lastEpoch  uint64
+
+	// Schema-churn state: set by a ddl marker, resolved once a full Window of
+	// serves has accumulated past it.
+	ddlPending  bool
+	ddlCatEpoch uint64
+	ddlT0       uint64  // cumulative tier-0 hits at the marker
+	ddlServed   uint64  // cumulative serves at the marker
+	preT0Rate   float64 // tier-0 hit rate before the DDL landed
 }
 
 func newAdvisor(cfg AdvisorConfig) *advisor {
@@ -184,6 +208,38 @@ func (a *advisor) run(stop <-chan struct{}) {
 // goroutine (and synchronously by unit tests).
 func (a *advisor) ingest(obs advisorObs) {
 	a.seq++
+	if obs.ddl {
+		// Schema-change marker: remember the pre-DDL tier-0 hit rate and
+		// start the post-DDL measurement. The marker itself carries no
+		// execution, so it skips the regression/thrash analysis entirely.
+		a.ddlPending = true
+		a.ddlCatEpoch = obs.catEpoch
+		a.ddlT0, a.ddlServed = obs.t0Hits, obs.served
+		a.preT0Rate = 0
+		if obs.served > 0 {
+			a.preT0Rate = float64(obs.t0Hits) / float64(obs.served)
+		}
+		return
+	}
+	if a.ddlPending && obs.served >= a.ddlServed+uint64(a.cfg.Window) {
+		post := float64(obs.t0Hits-a.ddlT0) / float64(obs.served-a.ddlServed)
+		a.ddlPending = false
+		// Fires only when tier-0 was pulling real weight before the DDL and
+		// lost most of it after; a workload that never pinned much has
+		// nothing to churn.
+		if a.preT0Rate >= 0.2 && post < a.preT0Rate/4 {
+			a.emit(Finding{
+				Kind:  FindingSchemaChurn,
+				Epoch: obs.epoch,
+				Seq:   a.seq,
+				Ratio: post,
+				Count: int(obs.served - a.ddlServed),
+				Detail: fmt.Sprintf(
+					"tier-0 hit rate collapsed after catalog epoch %d: %.0f%% before the DDL, %.0f%% over the %d serves since — the hot set is not re-earning its pins against the evolved schema",
+					a.ddlCatEpoch, a.preT0Rate*100, post*100, obs.served-a.ddlServed),
+			})
+		}
+	}
 	if obs.epoch != a.lastEpoch {
 		// New model generation: the regression latch and the thrash/blocked
 		// tallies describe the old model's behavior, not this one's.

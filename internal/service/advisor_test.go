@@ -162,6 +162,25 @@ func TestAdvisorBackpressureAndRetention(t *testing.T) {
 	}
 }
 
+// TestWaitReturnsWithAdvisorEnabled: Wait drains transient retrain work, not
+// the loop-lifetime advisor goroutine — on a quiet loop with the advisor on,
+// Wait must return immediately instead of blocking until Close (the fossd
+// -online hang: the stream drained, then Wait deadlocked on the advisor).
+func TestWaitReturnsWithAdvisorEnabled(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Advisor = AdvisorConfig{Enabled: true, Window: 4}
+	lp := New(cfg, newFake("blue"), newFake("green"), nil)
+	t.Cleanup(func() { _ = lp.Close(context.Background()) })
+
+	done := make(chan struct{})
+	go func() { lp.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait blocked on the advisor goroutine")
+	}
+}
+
 // TestHTTPAdvisorEndpoint drives the async path end to end: regressing
 // traffic through the loop, the advisor goroutine analyzing off the record
 // path, findings surfacing on GET /v1/advisor. A loop without an advisor

@@ -12,6 +12,9 @@ package service
 //	POST /v1/feedback  {"serve_id": "...", "latency_ms": 12.3}
 //	GET  /v1/stats
 //	POST /v1/checkpoint  — force a durable checkpoint (requires a store)
+//	POST /v1/catalog   {"ddl": [{"kind": "drop-index", ...}, ...]} — apply
+//	                   one atomic schema-evolution batch to the live catalog
+//	GET  /v1/catalog   — live catalog epoch, hash, and applied-DDL log
 //	GET  /metrics             — Prometheus text exposition (see httpmetrics.go)
 //	GET  /v1/explain/{serve_id} — why the doctor chose that plan (explain.go)
 //	GET  /v1/advisor          — async advisor findings (advisor.go)
@@ -34,6 +37,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/planner"
 	"github.com/foss-db/foss/internal/query"
@@ -117,6 +121,7 @@ func NewHTTPServer(lp *Loop, opts HTTPOptions) *HTTPServer {
 	s.mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("/v1/explain/", s.handleExplain)
 	s.mux.HandleFunc("/v1/advisor", s.handleAdvisor)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -495,6 +500,75 @@ func (s *HTTPServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"checkpoint": name, "epoch": s.lp.Epoch()})
+}
+
+// catalogRequest is the POST /v1/catalog body: one atomic schema-evolution
+// batch (all statements apply, or none do).
+type catalogRequest struct {
+	DDL []catalog.DDL `json:"ddl"`
+}
+
+// catalogResponse describes the live catalog (GET and successful POST alike).
+type catalogResponse struct {
+	CatalogEpoch uint64        `json:"catalog_epoch"`
+	CatalogHash  string        `json:"catalog_hash"`
+	Epoch        uint64        `json:"epoch"` // serving epoch (bumped by POST)
+	Applied      int           `json:"applied,omitempty"`
+	Log          []catalog.DDL `json:"log,omitempty"`
+}
+
+// handleCatalog applies a DDL batch to the live catalog (POST) or reports the
+// catalog's durable identity (GET; serves fine from a follower — its catalog
+// advances through checkpoint replication).
+func (s *HTTPServer) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		active := s.lp.Active()
+		writeJSON(w, http.StatusOK, catalogResponse{
+			CatalogEpoch: active.CatalogEpoch(),
+			CatalogHash:  fmt.Sprintf("%016x", active.CatalogHash()),
+			Epoch:        s.lp.Epoch(),
+			Log:          active.CatalogLog(),
+		})
+	case http.MethodPost:
+		if s.opts.Follower {
+			writeFollowerErr(w, s.opts.LeaderAddr, "schema evolution")
+			return
+		}
+		var req catalogRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if len(req.DDL) == 0 {
+			writeErr(w, http.StatusBadRequest, "no ddl statements in request")
+			return
+		}
+		epoch, err := s.lp.ApplyDDL(req.DDL)
+		if err != nil {
+			switch {
+			case errors.Is(err, fosserr.ErrLoopClosed):
+				writeErr(w, http.StatusServiceUnavailable, err.Error())
+			case errors.Is(err, fosserr.ErrNotLeader):
+				writeFollowerErr(w, s.opts.LeaderAddr, "schema evolution")
+			case errors.Is(err, fosserr.ErrBadConfig):
+				writeErr(w, http.StatusPreconditionFailed, err.Error())
+			default:
+				// Apply validates the batch against the live schema (unknown
+				// table, duplicate index, ...) — the client's DDL, not a
+				// server fault.
+				writeErr(w, http.StatusUnprocessableEntity, err.Error())
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, catalogResponse{
+			CatalogEpoch: epoch,
+			CatalogHash:  fmt.Sprintf("%016x", s.lp.Active().CatalogHash()),
+			Epoch:        s.lp.Epoch(),
+			Applied:      len(req.DDL),
+		})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
 }
 
 // ---- serve-id ring ----

@@ -147,6 +147,9 @@ func writeMetricsText(w http.ResponseWriter, rows []scrapeRow) {
 	gauge("foss_plan_cache_size", "Replica plan-cache entries.", func(r scrapeRow) float64 { return float64(r.cache.Size) })
 
 	gauge("foss_epoch", "Current model generation.", func(r scrapeRow) float64 { return float64(r.stats.Epoch) })
+	gauge("foss_catalog_epoch", "Live catalog generation (applied DDL statements).", func(r scrapeRow) float64 { return float64(r.stats.CatalogEpoch) })
+	counter("foss_ddl_applies_total", "Schema-evolution DDL batches applied.", func(r scrapeRow) uint64 { return r.stats.CatalogApplies })
+	counter("foss_stale_invalidations_total", "Requests or feedback refused because a DDL outdated their schema.", func(r scrapeRow) uint64 { return r.stats.StaleInvalidations })
 	gauge("foss_retraining", "1 while a background retrain runs.", func(r scrapeRow) float64 {
 		if r.stats.Retraining {
 			return 1

@@ -9,6 +9,7 @@ package service
 //	POST /v1/t/{tenant}/feedback    — as /v1/feedback
 //	GET  /v1/t/{tenant}/stats       — as /v1/stats
 //	POST /v1/t/{tenant}/checkpoint  — as /v1/checkpoint
+//	POST /v1/t/{tenant}/catalog     — as /v1/catalog (DDL batch; GET reads)
 //	GET  /v1/t/{tenant}/explain/{serve_id} — as /v1/explain/{serve_id}
 //	GET  /v1/t/{tenant}/advisor     — as /v1/advisor
 //	GET  /v1/t/{tenant}/metrics     — that tenant's scrape, tenant-labeled
@@ -83,6 +84,7 @@ func (s *MultiHTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.
 var tenantEndpoints = map[string]bool{
 	"optimize": true, "feedback": true, "stats": true, "checkpoint": true,
 	"explain": true, "advisor": true, "metrics": true, "repl": true,
+	"catalog": true,
 }
 
 // handleTenantScoped peels /v1/t/{tenant}/{endpoint}[/{rest}] and delegates
@@ -99,7 +101,7 @@ func (s *MultiHTTPServer) handleTenantScoped(w http.ResponseWriter, r *http.Requ
 		endpoint = sub[:i]
 	}
 	if !ok || tenant == "" || !tenantEndpoints[endpoint] {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown path %q (want /v1/t/{tenant}/{optimize|feedback|stats|checkpoint|explain|advisor|metrics})", r.URL.Path))
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown path %q (want /v1/t/{tenant}/{optimize|feedback|stats|checkpoint|catalog|explain|advisor|metrics})", r.URL.Path))
 		return
 	}
 	ts, err := s.reg.TenantServer(tenant)

@@ -36,10 +36,12 @@ package service
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/learner"
 	"github.com/foss-db/foss/internal/metrics"
@@ -84,6 +86,30 @@ type Replica interface {
 	// (query × incomplete plan × step) — WAL replay and checkpoint import go
 	// through it. Latency is unset on return.
 	RebuildEval(q *query.Query, icp plan.ICP, step int) (*planner.PlanEval, error)
+
+	// ApplyDDL applies a schema-evolution batch to the replica's live
+	// catalog and repoints it at the rebuilt backend under its own
+	// train/serve arbiter. Returns the new catalog epoch. For a blue/green
+	// pair over one shared catalog world, applying through either replica
+	// produces the single new generation the other picks up via
+	// ResyncCatalog.
+	ApplyDDL(ddls []catalog.DDL) (uint64, error)
+	// ResyncCatalog repoints the replica at its catalog world's current
+	// generation; a no-op when already current.
+	ResyncCatalog() error
+	// SyncCatalog brings the replica's catalog to exactly the given epoch by
+	// replaying the missing suffix of the full DDL log — the checkpoint
+	// restore path. A replica already past the epoch (or hashing differently
+	// after replay) refuses with fosserr.ErrCatalogMismatch.
+	SyncCatalog(epoch, hash uint64, log []catalog.DDL) error
+	// CheckCatalog fails with fosserr.ErrCatalogStale when the query
+	// references schema objects the live catalog no longer has.
+	CheckCatalog(q *query.Query) error
+	// CatalogEpoch, CatalogHash, and CatalogLog expose the live catalog's
+	// durable identity — the checkpoint ingredients.
+	CatalogEpoch() uint64
+	CatalogHash() uint64
+	CatalogLog() []catalog.DDL
 }
 
 // Config tunes the online loop.
@@ -202,6 +228,11 @@ type Stats struct {
 	WALErrors        uint64 // journal append failures (feedback kept in memory only)
 	CheckpointErrors uint64 // checkpoint write failures (the previous recovery point stands)
 
+	// Schema-evolution counters.
+	CatalogEpoch       uint64 // live catalog generation (count of applied DDL statements)
+	CatalogApplies     uint64 // DDL batches applied through this loop
+	StaleInvalidations uint64 // requests/feedback refused because a DDL outdated their schema
+
 	// Tiered-serving counters (zero when tiering is disabled).
 	Tier0Hits   uint64  // serves answered from plan memory
 	Tier1Hits   uint64  // serves answered by the greedy micro-planner
@@ -232,6 +263,7 @@ type Loop struct {
 
 	retraining atomic.Bool
 	wg         sync.WaitGroup
+	advWG      sync.WaitGroup // advisor goroutine: loop-lifetime, so outside wg (Wait must not block on it)
 
 	// Lifecycle: closed flips once, under lifeMu, which spawn also holds —
 	// so after Close observes closed and drains wg, no new background
@@ -265,6 +297,15 @@ type Loop struct {
 	retrainErrors, expertErrors atomic.Uint64
 	checkpoints, replayed       atomic.Uint64
 	walErrors, ckErrors         atomic.Uint64
+
+	// catalogEpoch mirrors the active replica's live-catalog epoch so the
+	// serving fast paths key plan memory by it without touching the replica
+	// (the replicas share one catalog world, so one value describes both).
+	// It moves only under mu (ApplyDDL, checkpoint/DDL replay), strictly
+	// upward.
+	catalogEpoch       atomic.Uint64
+	catalogApplies     atomic.Uint64
+	staleInvalidations atomic.Uint64
 
 	t0Hits, t1Hits, t2Serves  atomic.Uint64
 	promotions, demotions     atomic.Uint64
@@ -322,6 +363,7 @@ func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
 		lp.tiers = tier.NewMemory(cfg.Tier)
 	}
 	lp.baseCtx, lp.stopBase = context.WithCancel(context.Background())
+	lp.catalogEpoch.Store(active.CatalogEpoch())
 	epoch := cfg.InitialEpoch
 	if epoch == 0 {
 		epoch = 1
@@ -330,8 +372,14 @@ func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
 	if cfg.Advisor.Enabled {
 		lp.adv = newAdvisor(cfg.Advisor)
 		lp.advStop = make(chan struct{})
-		// Always succeeds here: the loop cannot be closed before New returns.
-		lp.spawn(func() { lp.adv.run(lp.advStop) })
+		// Tracked on its own WaitGroup, not lp.wg: the advisor runs for the
+		// loop's whole life, so counting it in lp.wg would make Wait — which
+		// drains transient retrain/checkpoint work — block until Close.
+		lp.advWG.Add(1)
+		go func() {
+			defer lp.advWG.Done()
+			lp.adv.run(lp.advStop)
+		}()
 	}
 	return lp
 }
@@ -346,6 +394,13 @@ func New(cfg Config, active, standby Replica, known []*query.Query) *Loop {
 func (lp *Loop) Serve(ctx context.Context, q *query.Query) (Result, error) {
 	if lp.closed.Load() {
 		return Result{}, fmt.Errorf("service: serve: %w", fosserr.ErrLoopClosed)
+	}
+	if err := lp.active.Load().r.CheckCatalog(q); err != nil {
+		// The query references schema a DDL has since dropped; refusing here
+		// (rather than letting the planner trip over missing storage) is the
+		// serving half of the catalog contract.
+		lp.staleInvalidations.Add(1)
+		return Result{}, fmt.Errorf("service: serve: %w", err)
 	}
 	if lp.tiers != nil {
 		if res, ok := lp.serveTiered(q); ok {
@@ -388,7 +443,7 @@ func (lp *Loop) serveTiered(q *query.Query) (Result, bool) {
 	fp := q.Fingerprint()
 	for {
 		s := lp.active.Load()
-		id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+		id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch, Catalog: lp.catalogEpoch.Load()}
 		d := lp.tiers.Route(id, fp)
 		switch d.Tier {
 		case tier.Tier0:
@@ -442,6 +497,14 @@ func (lp *Loop) ServeBatch(ctx context.Context, qs []*query.Query) ([]Result, er
 	if lp.closed.Load() {
 		return nil, fmt.Errorf("service: serve batch: %w", fosserr.ErrLoopClosed)
 	}
+	r := lp.active.Load().r
+	for _, q := range qs {
+		if err := r.CheckCatalog(q); err != nil {
+			// All-or-nothing, like cancellation: no partial batches.
+			lp.staleInvalidations.Add(1)
+			return nil, fmt.Errorf("service: serve batch: %w", err)
+		}
+	}
 	for {
 		s := lp.active.Load()
 		out := make([]Result, len(qs))
@@ -451,7 +514,7 @@ func (lp *Loop) ServeBatch(ctx context.Context, qs []*query.Query) ([]Result, er
 		missQs := qs
 		var missIdx []int
 		if lp.tiers != nil {
-			id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+			id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch, Catalog: lp.catalogEpoch.Load()}
 			missQs = make([]*query.Query, 0, len(qs))
 			missIdx = make([]int, 0, len(qs))
 			for i, q := range qs {
@@ -518,6 +581,14 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 	if q == nil || pe == nil || latencyMs < 0 || lp.closed.Load() {
 		return false
 	}
+	if lp.active.Load().r.CheckCatalog(q) != nil {
+		// Feedback produced against a schema generation a DDL has since
+		// retired cannot be re-derived deterministically; drop it (counted in
+		// StaleInvalidations) rather than journal a record replay could never
+		// rebuild.
+		lp.staleInvalidations.Add(1)
+		return false
+	}
 	fp := q.Fingerprint()
 
 	// The expert baseline resolves before the ordering lock: the tier
@@ -575,7 +646,7 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 	ready := lp.sinceRetrain >= lp.cfg.Cooldown
 	var tout tier.Outcome
 	if lp.tiers != nil {
-		id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+		id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch, Catalog: lp.catalogEpoch.Load()}
 		tout = lp.tiers.Observe(id, fp, q, pe, latencyMs, expert)
 		if lp.st != nil && tout.Promoted {
 			// Journal the promotion for auditability; replay re-derives the
@@ -632,6 +703,9 @@ func (lp *Loop) Record(q *query.Query, pe *planner.PlanEval, latencyMs float64) 
 			promoted:     tout.Promoted,
 			demoted:      tout.Demoted,
 			driftBlocked: sig.Drift && !ready,
+			catEpoch:     lp.catalogEpoch.Load(),
+			t0Hits:       lp.t0Hits.Load(),
+			served:       lp.served.Load(),
 		})
 	}
 
@@ -652,12 +726,21 @@ func (lp *Loop) Step(ctx context.Context, q *query.Query) (Result, float64, erro
 		return Result{}, 0, err
 	}
 	lat := lp.active.Load().r.Execute(res.Eval.CP)
+	if math.IsNaN(lat) {
+		// A DDL landed between Serve and Execute and dropped schema the plan
+		// depends on; the replica refused to run it. Count the invalidation
+		// and surface the staleness instead of recording a NaN latency.
+		lp.staleInvalidations.Add(1)
+		return res, 0, fmt.Errorf("service: step %s: %w", q.ID, fosserr.ErrCatalogStale)
+	}
 	lp.Record(q, res.Eval, lat)
 	return res, lat, nil
 }
 
 // Wait blocks until every in-flight background retrain has finished
-// (including its hot-swap and weight mirroring).
+// (including its hot-swap and weight mirroring). The advisor goroutine is
+// not waited on — it lives until Close — so Wait returns on a quiet loop
+// even with the advisor enabled.
 func (lp *Loop) Wait() { lp.wg.Wait() }
 
 // Close drains the loop for a lossless shutdown: intake stops (Serve and
@@ -676,10 +759,9 @@ func (lp *Loop) Close(ctx context.Context) error {
 		lp.closed.Store(true)
 		lp.lifeMu.Unlock()
 
-		// Release the advisor before draining the WaitGroup: its goroutine
-		// is wg-tracked and blocks on its intake channel, so the stop signal
-		// must precede the wait. It drains whatever Record already handed
-		// off, then exits.
+		// Release the advisor before draining: its goroutine blocks on the
+		// intake channel, so the stop signal must precede the advWG wait. It
+		// drains whatever Record already handed off, then exits.
 		if lp.advStop != nil {
 			close(lp.advStop)
 		}
@@ -687,6 +769,7 @@ func (lp *Loop) Close(ctx context.Context) error {
 		done := make(chan struct{})
 		go func() {
 			lp.wg.Wait()
+			lp.advWG.Wait()
 			close(done)
 		}()
 		select {
@@ -748,6 +831,12 @@ func (lp *Loop) Stats() Stats {
 		RecoveredEpoch:   lp.recoveredEpoch,
 		WALErrors:        lp.walErrors.Load(),
 		CheckpointErrors: lp.ckErrors.Load(),
+		// Applies before epoch (and ApplyDDL stores the epoch first), so
+		// every snapshot satisfies CatalogApplies ≤ CatalogEpoch — each
+		// apply carries at least one statement.
+		CatalogApplies:     lp.catalogApplies.Load(),
+		CatalogEpoch:       lp.catalogEpoch.Load(),
+		StaleInvalidations: lp.staleInvalidations.Load(),
 	}
 	if lp.tiers != nil {
 		// Nanos before hits: a torn average can only undercount, never
@@ -896,8 +985,19 @@ func (lp *Loop) retrain() {
 	// Publish: one atomic store; Serve never waits. The standby's cache was
 	// invalidated when TrainOn's exclusive section ended, so the new epoch
 	// starts cold — no plan chosen by the old weights can be served again.
-	old := lp.active.Load()
 	lp.mu.Lock()
+	// A DDL that landed during training left the standby on the old catalog
+	// generation (ApplyDDL never waits behind a training lock); repoint it
+	// before it takes traffic. Idempotent and cheap when already current.
+	if err := standby.ResyncCatalog(); err != nil {
+		lp.mu.Unlock()
+		lp.retrainErrors.Add(1)
+		return
+	}
+	// The active pointer loads inside the same critical section that
+	// publishes, so an ApplyDDL epoch bump between the read and the store
+	// can never be overwritten.
+	old := lp.active.Load()
 	lp.active.Store(&slot{r: standby, epoch: old.epoch + 1})
 	lp.standby = old.r
 	lp.sinceRetrain = 0
@@ -964,6 +1064,16 @@ func (lp *Loop) ApplyCheckpoint(ck store.Checkpoint) error {
 	if standby == nil {
 		return fmt.Errorf("service: apply checkpoint: no standby replica")
 	}
+	// The leader's catalog restores before its weights: a checkpoint taken
+	// after a DDL carries (epoch, hash, log), and the follower replays the
+	// missing suffix through its shared catalog world — both replicas'
+	// backends rebuild to the leader's schema generation — before the model
+	// image (whose buffer/tier state was produced against that generation)
+	// is touched. A follower somehow ahead of the leader's catalog refuses
+	// (fosserr.ErrCatalogMismatch) rather than serve cross-epoch state.
+	if err := standby.SyncCatalog(ck.CatalogEpoch, ck.CatalogHash, ck.CatalogDDL); err != nil {
+		return fmt.Errorf("service: apply checkpoint: %w", err)
+	}
 	// Load validates the sealed model (backend identity, version, checksum)
 	// — a checkpoint from a differently-configured leader is refused here,
 	// before anything is published.
@@ -979,6 +1089,7 @@ func (lp *Loop) ApplyCheckpoint(ck store.Checkpoint) error {
 	}
 	lp.active.Store(&slot{r: standby, epoch: ck.Epoch})
 	lp.standby = old.r
+	lp.catalogEpoch.Store(standby.CatalogEpoch())
 	if lp.tiers != nil {
 		// Same invalidation contract as a local hot-swap: the new model's
 		// pins arrive below from the checkpoint's exported tier state.
@@ -989,7 +1100,12 @@ func (lp *Loop) ApplyCheckpoint(ck store.Checkpoint) error {
 	lp.det.Reset()
 
 	// Mirror onto the demoted replica so the next apply loads into a
-	// replica already carrying the current generation.
+	// replica already carrying the current generation. The catalog resync is
+	// a shared-world no-op for core replicas but keeps the contract honest
+	// for any Replica wiring distinct worlds.
+	if err := old.r.ResyncCatalog(); err != nil {
+		return fmt.Errorf("service: apply checkpoint: mirror catalog: %w", err)
+	}
 	if err := old.r.Load(ck.Model); err != nil {
 		return fmt.Errorf("service: apply checkpoint: mirror: %w", err)
 	}
@@ -1001,6 +1117,99 @@ func (lp *Loop) ApplyCheckpoint(ck store.Checkpoint) error {
 	}
 	return nil
 }
+
+// ApplyDDL applies one schema-evolution batch to the serving pair — the
+// loop-level entry point for live DDL. The batch applies through the active
+// replica, building one new copy-on-write generation in the replicas' shared
+// catalog world; the serving epoch bumps so every epoch-keyed consumer
+// (tier-0 plan memory, the runtime plan cache, the replication tailer
+// comparing manifest epochs) sees a new generation without a weight swap; the
+// batch journals as a KindDDL WAL record and the post-DDL state checkpoints
+// immediately, so a warm restart resumes at the evolved schema. Serving never
+// blocks: requests in flight complete at the old (immutable) generation, and
+// only Record's ordering lock is held while the world rebuilds. Returns the
+// new catalog epoch. Followers refuse with fosserr.ErrNotLeader — their
+// catalog advances through ApplyCheckpoint.
+func (lp *Loop) ApplyDDL(ddls []catalog.DDL) (uint64, error) {
+	if lp.closed.Load() {
+		return 0, fmt.Errorf("service: apply ddl: %w", fosserr.ErrLoopClosed)
+	}
+	if lp.cfg.Follower {
+		return 0, fmt.Errorf("service: apply ddl: %w", fosserr.ErrNotLeader)
+	}
+	if len(ddls) == 0 {
+		return 0, fmt.Errorf("service: apply ddl: empty batch: %w", fosserr.ErrBadConfig)
+	}
+	lp.mu.Lock()
+	old := lp.active.Load()
+	epoch, err := old.r.ApplyDDL(ddls)
+	if err != nil {
+		lp.mu.Unlock()
+		return 0, fmt.Errorf("service: apply ddl: %w", err)
+	}
+	// The standby deliberately does NOT resync here: it may be mid-retrain,
+	// holding its exclusive training lock for a whole schedule, and a DDL
+	// must never wait on training. It repoints at the shared world's new
+	// generation before it can ever serve — the retrain publish path and
+	// ApplyCheckpoint both resync under this same mu.
+	lp.active.Store(&slot{r: old.r, epoch: old.epoch + 1})
+	lp.catalogEpoch.Store(epoch)
+	lp.catalogApplies.Add(1)
+	// Expert baselines were measured against the old statistics; keeping
+	// them would judge post-DDL plans against a retired cost surface.
+	clear(lp.expertLat)
+	// Prune retrain candidates the new schema outdated, so the next
+	// background retrain never plans a dropped table.
+	keep := lp.recent[:0]
+	for _, q := range lp.recent {
+		if old.r.CheckCatalog(q) == nil {
+			keep = append(keep, q)
+		} else {
+			delete(lp.recentSet, q.Fingerprint())
+		}
+	}
+	lp.recent = keep
+	if lp.tiers != nil {
+		// Same invalidation contract as a hot-swap: every pin re-earns its
+		// place against the evolved schema (and the catalog-scoped identity
+		// key makes even a racing stale lookup miss).
+		lp.tiers.Invalidate()
+	}
+	var t0, served uint64
+	if lp.adv != nil {
+		t0, served = lp.t0Hits.Load(), lp.served.Load()
+	}
+	if lp.st != nil {
+		if _, err := lp.st.WAL().Append(store.WALEntry{
+			Kind:  store.KindDDL,
+			Epoch: old.epoch + 1,
+			DDL:   ddls,
+		}); err != nil {
+			lp.walErrors.Add(1)
+		}
+	}
+	lp.mu.Unlock()
+	// The drift window would mix pre- and post-DDL regression ratios
+	// meaninglessly; start clean, exactly like a swap does.
+	lp.det.Reset()
+	if lp.adv != nil {
+		// Schema-change marker: the advisor compares the tier-0 hit rate
+		// before the apply with the window after it (FindingSchemaChurn).
+		lp.adv.offer(advisorObs{ddl: true, epoch: old.epoch + 1, catEpoch: epoch, t0Hits: t0, served: served})
+	}
+	// The post-DDL generation becomes the recovery point immediately — a
+	// crash after a DDL restarts on the evolved schema without re-planning
+	// the migration.
+	if lp.st != nil {
+		if _, err := lp.Checkpoint(); err != nil {
+			lp.ckErrors.Add(1)
+		}
+	}
+	return epoch, nil
+}
+
+// CatalogEpoch returns the live catalog generation the loop is serving at.
+func (lp *Loop) CatalogEpoch() uint64 { return lp.catalogEpoch.Load() }
 
 // Follower reports whether this loop is a read-only serving replica.
 func (lp *Loop) Follower() bool { return lp.cfg.Follower }
@@ -1049,8 +1258,12 @@ func (lp *Loop) Checkpoint() (string, error) {
 		if lp.tiers != nil {
 			tierState = lp.tiers.Export()
 		}
-		lp.mu.Unlock()
 		s := lp.active.Load()
+		// The catalog triple captures under the same mu acquisition as the
+		// WAL horizon: ApplyDDL journals and bumps under this lock, so the
+		// image's schema generation matches the records at or below seq.
+		catEpoch, catHash, catLog := s.r.CatalogEpoch(), s.r.CatalogHash(), s.r.CatalogLog()
+		lp.mu.Unlock()
 		// Save runs under the replica's shared lock: concurrent with its
 		// serving reads, mutually exclusive with the weight mirroring a
 		// hot-swap performs on a just-demoted replica — the image can never
@@ -1067,11 +1280,14 @@ func (lp *Loop) Checkpoint() (string, error) {
 			continue
 		}
 		name, err := lp.st.WriteCheckpoint(s.r.BackendName(), store.Checkpoint{
-			Model:  blob,
-			Buffer: buffer,
-			Epoch:  s.epoch,
-			WALSeq: seq,
-			Tier:   tierState,
+			Model:        blob,
+			Buffer:       buffer,
+			Epoch:        s.epoch,
+			WALSeq:       seq,
+			Tier:         tierState,
+			CatalogEpoch: catEpoch,
+			CatalogHash:  catHash,
+			CatalogDDL:   catLog,
 		})
 		if err != nil {
 			return "", err
@@ -1117,6 +1333,30 @@ func (lp *Loop) Replay(entries []store.WALEntry) (int, error) {
 				lp.tiers.Invalidate()
 			}
 			continue
+		case store.KindDDL:
+			// Re-apply the schema evolution at the same stream position the
+			// live loop did: feedback below this record rebuilt against the
+			// old generation, feedback above rebuilds against the new one.
+			// (A DDL already folded into the recovered checkpoint never
+			// appears in the tail — the checkpoint's WAL horizon is past it.)
+			if _, err := s.r.ApplyDDL(e.DDL); err != nil {
+				return n, fmt.Errorf("service: replay ddl seq %d: %w", e.Seq, err)
+			}
+			lp.mu.Lock()
+			standby := lp.standby
+			clear(lp.expertLat)
+			lp.mu.Unlock()
+			if standby != nil {
+				if err := standby.ResyncCatalog(); err != nil {
+					return n, fmt.Errorf("service: replay ddl seq %d: standby: %w", e.Seq, err)
+				}
+			}
+			lp.catalogEpoch.Store(s.r.CatalogEpoch())
+			lp.det.Reset()
+			if lp.tiers != nil {
+				lp.tiers.Invalidate()
+			}
+			continue
 		case store.KindFeedback:
 		case store.KindPromote, store.KindDemote:
 			// Informational: the tier state re-derives from the feedback
@@ -1124,6 +1364,13 @@ func (lp *Loop) Replay(entries []store.WALEntry) (int, error) {
 			continue
 		default:
 			continue // unknown kind from a future writer: skip, don't fail
+		}
+		if err := s.r.CheckCatalog(e.Query); err != nil {
+			// Feedback journaled before a later DDL dropped its tables cannot
+			// rebuild against the evolved schema. The live loop would have
+			// refused it post-DDL; replay skips it (counted), not fails.
+			lp.staleInvalidations.Add(1)
+			continue
 		}
 		pe, err := s.r.RebuildEval(e.Query, e.ICP, e.Step)
 		if err != nil {
@@ -1150,7 +1397,7 @@ func (lp *Loop) Replay(entries []store.WALEntry) (int, error) {
 		if lp.tiers != nil {
 			// Same classification the live Observe ran (plan identity, not
 			// journaled labels), so replayed state equals pre-crash state.
-			id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+			id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch, Catalog: lp.catalogEpoch.Load()}
 			lp.tiers.Observe(id, e.Fingerprint, e.Query, pe, e.LatencyMs, expert)
 		}
 		n++
@@ -1170,7 +1417,7 @@ func (lp *Loop) ImportTier(ts *store.TierState) error {
 		return nil
 	}
 	s := lp.active.Load()
-	id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch}
+	id := runtime.Identity{Backend: lp.backendName, Epoch: s.epoch, Catalog: lp.catalogEpoch.Load()}
 	return lp.tiers.Import(ts, id, func(q *query.Query, icp plan.ICP, step int) (*planner.PlanEval, error) {
 		return s.r.RebuildEval(q, icp, step)
 	})
@@ -1184,6 +1431,10 @@ func (s Stats) String() string {
 		s.Epoch, s.Served, s.CacheHits, s.Recorded, s.Drifts, s.Retrains, s.Swaps, s.RetrainErrors, s.ExpertErrors, s.WindowMean, s.WindowNovel)
 	if s.WALEntries > 0 || s.Checkpoints > 0 || s.RecoveredEpoch > 0 {
 		out += fmt.Sprintf(" wal=%d replayed=%d checkpoints=%d recoveredEpoch=%d", s.WALEntries, s.Replayed, s.Checkpoints, s.RecoveredEpoch)
+	}
+	if s.CatalogEpoch > 0 || s.StaleInvalidations > 0 {
+		out += fmt.Sprintf(" catalogEpoch=%d ddlApplies=%d staleInvalidations=%d",
+			s.CatalogEpoch, s.CatalogApplies, s.StaleInvalidations)
 	}
 	if s.Tier0Hits > 0 || s.Tier1Hits > 0 || s.Tier2Serves > 0 || s.PinnedPlans > 0 {
 		out += fmt.Sprintf(" tier0=%d tier1=%d tier2=%d pins=%d promotions=%d demotions=%d",

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -9,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"github.com/foss-db/foss/internal/engine/catalog"
+	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/learner"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/planner"
@@ -28,7 +31,9 @@ func fq(v int64) *query.Query {
 }
 
 // fakeReplica is a scripted Replica: constant per-query latencies, counted
-// train/save/load calls, optional train delay for overlap tests.
+// train/save/load calls, optional train delay for overlap tests. The catalog
+// half tracks an applied-DDL log and the set of dropped tables so stale-query
+// refusal is observable.
 type fakeReplica struct {
 	name       string
 	buf        *learner.Buffer
@@ -38,10 +43,70 @@ type fakeReplica struct {
 	saves  atomic.Int64
 	loads  atomic.Int64
 	serves atomic.Int64
+
+	catMu   sync.Mutex
+	catLog  []catalog.DDL
+	dropped map[string]bool
 }
 
 func newFake(name string) *fakeReplica {
-	return &fakeReplica{name: name, buf: learner.NewBuffer()}
+	return &fakeReplica{name: name, buf: learner.NewBuffer(), dropped: map[string]bool{}}
+}
+
+func (f *fakeReplica) ApplyDDL(ddls []catalog.DDL) (uint64, error) {
+	f.catMu.Lock()
+	defer f.catMu.Unlock()
+	for _, d := range ddls {
+		switch d.Kind {
+		case catalog.DDLDropTable:
+			f.dropped[d.Table] = true
+		case catalog.DDLAddTable:
+			delete(f.dropped, d.Table)
+		}
+	}
+	f.catLog = append(f.catLog, ddls...)
+	return uint64(len(f.catLog)), nil
+}
+
+func (f *fakeReplica) ResyncCatalog() error { return nil }
+
+func (f *fakeReplica) SyncCatalog(epoch, hash uint64, log []catalog.DDL) error {
+	f.catMu.Lock()
+	cur := uint64(len(f.catLog))
+	f.catMu.Unlock()
+	if cur > epoch {
+		return fmt.Errorf("fake: catalog at %d, checkpoint at %d", cur, epoch)
+	}
+	if cur == epoch {
+		return nil
+	}
+	_, err := f.ApplyDDL(log[cur:])
+	return err
+}
+
+func (f *fakeReplica) CheckCatalog(q *query.Query) error {
+	f.catMu.Lock()
+	defer f.catMu.Unlock()
+	for _, t := range q.Tables {
+		if f.dropped[t.Table] {
+			return fmt.Errorf("fake: table %q dropped: %w", t.Table, fosserr.ErrCatalogStale)
+		}
+	}
+	return nil
+}
+
+func (f *fakeReplica) CatalogEpoch() uint64 {
+	f.catMu.Lock()
+	defer f.catMu.Unlock()
+	return uint64(len(f.catLog))
+}
+
+func (f *fakeReplica) CatalogHash() uint64 { return 0 }
+
+func (f *fakeReplica) CatalogLog() []catalog.DDL {
+	f.catMu.Lock()
+	defer f.catMu.Unlock()
+	return append([]catalog.DDL(nil), f.catLog...)
 }
 
 func (f *fakeReplica) OptimizeEvalContext(ctx context.Context, q *query.Query) (*planner.PlanEval, bool, time.Duration, error) {
@@ -369,6 +434,105 @@ func TestServeNeverBlocksDuringRetrain(t *testing.T) {
 	}
 	if lp.Epoch() != 2 {
 		t.Fatalf("epoch %d after background swap, want 2", lp.Epoch())
+	}
+}
+
+// TestApplyDDLBumpsEpochAndRefusesStale: a loop-level DDL apply bumps the
+// serving epoch (so every epoch-keyed cache invalidates) and the catalog
+// epoch, journals a KindDDL record, and afterwards both Serve and Record
+// refuse queries over the dropped table — counted in StaleInvalidations —
+// while fresh queries keep flowing at the new epoch.
+func TestApplyDDLBumpsEpochAndRefusesStale(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg := syncConfig()
+	cfg.Detector.Threshold = 100 // never drift
+	cfg.Store = st
+	blue, green := newFake("blue"), newFake("green")
+	lp := New(cfg, blue, green, nil)
+
+	res, err := lp.Serve(context.Background(), fq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lp.Record(fq(1), res.Eval, 5) {
+		t.Fatal("pre-DDL record refused")
+	}
+
+	epoch, err := lp.ApplyDDL([]catalog.DDL{{Kind: catalog.DDLDropTable, Table: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("catalog epoch %d, want 1", epoch)
+	}
+	if lp.Epoch() != 2 {
+		t.Fatalf("serving epoch %d after DDL, want 2 (bump without swap)", lp.Epoch())
+	}
+	if lp.Active() != Replica(blue) {
+		t.Fatal("DDL must republish the same replica, not swap")
+	}
+
+	// Queries over the dropped table are refused on both paths.
+	if _, err := lp.Serve(context.Background(), fq(2)); !errIsStale(err) {
+		t.Fatalf("serve of dropped table: %v, want ErrCatalogStale", err)
+	}
+	if lp.Record(fq(3), res.Eval, 5) {
+		t.Fatal("stale record accepted")
+	}
+	stats := lp.Stats()
+	if stats.CatalogEpoch != 1 || stats.CatalogApplies != 1 {
+		t.Fatalf("catalog counters %+v", stats)
+	}
+	if stats.StaleInvalidations != 2 {
+		t.Fatalf("stale invalidations %d, want 2", stats.StaleInvalidations)
+	}
+
+	// The batch is journaled as a KindDDL record at the bumped epoch.
+	var ddl []store.WALEntry
+	if err := st.WAL().Replay(0, func(e store.WALEntry) error {
+		if e.Kind == store.KindDDL {
+			ddl = append(ddl, e)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ddl) != 1 || ddl[0].Epoch != 2 || len(ddl[0].DDL) != 1 {
+		t.Fatalf("ddl journal %+v, want one KindDDL at epoch 2", ddl)
+	}
+	// ApplyDDL checkpoints immediately: a warm restart resumes post-DDL.
+	if stats.Checkpoints == 0 {
+		t.Fatal("no checkpoint after DDL apply")
+	}
+
+	// A fresh-table query still serves, at the bumped epoch.
+	q := &query.Query{ID: "qb", Template: "t", Tables: []query.TableRef{{Table: "b", Alias: "b"}}}
+	res2, err := lp.Serve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Epoch != 2 {
+		t.Fatalf("post-DDL serve at epoch %d, want 2", res2.Epoch)
+	}
+}
+
+func errIsStale(err error) bool {
+	return err != nil && errors.Is(err, fosserr.ErrCatalogStale)
+}
+
+// TestApplyDDLRefusedOnFollower: a follower's catalog advances only through
+// ApplyCheckpoint.
+func TestApplyDDLRefusedOnFollower(t *testing.T) {
+	cfg := syncConfig()
+	cfg.Follower = true
+	lp := New(cfg, newFake("blue"), newFake("green"), nil)
+	if _, err := lp.ApplyDDL([]catalog.DDL{{Kind: catalog.DDLDropTable, Table: "a"}}); !errors.Is(err, fosserr.ErrNotLeader) {
+		t.Fatalf("follower ApplyDDL: %v, want ErrNotLeader", err)
 	}
 }
 

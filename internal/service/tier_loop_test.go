@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/store"
 	"github.com/foss-db/foss/internal/tier"
 )
@@ -224,6 +225,48 @@ func TestHotSwapInvalidatesPlanMemory(t *testing.T) {
 	}
 	if res.Tier != tier.Tier2 {
 		t.Fatalf("post-swap serve at tier %d, want 2 (pins must re-earn trust)", res.Tier)
+	}
+}
+
+// TestDDLInvalidatesPlanMemory is TestHotSwapInvalidatesPlanMemory's
+// schema-evolution sibling: a DDL apply must invalidate tier-0 plan memory in
+// the same step that bumps the serving epoch (no weight swap happens, but the
+// pinned plans were chosen against the retired schema generation), and the
+// surviving fingerprints must re-earn their pins against the evolved catalog.
+func TestDDLInvalidatesPlanMemory(t *testing.T) {
+	lp := New(tierConfig(tier.Config{Memory: true}), newFake("blue"), newFake("green"), nil)
+	q := fq(4)
+	for i := 0; i < 3; i++ {
+		res, err := lp.Serve(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp.Record(q, res.Eval, 5)
+	}
+	if st := lp.Stats(); st.PinnedPlans != 1 {
+		t.Fatalf("fixture did not promote: %d pins", st.PinnedPlans)
+	}
+	// An index change on the pinned query's own table: the query stays
+	// servable, but every plan chosen against the old physical design is out.
+	if _, err := lp.ApplyDDL([]catalog.DDL{{Kind: catalog.DDLAddIndex, Table: "a", Column: "c"}}); err != nil {
+		t.Fatal(err)
+	}
+	st := lp.Stats()
+	if st.Swaps != 0 {
+		t.Fatalf("DDL must not swap replicas: %+v", st)
+	}
+	if st.PinnedPlans != 0 {
+		t.Fatalf("DDL left %d stale pins in plan memory", st.PinnedPlans)
+	}
+	res, err := lp.Serve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 2 {
+		t.Fatalf("post-DDL serve at epoch %d, want 2", res.Epoch)
+	}
+	if res.Tier != tier.Tier2 {
+		t.Fatalf("post-DDL serve at tier %d, want 2 (pins must re-earn trust)", res.Tier)
 	}
 }
 

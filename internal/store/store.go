@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/query"
@@ -40,6 +41,16 @@ type Checkpoint struct {
 	Epoch  uint64
 	WALSeq uint64
 	Tier   *TierState
+	// CatalogEpoch/CatalogHash/CatalogDDL pin the schema generation the
+	// image was taken at: the epoch (DDL statements applied since load), the
+	// canonical schema hash, and the full applied-DDL log — recovery replays
+	// the log over the load-time schema before loading the model, and
+	// refuses cross-epoch warm-starts the way backend mismatches are
+	// refused. All three gob-decode as zero/nil in pre-catalog checkpoints,
+	// which reads as "epoch 0, no DDL" — exactly right.
+	CatalogEpoch uint64
+	CatalogHash  uint64
+	CatalogDDL   []catalog.DDL
 }
 
 // TierState is the durable image of the tier router: every pinned tier-0

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/fosserr"
 	"github.com/foss-db/foss/internal/plan"
 	"github.com/foss-db/foss/internal/query"
@@ -36,6 +37,12 @@ const (
 	// KindDemote journals a pinned plan's escalation back to tier 2 after a
 	// latency regression. Informational, like KindPromote.
 	KindDemote
+	// KindDDL journals one applied schema-evolution batch: the DDL statements
+	// themselves plus the serving epoch the apply published. Replay re-applies
+	// the batch to the catalog at the same point in the feedback stream the
+	// live loop did, so recovered state is planned against the same schema
+	// generations.
+	KindDDL
 )
 
 // WALEntry is one journal record. Feedback entries carry the executed
@@ -54,7 +61,8 @@ type WALEntry struct {
 	Step        int
 	LatencyMs   float64
 	TimedOut    bool
-	Epoch       uint64 // swap records: the epoch published
+	Epoch       uint64        // swap/ddl records: the serving epoch published
+	DDL         []catalog.DDL // ddl records: the applied batch (absent decodes nil)
 }
 
 // walRecordLimit bounds one record's encoded size — a corrupted length

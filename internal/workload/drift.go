@@ -13,7 +13,11 @@ package workload
 //     newest titles);
 //   - novel-template: structurally new query shapes — leaf-dropped variants
 //     of existing templates — are injected alongside the familiar mix (a new
-//     dashboard ships).
+//     dashboard ships);
+//   - schema-evolution: the schema itself moves — a DDL batch drops the index
+//     on the hottest join column and adds a fresh table at the shift point,
+//     while post-shift traffic ramps toward the queries that join on the
+//     now-unindexed column (an ops migration lands mid-day).
 //
 // All generation is pure function of (workload, kind, options): the same seed
 // always yields the same query stream.
@@ -23,6 +27,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/engine/stats"
 	"github.com/foss-db/foss/internal/query"
 )
@@ -30,16 +35,17 @@ import (
 // DriftKind names a deterministic serving-distribution shift scenario.
 type DriftKind string
 
-// The three drift scenario kinds.
+// The four drift scenario kinds.
 const (
-	DriftTemplateMix   DriftKind = "template-mix"
-	DriftSelectivity   DriftKind = "selectivity"
-	DriftNovelTemplate DriftKind = "novel-template"
+	DriftTemplateMix     DriftKind = "template-mix"
+	DriftSelectivity     DriftKind = "selectivity"
+	DriftNovelTemplate   DriftKind = "novel-template"
+	DriftSchemaEvolution DriftKind = "schema-evolution"
 )
 
 // DriftKinds lists the available scenario kinds.
 func DriftKinds() []DriftKind {
-	return []DriftKind{DriftTemplateMix, DriftSelectivity, DriftNovelTemplate}
+	return []DriftKind{DriftTemplateMix, DriftSelectivity, DriftNovelTemplate, DriftSchemaEvolution}
 }
 
 // DriftOptions controls scenario generation.
@@ -63,11 +69,15 @@ func (o DriftOptions) normalized() DriftOptions {
 }
 
 // DriftScenario is a two-phase query stream: Pre draws from the workload's
-// steady-state distribution, Post from the shifted one.
+// steady-state distribution, Post from the shifted one. A schema-evolution
+// scenario additionally carries the DDL batch the harness applies to the live
+// catalog at ShiftAt(), between the last Pre query and the first Post query;
+// for the other kinds DDL is nil.
 type DriftScenario struct {
 	Kind DriftKind
 	Pre  []*query.Query
 	Post []*query.Query
+	DDL  []catalog.DDL
 }
 
 // Stream returns the full serving sequence, Pre followed by Post.
@@ -104,6 +114,8 @@ func Drift(w *Workload, kind DriftKind, opts DriftOptions) (*DriftScenario, erro
 		s, err = driftSelectivity(w, rng, opts)
 	case DriftNovelTemplate:
 		s, err = driftNovelTemplate(w, rng, opts)
+	case DriftSchemaEvolution:
+		s, err = driftSchemaEvolution(w, rng, opts)
 	default:
 		return nil, fmt.Errorf("workload: unknown drift kind %q", kind)
 	}
@@ -113,6 +125,14 @@ func Drift(w *Workload, kind DriftKind, opts DriftOptions) (*DriftScenario, erro
 	for _, q := range s.Stream() {
 		if err := validateAgainst(q, w); err != nil {
 			return nil, fmt.Errorf("workload: drift %s: %w", kind, err)
+		}
+	}
+	if len(s.DDL) > 0 {
+		// Dry-apply the batch on a throwaway versioned catalog (COW — the
+		// workload's own schema is untouched) so a broken generator surfaces
+		// here, not when the harness applies it to a live doctor.
+		if _, _, err := catalog.NewVersioned(w.DB.Schema).Apply(s.DDL); err != nil {
+			return nil, fmt.Errorf("workload: drift %s ddl: %w", kind, err)
 		}
 	}
 	return s, nil
@@ -264,6 +284,110 @@ func driftNovelTemplate(w *Workload, rng *rand.Rand, opts DriftOptions) (*DriftS
 		}
 	}
 	return &DriftScenario{Kind: DriftNovelTemplate, Pre: pre, Post: post}, nil
+}
+
+// driftSchemaEvolution emits a DDL batch at the shift point — drop the index
+// on the workload's hottest join column, add a fresh side table — while the
+// post-shift stream ramps linearly toward the queries that join on the
+// now-unindexed column. The learned doctor's tier memory for those templates
+// was priced against index access paths that no longer exist; the ramp gives
+// it a graded, deterministic re-learning signal rather than a cliff.
+func driftSchemaEvolution(w *Workload, rng *rand.Rand, opts DriftOptions) (*DriftScenario, error) {
+	table, col, hotPool, coldPool, err := hottestIndexedJoinColumn(w)
+	if err != nil {
+		return nil, err
+	}
+	ddl := []catalog.DDL{
+		{Kind: catalog.DDLDropIndex, Table: table, Column: col},
+		{Kind: catalog.DDLAddTable, Table: table + "_evolved", Columns: []catalog.Column{
+			{Name: "id", Indexed: true},
+			{Name: table + "_" + col}, // reference back to the hot column
+		}},
+	}
+	pre := sampleFrom(rng, w.Train, opts.PreLen)
+	post := make([]*query.Query, 0, opts.PostLen)
+	for i := 0; i < opts.PostLen; i++ {
+		// Linear ramp: the share of hot-column traffic grows from ~0 to ~1
+		// across the post window (the migration's consumers roll out slowly).
+		if rng.Float64() < float64(i+1)/float64(opts.PostLen) {
+			post = append(post, hotPool[rng.Intn(len(hotPool))])
+		} else {
+			post = append(post, coldPool[rng.Intn(len(coldPool))])
+		}
+	}
+	return &DriftScenario{Kind: DriftSchemaEvolution, Pre: pre, Post: post, DDL: ddl}, nil
+}
+
+// hottestIndexedJoinColumn finds the most-joined indexed column whose query
+// pool is a strict subset of the training stream (so the ramp toward it is an
+// actual distribution shift — a column every query joins, like a ubiquitous
+// dimension key, gives the doctor nothing to re-learn against). Ties break
+// lexically on table.column for determinism. Returns the hot pool (queries
+// joining on it) and the cold pool (the rest).
+func hottestIndexedJoinColumn(w *Workload) (table, col string, hot, cold []*query.Query, err error) {
+	counts := map[[2]string]int{}
+	for _, q := range w.Train {
+		for _, j := range q.Joins {
+			for _, side := range [][2]string{{q.TableOf(j.LA), j.LC}, {q.TableOf(j.RA), j.RC}} {
+				if isIndexed(w, side[0], side[1]) {
+					counts[side]++
+				}
+			}
+		}
+	}
+	cands := make([][2]string, 0, len(counts))
+	for k := range counts {
+		cands = append(cands, k)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if counts[cands[a]] != counts[cands[b]] {
+			return counts[cands[a]] > counts[cands[b]]
+		}
+		return cands[a][0]+"."+cands[a][1] < cands[b][0]+"."+cands[b][1]
+	})
+	for _, c := range cands {
+		hot, cold = splitByJoinColumn(w.Train, c[0], c[1])
+		if len(hot) > 0 && len(cold) > 0 {
+			return c[0], c[1], hot, cold, nil
+		}
+	}
+	return "", "", nil, nil, fmt.Errorf("schema-evolution drift: no indexed join column splits the training stream")
+}
+
+// splitByJoinColumn partitions queries by whether any join predicate touches
+// table.col.
+func splitByJoinColumn(qs []*query.Query, table, col string) (hot, cold []*query.Query) {
+	for _, q := range qs {
+		touches := false
+		for _, j := range q.Joins {
+			if (q.TableOf(j.LA) == table && j.LC == col) ||
+				(q.TableOf(j.RA) == table && j.RC == col) {
+				touches = true
+				break
+			}
+		}
+		if touches {
+			hot = append(hot, q)
+		} else {
+			cold = append(cold, q)
+		}
+	}
+	return hot, cold
+}
+
+// isIndexed reports whether table.col exists and carries an index in the
+// workload's catalog.
+func isIndexed(w *Workload, table, col string) bool {
+	tab, ok := w.DB.Tables[table]
+	if !ok {
+		return false
+	}
+	for _, c := range tab.Meta.Columns {
+		if c.Name == col {
+			return c.Indexed
+		}
+	}
+	return false
 }
 
 // dropLeafVariant derives a novel template from a query by removing one

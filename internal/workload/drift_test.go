@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"github.com/foss-db/foss/internal/engine/catalog"
 	"github.com/foss-db/foss/internal/query"
 )
 
@@ -128,9 +129,74 @@ func TestDriftScenarios(t *testing.T) {
 					if len(preH) == 0 || len(postH) == 0 {
 						t.Fatal("empty histograms")
 					}
+				case DriftSchemaEvolution:
+					assertSchemaEvolution(t, w, s)
+				}
+				if kind != DriftSchemaEvolution && s.DDL != nil {
+					t.Fatalf("kind %s carries a DDL batch", kind)
 				}
 			})
 		}
+	}
+}
+
+// assertSchemaEvolution checks the schema-evolution invariants: the DDL batch
+// drops an index that actually exists and applies cleanly to the workload's
+// catalog, and the post-shift stream ramps toward queries joining on the
+// dropped column.
+func assertSchemaEvolution(t *testing.T, w *Workload, s *DriftScenario) {
+	t.Helper()
+	if len(s.DDL) == 0 {
+		t.Fatal("schema-evolution scenario carries no DDL")
+	}
+	drop := s.DDL[0]
+	if drop.Kind != catalog.DDLDropIndex {
+		t.Fatalf("first DDL is %s, want %s", drop.Kind, catalog.DDLDropIndex)
+	}
+	if !isIndexed(w, drop.Table, drop.Column) {
+		t.Fatalf("dropped index %s.%s does not exist in the catalog", drop.Table, drop.Column)
+	}
+	// The batch must apply cleanly, and the workload's own schema must not
+	// move (the versioned catalog is copy-on-write).
+	next, _, err := catalog.NewVersioned(w.DB.Schema).Apply(s.DDL)
+	if err != nil {
+		t.Fatalf("ddl batch does not apply: %v", err)
+	}
+	if _, evolved := next.Tables[drop.Table+"_evolved"]; !evolved {
+		t.Fatal("evolved side table missing from post-DDL schema")
+	}
+	if !isIndexed(w, drop.Table, drop.Column) {
+		t.Fatal("dry-apply mutated the workload's own catalog")
+	}
+	// Traffic ramp: the hot-join share in the last quarter of the post
+	// stream must exceed the first quarter's.
+	joinsHot := func(q *query.Query) bool {
+		for _, j := range q.Joins {
+			if (q.TableOf(j.LA) == drop.Table && j.LC == drop.Column) ||
+				(q.TableOf(j.RA) == drop.Table && j.RC == drop.Column) {
+				return true
+			}
+		}
+		return false
+	}
+	quarter := len(s.Post) / 4
+	early, late := 0, 0
+	for i, q := range s.Post {
+		if !joinsHot(q) {
+			continue
+		}
+		if i < quarter {
+			early++
+		}
+		if i >= len(s.Post)-quarter {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Fatal("no hot-column traffic at the end of the ramp")
+	}
+	if late <= early {
+		t.Fatalf("hot-join traffic does not ramp: first quarter %d, last quarter %d", early, late)
 	}
 }
 

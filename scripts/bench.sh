@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — the repository's perf snapshot: runs the parallel-training,
 # online-serving, metrics-overhead, tiered-serving, batched-serving,
-# durability (checkpoint + WAL-replay), multi-tenant sharded-serving, and
-# gate-proxied serving benchmarks, times a full fosslint pass over the
-# module, and emits a machine-readable BENCH_9.json.
+# durability (checkpoint + WAL-replay), multi-tenant sharded-serving,
+# gate-proxied serving, and schema-evolution (catalog-apply + tier-0
+# re-warm) benchmarks, times a full fosslint pass over the
+# module, and emits a machine-readable BENCH_10.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh      # more iterations per benchmark
@@ -12,7 +13,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 benchtime="${BENCHTIME:-1x}"
 # The parallelism actually benched, not the machine's core count: an explicit
 # CPUS sweep, else the ambient GOMAXPROCS cap, else every hardware thread.
@@ -20,8 +21,8 @@ cpus="${CPUS:-${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-echo "== go test -bench TrainParallel|ServeOnline|ServeWithMetrics|ServeTiered|TierRouter|ServeBatch|Checkpoint|WALReplay|ShardedServe|GateProxy (benchtime=$benchtime cpu=$cpus) =="
-go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeWithMetrics|BenchmarkServeTiered|BenchmarkTierRouter|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay|BenchmarkShardedServe|BenchmarkGateProxy' \
+echo "== go test -bench TrainParallel|ServeOnline|ServeWithMetrics|ServeTiered|TierRouter|ServeBatch|Checkpoint|WALReplay|ShardedServe|GateProxy|CatalogApply|Tier0RewarmAfterDDL (benchtime=$benchtime cpu=$cpus) =="
+go test -run xxx -bench 'BenchmarkTrainParallel|BenchmarkServeOnline|BenchmarkServeWithMetrics|BenchmarkServeTiered|BenchmarkTierRouter|BenchmarkServeBatch|BenchmarkCheckpoint|BenchmarkWALReplay|BenchmarkShardedServe|BenchmarkGateProxy|BenchmarkCatalogApply|BenchmarkTier0RewarmAfterDDL' \
   -benchtime "$benchtime" -cpu "$cpus" . | tee "$tmp"
 
 # Static-analysis wall time: the whole-module fosslint pass is part of every
@@ -50,7 +51,7 @@ awk -v arch="$(uname -m)" -v cpus="$cpus" -v benchtime="$benchtime" -v lintms="$
     if (rows == "") { print "no benchmark rows parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"schema\": \"foss-bench/1\",\n"
-    printf "  \"pr\": 9,\n"
+    printf "  \"pr\": 10,\n"
     printf "  \"arch\": \"%s\",\n", arch
     printf "  \"cpus\": %s,\n", (cpus ~ /^[0-9]+$/ ? cpus : "\"" cpus "\"")
     printf "  \"benchtime\": \"%s\",\n", benchtime

@@ -4,8 +4,9 @@
 #   vet, gofmt cleanliness, the fosslint invariant suite (clean tree +
 #   every rule proven to fire on its seeded fixture), build, race-enabled
 #   tests, the Workers determinism checks, the tiered-serving, allocation,
-#   durability, drain, metrics, and replication gates, and (on multi-core
-#   machines) the parallel-training and tier-0 speedup measurements.
+#   durability, drain, metrics, replication, and schema-evolution gates,
+#   and (on multi-core machines) the parallel-training and tier-0 speedup
+#   measurements.
 #
 # Usage: scripts/ci.sh [--quick]
 #   --quick skips the race detector and the speedup bench.
@@ -139,6 +140,19 @@ echo "== durability: snapshot rejection + crash recovery (in-process) =="
 #   bit-identical serving + deterministic WAL replay.
 go test -count=1 -run 'TestSnapshotRejections|TestCrashRecoveryBitIdentical|TestRecoverOnlineColdStartCheckpoints' ./internal/core/
 go test -count=1 ./internal/store/
+
+echo "== schema evolution: in-process DDL gates (-race) =="
+# TestApplyDDL*: epoch bump without a model swap, stale serves refused,
+#   KindDDL journaled, followers 403.
+# TestDDLInvalidatesPlanMemory: an apply clears tier-0 pins like a hot-swap.
+# TestFollowerCatalogReplication: a leader DDL reaches the follower through
+#   ordinary checkpoint replication within the tail interval.
+# TestDDLWarmRestart...: kill after a DDL warm-starts on the evolved schema.
+go test -race -count=1 -run 'TestApplyDDL|TestDDLInvalidatesPlanMemory' ./internal/service/
+go test -race -count=1 -run 'TestFollowerCatalogReplication' ./internal/shard/
+go test -count=1 -run 'TestDDLWarmRestartResumesAtPostDDLCatalogEpoch' ./internal/core/
+go test -count=1 -run 'TestDriftScenarios' ./internal/workload/
+go test -count=1 ./internal/engine/catalog/
 
 echo "== durability: fossd checkpoint -> kill -9 -> restart -> serve parity =="
 # The process-level recovery gate: a real fossd serves and checkpoints, is
@@ -409,10 +423,78 @@ wait 2>/dev/null || true
 repl_pids=""
 echo "replication gate OK: 2 followers served leader's generation '$lead_key', $answered gate reads intact across kill -9, leader warm-resumed"
 
+echo "== schema evolution: live DDL under traffic -> kill -9 -> warm restart at post-DDL epoch =="
+# The migration gate: a 2-tenant fossd takes a POST /v1/t/acme/catalog DDL
+# batch (drop the index on job's hottest join column, add a side table)
+# while curl traffic hammers the same tenant. Serving must never block or
+# tear (every answered body is a complete plan), the tenant's catalog epoch
+# must bump on /v1/stats while the other tenant's stays at 0, and a kill -9
+# plus warm restart must come back at the post-DDL epoch serving the same
+# plan — the migration survives the crash without being re-applied.
+ddl_addr=127.0.0.1:8504
+ddl_flags="-tenants acme,globex -tenant-spec globex=backend:gaussim -serve-http $ddl_addr -state-dir $gate_dir/ddl"
+ddl_up() {
+  for _ in $(seq 1 180); do
+    curl -sf "http://$ddl_addr/v1/tenants" >/dev/null 2>&1 && return 0
+    sleep 1
+  done
+  return 1
+}
+# shellcheck disable=SC2086
+"$gate_dir/fossd" $gate_train $ddl_flags >"$gate_dir/ddl1.log" 2>&1 &
+gate_pid=$!
+ddl_up || { cat "$gate_dir/ddl1.log"; echo "FAIL: ddl-gate fleet never came up"; exit 1; }
+: >"$gate_dir/ddl-traffic.out"
+(
+  set +e # the loop outlives the DDL, not the listener: failures are findings
+  while :; do
+    curl -sf "http://$ddl_addr/v1/t/acme/optimize" -d '{"query_id": "1_1", "execute": true}' >>"$gate_dir/ddl-traffic.out" || echo -n FAILED >>"$gate_dir/ddl-traffic.out"
+    echo >>"$gate_dir/ddl-traffic.out"
+  done
+) &
+traffic_pid=$!
+sleep 1
+ddl_body='{"ddl": [{"kind": "drop-index", "table": "title", "column": "id"}, {"kind": "add-table", "table": "ci_evolved", "columns": [{"name": "id", "indexed": true}]}]}'
+curl -sf "http://$ddl_addr/v1/t/acme/catalog" -d "$ddl_body" >"$gate_dir/ddl-resp.json" \
+  || { cat "$gate_dir/ddl1.log"; echo "FAIL: catalog DDL refused"; exit 1; }
+grep -q '"catalog_epoch":2' "$gate_dir/ddl-resp.json" || { echo "FAIL: DDL response epoch wrong: $(cat "$gate_dir/ddl-resp.json")"; exit 1; }
+sleep 1
+kill "$traffic_pid" 2>/dev/null || true
+wait "$traffic_pid" 2>/dev/null || true
+# Zero failed or torn responses across the apply: serving never blocked.
+if grep -q FAILED "$gate_dir/ddl-traffic.out"; then echo "FAIL: requests failed during the DDL apply"; exit 1; fi
+answered=0
+while IFS= read -r line; do
+  [[ -z "$line" ]] && continue
+  echo "$line" | grep -q 'icp_key' || { echo "FAIL: torn response during DDL apply: $line"; exit 1; }
+  answered=$((answered + 1))
+done <"$gate_dir/ddl-traffic.out"
+[[ "$answered" -ge 1 ]] || { echo "FAIL: ddl traffic loop landed no answers"; exit 1; }
+# The epoch landed on the tenant's stats — and only that tenant's.
+curl -sf "http://$ddl_addr/v1/t/acme/stats" >"$gate_dir/ddl-stats.json"
+grep -q '"CatalogEpoch":2' "$gate_dir/ddl-stats.json" || { echo "FAIL: acme stats missing catalog epoch 2"; exit 1; }
+curl -sf "http://$ddl_addr/v1/t/globex/stats" | grep -q '"CatalogEpoch":0' || { echo "FAIL: globex catalog epoch moved"; exit 1; }
+curl -sf "http://$ddl_addr/v1/t/acme/catalog" | grep -q '"kind":"drop-index"' || { echo "FAIL: catalog log missing the applied DDL"; exit 1; }
+curl -sf "http://$ddl_addr/v1/t/acme/optimize" -d '{"query_id": "1_1"}' >"$gate_dir/ddl-plan1.json"
+kill -9 "$gate_pid" 2>/dev/null; wait "$gate_pid" 2>/dev/null || true
+# shellcheck disable=SC2086
+"$gate_dir/fossd" $gate_train $ddl_flags >"$gate_dir/ddl2.log" 2>&1 &
+gate_pid=$!
+ddl_up || { cat "$gate_dir/ddl2.log"; echo "FAIL: restarted ddl-gate fleet never came up"; exit 1; }
+[[ "$(grep -c 'warm restart' "$gate_dir/ddl2.log")" -eq 2 ]] || { cat "$gate_dir/ddl2.log"; echo "FAIL: a tenant retrained after the DDL crash"; exit 1; }
+curl -sf "http://$ddl_addr/v1/t/acme/stats" | grep -q '"CatalogEpoch":2' || { echo "FAIL: restart lost the catalog epoch"; exit 1; }
+curl -sf "http://$ddl_addr/v1/t/acme/optimize" -d '{"query_id": "1_1"}' >"$gate_dir/ddl-plan2.json"
+kill -TERM "$gate_pid"; wait "$gate_pid" 2>/dev/null || true
+gate_pid=""
+dk1=$(sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p' "$gate_dir/ddl-plan1.json")
+dk2=$(sed -n 's/.*"icp_key":"\([^"]*\)".*/\1/p' "$gate_dir/ddl-plan2.json")
+[[ -n "$dk1" && "$dk1" == "$dk2" ]] || { echo "FAIL: post-restart plan '$dk2' != post-DDL plan '$dk1'"; exit 1; }
+echo "ddl gate OK: catalog epoch 2 under $answered intact in-flight answers, warm restart resumed the evolved schema"
+
 if [[ $quick -eq 0 ]]; then
   ncpu=$(nproc 2>/dev/null || echo 1)
   if [[ "$ncpu" -ge 4 ]]; then
-    echo "== perf snapshot (BENCH_9.json) =="
+    echo "== perf snapshot (BENCH_10.json) =="
     # Hardware-gated like the speedup check: on weak runners the numbers are
     # noise; run `make bench` manually to refresh the snapshot anywhere.
     scripts/bench.sh
